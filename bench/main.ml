@@ -1,0 +1,610 @@
+(* Benchmark harness: regenerates every experiment figure of the paper
+   (Figures 1, 7, 8a-8h, 9a, 9b) and runs Bechamel microbenchmarks of
+   the hot primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # all figures, paper durations
+     dune exec bench/main.exe -- --quick      # abbreviated durations
+     dune exec bench/main.exe -- fig1 fig7    # a subset
+     dune exec bench/main.exe -- micro        # microbenchmarks only *)
+
+module E = Mcc_core.Experiments
+module Report = Mcc_core.Report
+module Flid = Mcc_mcast.Flid
+
+let fmt = Format.std_formatter
+
+let quick = ref false
+let requested : string list ref = ref []
+
+let duration full = if !quick then full /. 4. else full
+
+let fig1 () =
+  Report.heading fmt
+    "Figure 1: impact of inflated subscription on FLID-DL (1 Mbps \
+     bottleneck, F1 misbehaves at t=100s)";
+  Report.attack fmt
+    (E.attack ~duration:(duration 200.) ~mode:Flid.Plain ())
+
+let fig7 () =
+  Report.heading fmt
+    "Figure 7: protection with DELTA and SIGMA (same scenario, FLID-DS)";
+  Report.attack fmt
+    (E.attack ~duration:(duration 200.) ~mode:Flid.Robust ())
+
+let sweep_counts () =
+  if !quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+
+let fig8a () =
+  Report.heading fmt
+    "Figure 8a: FLID-DL throughput vs number of sessions (no cross traffic)";
+  Report.sweep fmt
+    (E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Plain
+       ~counts:(sweep_counts ()) ())
+
+let fig8b () =
+  Report.heading fmt
+    "Figure 8b: FLID-DS throughput vs number of sessions (no cross traffic)";
+  Report.sweep fmt
+    (E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Robust
+       ~counts:(sweep_counts ()) ())
+
+let fig8c () =
+  Report.heading fmt
+    "Figure 8c: average throughput, FLID-DL vs FLID-DS (no cross traffic)";
+  let dl =
+    E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Plain
+      ~counts:(sweep_counts ()) ()
+  and ds =
+    E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Robust
+      ~counts:(sweep_counts ()) ()
+  in
+  Format.fprintf fmt "# sessions  FLID-DL avg  FLID-DS avg@.";
+  List.iter2
+    (fun (a : E.sweep_point) (b : E.sweep_point) ->
+      Format.fprintf fmt "%2d  %.1f  %.1f@." a.E.sessions a.E.average_kbps
+        b.E.average_kbps)
+    dl ds;
+  Format.fprintf fmt "@."
+
+let fig8d () =
+  Report.heading fmt
+    "Figure 8d: average throughput with TCP and on-off CBR cross traffic";
+  let dl =
+    E.throughput_vs_sessions ~duration:(duration 200.) ~cross_traffic:true
+      ~mode:Flid.Plain ~counts:(sweep_counts ()) ()
+  and ds =
+    E.throughput_vs_sessions ~duration:(duration 200.) ~cross_traffic:true
+      ~mode:Flid.Robust ~counts:(sweep_counts ()) ()
+  in
+  Format.fprintf fmt "# sessions  FLID-DL avg  FLID-DS avg@.";
+  List.iter2
+    (fun (a : E.sweep_point) (b : E.sweep_point) ->
+      Format.fprintf fmt "%2d  %.1f  %.1f@." a.E.sessions a.E.average_kbps
+        b.E.average_kbps)
+    dl ds;
+  Format.fprintf fmt "@."
+
+let fig8e () =
+  Report.heading fmt
+    "Figure 8e: responsiveness to an 800 Kbps CBR burst (45-75 s)";
+  Format.fprintf fmt "-- FLID-DL --@.";
+  Report.responsiveness fmt
+    (E.responsiveness ~duration:(duration 100.) ~mode:Flid.Plain ());
+  Format.fprintf fmt "-- FLID-DS --@.";
+  Report.responsiveness fmt
+    (E.responsiveness ~duration:(duration 100.) ~mode:Flid.Robust ())
+
+let fig8f () =
+  Report.heading fmt
+    "Figure 8f: average throughput vs heterogeneous round-trip times";
+  Format.fprintf fmt "-- FLID-DL --@.";
+  Report.rtt fmt (E.rtt_fairness ~duration:(duration 200.) ~mode:Flid.Plain ());
+  Format.fprintf fmt "-- FLID-DS --@.";
+  Report.rtt fmt (E.rtt_fairness ~duration:(duration 200.) ~mode:Flid.Robust ())
+
+let fig8g () =
+  Report.heading fmt
+    "Figure 8g: subscription convergence, FLID-DL (joins at 0/10/20/30 s)";
+  Report.convergence fmt (E.convergence ~duration:40. ~mode:Flid.Plain ())
+
+let fig8h () =
+  Report.heading fmt "Figure 8h: subscription convergence, FLID-DS";
+  Report.convergence fmt (E.convergence ~duration:40. ~mode:Flid.Robust ())
+
+let fig9a () =
+  Report.heading fmt
+    "Figure 9a: DELTA / SIGMA communication overhead vs number of groups";
+  Report.overhead fmt ~x_label:"groups"
+    (E.overhead_vs_groups ~duration:(duration 30.)
+       ~groups_list:(if !quick then [ 2; 6; 10; 20 ] else
+                       [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ])
+       ())
+
+let fig9b () =
+  Report.heading fmt
+    "Figure 9b: DELTA / SIGMA communication overhead vs slot duration";
+  Report.overhead fmt ~x_label:"slot_s"
+    (E.overhead_vs_slot ~duration:(duration 30.)
+       ~slots:(if !quick then [ 0.2; 0.5; 1.0 ] else
+                 [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
+       ())
+
+(* --- Beyond the paper's figures: Section 3.2.3 and design ablations ---- *)
+
+let partial () =
+  Report.heading fmt
+    "Incremental deployment (paper Section 3.2.3): the same attack behind \
+     a SIGMA edge router vs a legacy IGMP router";
+  let r = E.partial_deployment ~duration:(duration 120.) () in
+  Report.row fmt "attacker behind SIGMA edge"
+    [ ("kbps", r.E.protected_attacker_kbps) ];
+  Report.row fmt "attacker behind legacy edge"
+    [ ("kbps", r.E.unprotected_attacker_kbps) ];
+  Report.row fmt "honest receiver (SIGMA edge)" [ ("kbps", r.E.honest_kbps) ];
+  Format.fprintf fmt
+    "SIGMA prevents local inflation even partially deployed; the legacy\n\
+     edge admits the attack, which then also damages everyone sharing the\n\
+     bottleneck (the honest receiver's collapse is that collateral).@.@."
+
+(* Ablation: FEC scheme for SIGMA's special packets.  Heavy congestion
+   (an unprotected hog on the same bottleneck) drops special packets;
+   without redundancy the edge router's keystore develops gaps and even
+   honest keys bounce (counted by the guess tally). *)
+let ablation_fec () =
+  Report.heading fmt
+    "Ablation: FEC scheme for key distribution to edge routers";
+  Format.fprintf fmt
+    "# scheme            honest_kbps  keystore_misses  z@.";
+  List.iter
+    (fun (label, scheme) ->
+      let t =
+        Mcc_core.Scenario.create ~seed:51 ~packet_buffer:true
+          ~bottleneck_rate_bps:500_000. ()
+      in
+      let session =
+        Mcc_core.Scenario.add_multicast ~fec_scheme:scheme t ~mode:Flid.Robust
+          ~receivers:[ Mcc_core.Scenario.receiver () ]
+          ()
+      in
+      (* An unprotected CBR burst at the full bottleneck rate: the queue
+         stays solid during bursts, so even the small special packets
+         drop and the keystore can only stay complete through FEC. *)
+      ignore
+        (Mcc_core.Scenario.add_onoff_cbr t ~rate_bps:500_000. ~on_period:2.
+           ~off_period:3.);
+      Mcc_core.Scenario.run t ~seconds:(duration 120.);
+      let honest =
+        Mcc_util.Meter.mean_kbps
+          (Flid.receiver_meter (List.hd session.Mcc_core.Scenario.receivers))
+          ~lo:20. ~hi:(duration 120.)
+      in
+      let misses =
+        match Mcc_core.Scenario.agent t with
+        | Some agent -> Mcc_sigma.Router_agent.total_guesses agent
+        | None -> 0
+      in
+      let stats = Flid.sender_stats session.Mcc_core.Scenario.sender in
+      Format.fprintf fmt "%-18s %8.1f %12d %10.2f@." label honest misses
+        stats.Flid.fec_expansion)
+    [
+      ("repetition-1", Mcc_sigma.Fec.Repetition 1);
+      ("repetition-2", Mcc_sigma.Fec.Repetition 2);
+      ("repetition-3", Mcc_sigma.Fec.Repetition 3);
+      ("xor-parity", Mcc_sigma.Fec.Xor_parity);
+    ];
+  Format.fprintf fmt "@."
+
+(* Ablation: SIGMA grace windows.  Too little unconditional forwarding
+   after a keyed upgrade starves the receiver of the components it needs
+   for the next keys; more grace than the paper's two slots buys
+   nothing. *)
+let ablation_grace () =
+  Report.heading fmt
+    "Ablation: SIGMA grace window after a keyed upgrade (paper: 2 slots)";
+  Format.fprintf fmt "# grace_slots  honest_kbps@.";
+  List.iter
+    (fun grace ->
+      let config =
+        { Mcc_sigma.Router_agent.default_config with
+          Mcc_sigma.Router_agent.upgrade_grace_slots = grace }
+      in
+      let t =
+        Mcc_core.Scenario.create ~seed:53 ~agent_config:config
+          ~bottleneck_rate_bps:Mcc_core.Defaults.fair_share_bps ()
+      in
+      let session =
+        Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+          ~receivers:[ Mcc_core.Scenario.receiver () ]
+          ()
+      in
+      Mcc_core.Scenario.run t ~seconds:(duration 120.);
+      let kbps =
+        Mcc_util.Meter.mean_kbps
+          (Flid.receiver_meter (List.hd session.Mcc_core.Scenario.receivers))
+          ~lo:30. ~hi:(duration 120.)
+      in
+      Format.fprintf fmt "%6.1f %14.1f@." grace kbps)
+    [ 0.; 0.5; 1.; 2.; 3. ];
+  Format.fprintf fmt "@."
+
+(* Ablation: FLID-DS slot duration.  Shorter slots react faster (better
+   backoff during a burst) but cost more key-distribution overhead; the
+   paper picks 250 ms to match FLID-DL's 500 ms control granularity. *)
+let ablation_slot () =
+  Report.heading fmt
+    "Ablation: FLID-DS slot duration (responsiveness vs overhead)";
+  Format.fprintf fmt
+    "# slot_s  before_kbps  during_burst_kbps  after_kbps  sigma_overhead%%@.";
+  List.iter
+    (fun slot ->
+      let t =
+        Mcc_core.Scenario.create ~seed:57 ~bottleneck_rate_bps:1_000_000. ()
+      in
+      let session =
+        Mcc_core.Scenario.add_multicast ~slot t ~mode:Flid.Robust
+          ~receivers:[ Mcc_core.Scenario.receiver () ]
+          ()
+      in
+      ignore
+        (Mcc_core.Scenario.add_onoff_cbr t ~at:45. ~until:75.
+           ~rate_bps:800_000. ~on_period:30. ~off_period:1.);
+      Mcc_core.Scenario.run t ~seconds:(duration 100.);
+      let meter =
+        Flid.receiver_meter (List.hd session.Mcc_core.Scenario.receivers)
+      in
+      let stats = Flid.sender_stats session.Mcc_core.Scenario.sender in
+      let overhead =
+        if stats.Flid.data_bits = 0 then 0.
+        else
+          100.
+          *. float_of_int
+               (stats.Flid.sigma_payload_bits + stats.Flid.sigma_header_bits)
+          /. float_of_int stats.Flid.data_bits
+      in
+      Format.fprintf fmt "%6.3f %10.1f %14.1f %12.1f %12.3f@." slot
+        (Mcc_util.Meter.mean_kbps meter ~lo:30. ~hi:45.)
+        (Mcc_util.Meter.mean_kbps meter ~lo:50. ~hi:75.)
+        (Mcc_util.Meter.mean_kbps meter ~lo:85. ~hi:(duration 100.))
+        overhead)
+    [ 0.125; 0.25; 0.5; 1.0 ];
+  Format.fprintf fmt "@."
+
+(* Ablation: XOR scheme vs Shamir threshold scheme in-band overhead
+   (paper Section 3.1.2: threshold schemes cannot reuse components). *)
+let ablation_threshold () =
+  Report.heading fmt
+    "Ablation: in-band key material, XOR (FLID-DS) vs Shamir threshold \
+     (RLM-like)";
+  let seconds = duration 30. in
+  (* XOR scheme. *)
+  let t = Mcc_core.Scenario.create ~seed:59 ~bottleneck_rate_bps:500_000. () in
+  let session =
+    Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+      ~receivers:[ Mcc_core.Scenario.receiver () ]
+      ()
+  in
+  Mcc_core.Scenario.run t ~seconds;
+  let stats = Flid.sender_stats session.Mcc_core.Scenario.sender in
+  let xor_pct =
+    100. *. float_of_int stats.Flid.delta_bits
+    /. float_of_int (max 1 stats.Flid.data_bits)
+  in
+  (* Shamir threshold scheme. *)
+  let module Rlm = Mcc_mcast.Rlm_like in
+  let module Dumbbell = Mcc_core.Dumbbell in
+  let sim = Mcc_engine.Sim.create () in
+  let db = Dumbbell.create sim ~bottleneck_rate_bps:500_000. () in
+  let _agent =
+    Mcc_sigma.Router_agent.attach db.Dumbbell.topo db.Dumbbell.right
+  in
+  let prng = Mcc_util.Prng.create 59 in
+  let config =
+    Rlm.make_config ~id:9 ~base_group:0x7F00
+      ~layering:(Mcc_core.Defaults.layering ()) ~slot_duration:0.25
+      ~mode:Flid.Robust ()
+  in
+  let src = Dumbbell.add_sender db in
+  let sender =
+    Rlm.sender_start db.Dumbbell.topo ~node:src
+      ~prng:(Mcc_util.Prng.split prng) config
+  in
+  let host = Dumbbell.add_receiver db in
+  let _receiver =
+    Rlm.receiver_start db.Dumbbell.topo ~host ~prng:(Mcc_util.Prng.split prng)
+      config
+  in
+  Dumbbell.finalize db;
+  Mcc_engine.Sim.run_until sim seconds;
+  let shamir_pct =
+    100.
+    *. float_of_int (Rlm.share_overhead_bits sender)
+    /. float_of_int (max 1 (Rlm.data_bits sender))
+  in
+  Format.fprintf fmt "# scheme             in-band overhead (%% of data bits)@.";
+  Format.fprintf fmt "xor (FLID-DS)        %.3f@." xor_pct;
+  Format.fprintf fmt "shamir (RLM-like)    %.3f@." shamir_pct;
+  Format.fprintf fmt "ratio                %.1fx@.@." (shamir_pct /. xor_pct)
+
+(* Protocol comparison: one session of each family — FLID-DS (single
+   loss, XOR keys), replicated (tier switching), RLM-like ladder and
+   WEBRC-style equation (threshold keys) — competing with one TCP flow
+   on a shared bottleneck provisioned at 250 kbps per flow. *)
+let protocols () =
+  Report.heading fmt
+    "Protocol comparison: FLID-DS / replicated / RLM ladder / WEBRC \
+     equation / TCP sharing one bottleneck";
+  let module Rep = Mcc_mcast.Replicated_proto in
+  let module Rlm = Mcc_mcast.Rlm_like in
+  let t =
+    Mcc_core.Scenario.create ~seed:101 ~bottleneck_rate_bps:1_250_000. ()
+  in
+  let flid =
+    Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+      ~receivers:[ Mcc_core.Scenario.receiver () ] ()
+  in
+  let rep =
+    Mcc_core.Scenario.add_replicated t ~mode:Flid.Robust
+      ~receivers:[ Mcc_core.Scenario.receiver () ] ()
+  in
+  let ladder =
+    Mcc_core.Scenario.add_rlm t ~mode:Flid.Robust
+      ~receivers:[ Mcc_core.Scenario.receiver () ] ()
+  in
+  let webrc =
+    Mcc_core.Scenario.add_rlm ~policy:Rlm.Equation t ~mode:Flid.Robust
+      ~receivers:[ Mcc_core.Scenario.receiver () ] ()
+  in
+  let tcp = Mcc_core.Scenario.add_tcp t in
+  let horizon = duration 200. in
+  Mcc_core.Scenario.run t ~seconds:horizon;
+  let mean m = Mcc_util.Meter.mean_kbps m ~lo:(horizon /. 4.) ~hi:horizon in
+  let rows =
+    [
+      ("flid-ds", mean (Flid.receiver_meter (List.hd flid.Mcc_core.Scenario.receivers)));
+      ("replicated", mean (Rep.receiver_meter (List.hd rep.Mcc_core.Scenario.rep_receivers)));
+      ("rlm-ladder", mean (Rlm.receiver_meter (List.hd ladder.Mcc_core.Scenario.rlm_receivers)));
+      ("webrc-equation", mean (Rlm.receiver_meter (List.hd webrc.Mcc_core.Scenario.rlm_receivers)));
+      ("tcp-reno", mean (Mcc_transport.Tcp.delivered_meter tcp));
+    ]
+  in
+  Format.fprintf fmt "# protocol        kbps (fair share 250)@.";
+  List.iter (fun (name, kbps) -> Format.fprintf fmt "%-16s %8.1f@." name kbps) rows;
+  Format.fprintf fmt "Jain fairness index: %.3f@.@."
+    (Mcc_util.Stats.jain_fairness (List.map snd rows))
+
+(* Extension: collusion (paper Section 4.2).  Receiver B, behind a
+   150 kbps access link, replays the keys its clean-path accomplice A
+   reconstructs.  Plain SIGMA honours them and floods B's link with A's
+   whole subscription; interface-specific keys make the replay
+   worthless. *)
+let collusion () =
+  Report.heading fmt
+    "Extension: key-passing collusion vs interface-specific keys \
+     (paper Section 4.2)";
+  Format.fprintf fmt
+    "# interface_keys  accomplice_level  groups_open_to_colluder  \
+     colluder_access_drops@.";
+  List.iter
+    (fun interface_keys ->
+      let agent_config =
+        { Mcc_sigma.Router_agent.default_config with
+          Mcc_sigma.Router_agent.interface_keys }
+      in
+      let t =
+        Mcc_core.Scenario.create ~seed:97 ~agent_config
+          ~bottleneck_rate_bps:2_000_000. ()
+      in
+      let session =
+        Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+          ~receivers:
+            [
+              Mcc_core.Scenario.receiver ();
+              Mcc_core.Scenario.receiver ~access_rate_bps:150_000. ();
+            ]
+          ()
+      in
+      (match session.Mcc_core.Scenario.receivers with
+      | [ a; b ] -> Flid.set_colluder b ~source:a
+      | _ -> ());
+      Mcc_core.Scenario.run t ~seconds:(duration 60.);
+      let agent = Option.get (Mcc_core.Scenario.agent t) in
+      let db = Mcc_core.Scenario.dumbbell t in
+      let b_host =
+        List.find
+          (fun (n : Mcc_net.Node.t) ->
+            n.Mcc_net.Node.kind = Mcc_net.Node.Host
+            && List.exists
+                 (fun (l : Mcc_net.Link.t) -> l.Mcc_net.Link.rate_bps = 150_000.)
+                 n.Mcc_net.Node.links)
+          (Mcc_net.Topology.nodes db.Mcc_core.Dumbbell.topo)
+      in
+      let open_groups =
+        List.length
+          (List.filter
+             (fun g ->
+               Mcc_sigma.Router_agent.iface_active agent
+                 ~group:(Flid.group_addr session.Mcc_core.Scenario.config g)
+                 ~toward:b_host.Mcc_net.Node.id)
+             (List.init Mcc_core.Defaults.groups (fun i -> i + 1)))
+      in
+      let drops =
+        match
+          Mcc_net.Multicast.router_of db.Mcc_core.Dumbbell.topo b_host
+        with
+        | _, Some link -> link.Mcc_net.Link.drops
+        | _, None -> -1
+      in
+      let a_level =
+        Flid.receiver_level (List.hd session.Mcc_core.Scenario.receivers)
+      in
+      Format.fprintf fmt "%-16b %10d %18d %20d@." interface_keys a_level
+        open_groups drops)
+    [ false; true ];
+  Format.fprintf fmt "@."
+
+(* Extension: ECN-driven DELTA (paper Section 3.1.2, "Congestion
+   notification").  With marking enabled the edge router scrubs the
+   component field of marked copies and the receiver treats marks as
+   congestion: the session backs off before the queue overflows. *)
+let ecn () =
+  Report.heading fmt
+    "Extension: ECN-driven congestion signalling (marks instead of drops)";
+  Format.fprintf fmt "# variant     kbps  bottleneck_drops  marks@.";
+  List.iter
+    (fun (label, ecn) ->
+      let t =
+        Mcc_core.Scenario.create ~seed:63 ~ecn
+          ~bottleneck_rate_bps:Mcc_core.Defaults.fair_share_bps ()
+      in
+      let session =
+        Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+          ~receivers:[ Mcc_core.Scenario.receiver () ]
+          ()
+      in
+      Mcc_core.Scenario.run t ~seconds:(duration 120.);
+      let kbps =
+        Mcc_util.Meter.mean_kbps
+          (Flid.receiver_meter (List.hd session.Mcc_core.Scenario.receivers))
+          ~lo:30. ~hi:(duration 120.)
+      in
+      let db = Mcc_core.Scenario.dumbbell t in
+      Format.fprintf fmt "%-10s %8.1f %10d %12d@." label kbps
+        db.Mcc_core.Dumbbell.forward.Mcc_net.Link.drops
+        db.Mcc_core.Dumbbell.forward.Mcc_net.Link.marks)
+    [ ("drop-tail", false); ("ecn", true) ];
+  Format.fprintf fmt "@."
+
+(* --- Bechamel microbenchmarks ------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let prng = Mcc_util.Prng.create 99 in
+  let delta_precompute =
+    Test.make ~name:"delta/layered-precompute-N10" (Bechamel.Staged.stage @@ fun () ->
+        ignore
+          (Mcc_delta.Layered.sender_create ~prng ~width:16 ~groups:10
+             ~upgrades:(Array.make 10 true)))
+  in
+  let delta_roundtrip =
+    Test.make ~name:"delta/layered-slot-roundtrip" (Bechamel.Staged.stage @@ fun () ->
+        let s =
+          Mcc_delta.Layered.sender_create ~prng ~width:16 ~groups:10
+            ~upgrades:(Array.make 10 false)
+        in
+        let r = Mcc_delta.Layered.receiver_create ~groups:10 in
+        for g = 1 to 10 do
+          for i = 0 to 9 do
+            let c =
+              Mcc_delta.Layered.next_component s ~group:g ~last:(i = 9)
+            in
+            Mcc_delta.Layered.on_packet r ~group:g ~component:c
+              ~decrease:(Mcc_delta.Layered.decrease_field s ~group:g)
+          done
+        done;
+        ignore
+          (Mcc_delta.Layered.slot_end r ~level:10 ~congested:false
+             ~lost:(fun _ -> false)
+             ~upgrade_to:(fun _ -> false)))
+  in
+  let shamir =
+    Test.make ~name:"delta/shamir-split-reconstruct-k8-n16" (Bechamel.Staged.stage @@ fun () ->
+        let shares = Mcc_util.Shamir.split prng ~k:8 ~n:16 ~secret:123456 in
+        ignore
+          (Mcc_util.Shamir.reconstruct
+             (Array.to_list (Array.sub shares 0 8))))
+  in
+  let event_queue =
+    Test.make ~name:"engine/event-queue-push-pop-1k" (Bechamel.Staged.stage @@ fun () ->
+        let q = Mcc_engine.Event_queue.create () in
+        for i = 0 to 999 do
+          Mcc_engine.Event_queue.push q ~time:(float_of_int (i * 7 mod 100)) i
+        done;
+        while not (Mcc_engine.Event_queue.is_empty q) do
+          ignore (Mcc_engine.Event_queue.pop q)
+        done)
+  in
+  let sim_second =
+    Test.make ~name:"scenario/one-simulated-second" (Bechamel.Staged.stage @@ fun () ->
+        let t =
+          Mcc_core.Scenario.create ~seed:3 ~bottleneck_rate_bps:1_000_000. ()
+        in
+        ignore
+          (Mcc_core.Scenario.add_multicast t ~mode:Flid.Robust
+             ~receivers:[ Mcc_core.Scenario.receiver () ] ());
+        Mcc_core.Scenario.run t ~seconds:1.0)
+  in
+  let tests =
+    [ delta_precompute; delta_roundtrip; shamir; event_queue; sim_second ]
+  in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        (Toolkit.Instance.monotonic_clock) raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.fprintf fmt "%-42s %12.1f ns/run@." name est
+        | Some _ | None -> Format.fprintf fmt "%-42s (no estimate)@." name)
+      results
+  in
+  Report.heading fmt "Microbenchmarks (Bechamel, monotonic clock)";
+  List.iter benchmark tests
+
+(* --- driver ------------------------------------------------------------ *)
+
+let all_figs =
+  [
+    ("fig1", fig1);
+    ("fig7", fig7);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig8c", fig8c);
+    ("fig8d", fig8d);
+    ("fig8e", fig8e);
+    ("fig8f", fig8f);
+    ("fig8g", fig8g);
+    ("fig8h", fig8h);
+    ("fig9a", fig9a);
+    ("fig9b", fig9b);
+    ("partial", partial);
+    ("protocols", protocols);
+    ("collusion", collusion);
+    ("ecn", ecn);
+    ("ablation-fec", ablation_fec);
+    ("ablation-grace", ablation_grace);
+    ("ablation-slot", ablation_slot);
+    ("ablation-threshold", ablation_threshold);
+    ("micro", micro);
+  ]
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | name -> requested := name :: !requested)
+    Sys.argv;
+  let selected =
+    if !requested = [] then all_figs
+    else
+      List.filter (fun (name, _) -> List.mem name !requested) all_figs
+  in
+  if selected = [] then begin
+    Format.fprintf fmt "unknown selection; available:@.";
+    List.iter (fun (name, _) -> Format.fprintf fmt "  %s@." name) all_figs
+  end
+  else
+    List.iter
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Format.fprintf fmt "[%s done in %.1fs]@." name
+          (Unix.gettimeofday () -. t0))
+      selected

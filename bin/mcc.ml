@@ -1,0 +1,197 @@
+(* Command-line driver for the paper's experiments.
+
+   Examples:
+     mcc attack --mode robust --duration 200
+     mcc sweep --mode plain --sessions 1,2,4,8
+     mcc responsiveness --mode robust
+     mcc rtt --mode robust --receivers 20
+     mcc convergence --mode plain
+     mcc overhead --by groups
+*)
+
+open Cmdliner
+module E = Mcc_core.Experiments
+module Report = Mcc_core.Report
+module Flid = Mcc_mcast.Flid
+
+let fmt = Format.std_formatter
+
+(* --- common options ----------------------------------------------------- *)
+
+let mode =
+  let parse = function
+    | "plain" | "flid-dl" -> Ok Flid.Plain
+    | "robust" | "flid-ds" -> Ok Flid.Robust
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (plain|robust)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Flid.Plain -> "plain" | Flid.Robust -> "robust")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Flid.Robust
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Protocol variant: $(b,plain) (FLID-DL) or $(b,robust) (FLID-DS).")
+
+let duration default =
+  Arg.(
+    value
+    & opt float default
+    & info [ "d"; "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated duration in seconds.")
+
+let seed =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "s"; "seed" ] ~docv:"SEED"
+        ~doc:"Simulation seed; runs are deterministic per seed.")
+
+(* --- subcommands --------------------------------------------------------- *)
+
+let attack_cmd =
+  let run mode duration seed attack_at =
+    Report.heading fmt "Inflated subscription (paper Figures 1 / 7)";
+    Report.attack fmt (E.attack ~seed ~duration ~attack_at ~mode ())
+  in
+  let attack_at =
+    Arg.(
+      value
+      & opt float 100.
+      & info [ "attack-at" ] ~docv:"SECONDS"
+          ~doc:"Time at which receiver F1 starts inflating.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Two multicast + two TCP sessions; F1 inflates its subscription.")
+    Term.(const run $ mode $ duration 200. $ seed $ attack_at)
+
+let sessions_list =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected a comma-separated integer list")
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+    & info [ "sessions" ] ~docv:"N1,N2,..."
+        ~doc:"Session counts to sweep (paper Figure 8a-8d).")
+
+let sweep_cmd =
+  let run mode duration seed counts cross =
+    Report.heading fmt "Throughput vs number of sessions (paper Figure 8)";
+    Report.sweep fmt
+      (E.throughput_vs_sessions ~seed ~duration ~cross_traffic:cross ~mode
+         ~counts ())
+  in
+  let cross =
+    Arg.(
+      value & flag
+      & info [ "cross-traffic" ]
+          ~doc:"Add one TCP flow per session plus an on-off CBR (Figure 8d).")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Average multicast throughput vs session count.")
+    Term.(const run $ mode $ duration 200. $ seed $ sessions_list $ cross)
+
+let responsiveness_cmd =
+  let run mode duration seed =
+    Report.heading fmt "Responsiveness to an 800 Kbps burst (paper Figure 8e)";
+    Report.responsiveness fmt (E.responsiveness ~seed ~duration ~mode ())
+  in
+  Cmd.v
+    (Cmd.info "responsiveness" ~doc:"CBR burst between 45 s and 75 s.")
+    Term.(const run $ mode $ duration 100. $ seed)
+
+let rtt_cmd =
+  let run mode duration seed receivers =
+    Report.heading fmt "Heterogeneous round-trip times (paper Figure 8f)";
+    Report.rtt fmt (E.rtt_fairness ~seed ~duration ~receivers ~mode ())
+  in
+  let receivers =
+    Arg.(
+      value & opt int 20
+      & info [ "receivers" ] ~docv:"N" ~doc:"Receivers spread over 30-220 ms.")
+  in
+  Cmd.v
+    (Cmd.info "rtt" ~doc:"Throughput vs receiver RTT.")
+    Term.(const run $ mode $ duration 200. $ seed $ receivers)
+
+let convergence_cmd =
+  let run mode duration seed =
+    Report.heading fmt "Subscription convergence (paper Figures 8g / 8h)";
+    Report.convergence fmt (E.convergence ~seed ~duration ~mode ())
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Four receivers joining at 0/10/20/30 s converge to one level.")
+    Term.(const run $ mode $ duration 40. $ seed)
+
+let overhead_cmd =
+  let run by duration seed =
+    match by with
+    | `Groups ->
+        Report.heading fmt "Key-distribution overhead vs groups (Figure 9a)";
+        Report.overhead fmt ~x_label:"groups"
+          (E.overhead_vs_groups ~seed ~duration ())
+    | `Slot ->
+        Report.heading fmt "Key-distribution overhead vs slot (Figure 9b)";
+        Report.overhead fmt ~x_label:"slot_s"
+          (E.overhead_vs_slot ~seed ~duration ())
+  in
+  let by =
+    let parse = function
+      | "groups" -> Ok `Groups
+      | "slot" -> Ok `Slot
+      | s -> Error (`Msg (Printf.sprintf "unknown axis %S (groups|slot)" s))
+    in
+    let print ppf v =
+      Format.pp_print_string ppf
+        (match v with `Groups -> "groups" | `Slot -> "slot")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Groups
+      & info [ "by" ] ~docv:"AXIS" ~doc:"Sweep $(b,groups) or $(b,slot).")
+  in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"DELTA and SIGMA communication overhead.")
+    Term.(const run $ by $ duration 30. $ seed)
+
+let partial_cmd =
+  let run duration seed =
+    Report.heading fmt
+      "Incremental deployment (paper Section 3.2.3): SIGMA vs legacy edge";
+    let r = E.partial_deployment ~seed ~duration () in
+    Report.row fmt "attacker behind SIGMA edge"
+      [ ("kbps", r.E.protected_attacker_kbps) ];
+    Report.row fmt "attacker behind legacy edge"
+      [ ("kbps", r.E.unprotected_attacker_kbps) ];
+    Report.row fmt "honest receiver" [ ("kbps", r.E.honest_kbps) ]
+  in
+  Cmd.v
+    (Cmd.info "partial"
+       ~doc:"The same inflation attack behind a SIGMA and a legacy edge router.")
+    Term.(const run $ duration 120. $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "mcc" ~version:"1.0.0"
+       ~doc:
+         "Robust multicast congestion control: DELTA + SIGMA experiments \
+          (Gorinsky et al.)")
+    [
+      attack_cmd;
+      sweep_cmd;
+      responsiveness_cmd;
+      rtt_cmd;
+      convergence_cmd;
+      overhead_cmd;
+      partial_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,39 @@
+(* Incremental deployment (paper Section 3.2.3): SIGMA replaces IGMP one
+   edge router at a time.  This walkthrough puts the same greedy
+   receiver behind an upgraded edge and behind a legacy edge, on a
+   shared bottleneck, and shows that the upgraded router keeps its own
+   customers honest even while the rest of the network lags behind.
+
+   Run with:  dune exec examples/incremental_deployment.exe *)
+
+module E = Mcc_core.Experiments
+module Defaults = Mcc_core.Defaults
+
+let () =
+  Printf.printf
+    "Incremental SIGMA deployment\n\
+     ----------------------------\n\
+     Three FLID-DS sessions share a 750 kbps bottleneck (fair share\n\
+     250 kbps each).  At t=40 s two receivers turn greedy and try to\n\
+     join all ten groups of their sessions:\n\n\
+    \  * one sits behind an edge router that runs SIGMA,\n\
+    \  * one sits behind a legacy IGMP router,\n\
+    \  * a third receiver stays honest behind the SIGMA edge.\n\n";
+  let r = E.partial_deployment ~duration:120. ~attack_at:40. () in
+  Printf.printf "  %-36s %10s\n" "receiver" "after t=50s";
+  Printf.printf "  %-36s %7.0f kbps\n" "attacker behind SIGMA edge"
+    r.E.protected_attacker_kbps;
+  Printf.printf "  %-36s %7.0f kbps\n" "attacker behind legacy IGMP edge"
+    r.E.unprotected_attacker_kbps;
+  Printf.printf "  %-36s %7.0f kbps\n" "honest receiver (SIGMA edge)"
+    r.E.honest_kbps;
+  Printf.printf
+    "\nReading the numbers:\n\
+    \  - The SIGMA edge rejects every key its local attacker cannot\n\
+    \    reconstruct: its inflation attempt goes nowhere.\n\
+    \  - The legacy edge happily grafts all ten groups: that attacker\n\
+    \    floods the shared bottleneck with its session's full demand.\n\
+    \  - The honest receiver is protected from *local* misbehaviour but\n\
+    \    not from the bottleneck damage admitted elsewhere: exactly the\n\
+    \    paper's argument for why every upgraded edge router helps, and\n\
+    \    why full deployment is the goal.\n"

@@ -1,0 +1,72 @@
+(* Layered video distribution to heterogeneous receivers: the scenario
+   that motivates multi-group multicast in the paper's introduction.
+   One FLID-DS session serves a modem-class, a DSL-class, and a
+   LAN-class receiver; each converges to the subscription level its own
+   access capacity supports, while SIGMA keeps all three honest.
+
+   Run with:  dune exec examples/layered_video.exe *)
+
+module Sim = Mcc_engine.Sim
+module Dumbbell = Mcc_core.Dumbbell
+module Defaults = Mcc_core.Defaults
+module Flid = Mcc_mcast.Flid
+module Layering = Mcc_mcast.Layering
+module Router_agent = Mcc_sigma.Router_agent
+module Meter = Mcc_util.Meter
+module Prng = Mcc_util.Prng
+
+type viewer = { name : string; access_bps : float }
+
+let viewers =
+  [
+    { name = "modem (160 kbps)"; access_bps = 160_000. };
+    { name = "dsl (600 kbps)"; access_bps = 600_000. };
+    { name = "lan (10 Mbps)"; access_bps = 10_000_000. };
+  ]
+
+let () =
+  let sim = Sim.create () in
+  (* A wide shared bottleneck: each viewer's own access link is its
+     constraint. *)
+  let db = Dumbbell.create sim ~bottleneck_rate_bps:8_000_000. () in
+  let agent = Router_agent.attach db.Dumbbell.topo db.Dumbbell.right in
+  ignore agent;
+  let prng = Prng.create 3 in
+  let layering = Defaults.layering () in
+  let config =
+    Flid.make_config ~id:1 ~base_group:0x4000 ~layering
+      ~slot_duration:Defaults.flid_ds_slot ~mode:Flid.Robust ()
+  in
+  let src = Dumbbell.add_sender db in
+  let _sender =
+    Flid.sender_start db.Dumbbell.topo ~node:src ~prng:(Prng.split prng) config
+  in
+  let receivers =
+    List.map
+      (fun v ->
+        let host = Dumbbell.add_receiver ~rate_bps:v.access_bps db in
+        ( v,
+          Flid.receiver_start db.Dumbbell.topo ~host ~prng:(Prng.split prng)
+            config ))
+      viewers
+  in
+  Dumbbell.finalize db;
+  Sim.run_until sim 90.;
+
+  Printf.printf
+    "Layered video over FLID-DS: one sender, three receiver classes\n\
+     (10 layers, 100 kbps base, x1.5 cumulative growth)\n\n";
+  Printf.printf "  %-18s %12s %8s %12s %14s\n" "viewer" "capacity" "level"
+    "entitled" "throughput";
+  List.iter
+    (fun (v, r) ->
+      let entitled = Layering.fair_level layering ~rate_bps:v.access_bps in
+      let level = Flid.receiver_level r in
+      let kbps = Meter.mean_kbps (Flid.receiver_meter r) ~lo:40. ~hi:90. in
+      Printf.printf "  %-18s %8.0f kbps %8d %12d %10.0f kbps\n" v.name
+        (v.access_bps /. 1000.) level entitled kbps)
+    receivers;
+  Printf.printf
+    "\nEach viewer holds the highest stack of layers its capacity sustains;\n\
+     the subscription levels differ, the protocol and the edge router are\n\
+     shared.\n"

@@ -1,0 +1,47 @@
+(** The experimental settings of paper Section 5.1, used by every
+    experiment unless it overrides them. *)
+
+val fair_share_bps : float
+(** 250 Kbps per session: the bottleneck is provisioned as
+    [fair_share * number of sessions]. *)
+
+val bottleneck_delay_s : float
+(** 20 ms. *)
+
+val access_rate_bps : float
+(** 10 Mbps side links. *)
+
+val access_delay_s : float
+(** 10 ms side links. *)
+
+val groups : int
+(** 10 groups per multicast session. *)
+
+val min_rate_bps : float
+(** 100 Kbps minimal group. *)
+
+val rate_factor : float
+(** 1.5: multiplicative growth of the cumulative rate per group. *)
+
+val packet_size : int
+(** 576-byte data packets. *)
+
+val flid_dl_slot : float
+(** 500 ms FLID-DL time slot. *)
+
+val flid_ds_slot : float
+(** 250 ms FLID-DS time slot: SIGMA enforces with a responsiveness of
+    two slots, so halving the slot matches FLID-DL's control
+    granularity. *)
+
+val key_width : int
+(** 16-bit keys, as in the paper's overhead evaluation. *)
+
+val layering : unit -> Mcc_mcast.Layering.t
+(** The default 10-group, 100 Kbps, x1.5 session structure. *)
+
+val buffer_bytes : bottleneck_rate_bps:float -> rtt_s:float -> int
+(** Two bandwidth-delay products, the paper's buffer sizing. *)
+
+val path_rtt_s : bottleneck_delay_s:float -> access_delay_s:float -> float
+(** Round trip of the standard three-link path. *)

@@ -1,0 +1,354 @@
+module Flid = Mcc_mcast.Flid
+module Layering = Mcc_mcast.Layering
+module Meter = Mcc_util.Meter
+module Tcp = Mcc_transport.Tcp
+module Overhead = Mcc_delta.Overhead
+module Prng = Mcc_util.Prng
+
+type series = (float * float) list
+
+let smooth meter = Meter.smoothed_kbps meter ~window:5.0
+
+(* --- Figures 1 / 7 ---------------------------------------------------- *)
+
+type attack_result = {
+  f1 : series;
+  f2 : series;
+  t1 : series;
+  t2 : series;
+  f1_before : float;
+  f1_after : float;
+  f2_after : float;
+  t1_after : float;
+  t2_after : float;
+}
+
+let attack ?(seed = 7) ?(duration = 200.) ?(attack_at = 100.) ~mode () =
+  let t = Scenario.create ~seed ~bottleneck_rate_bps:1_000_000. () in
+  let f1 =
+    Scenario.add_multicast t ~mode
+      ~receivers:[ Scenario.receiver ~behavior:(Flid.Inflate_after attack_at) () ]
+      ()
+  in
+  let f2 = Scenario.add_multicast t ~mode ~receivers:[ Scenario.receiver () ] () in
+  let t1 = Scenario.add_tcp t in
+  let t2 = Scenario.add_tcp t in
+  Scenario.run t ~seconds:duration;
+  let m_f1 = Flid.receiver_meter (List.hd f1.Scenario.receivers) in
+  let m_f2 = Flid.receiver_meter (List.hd f2.Scenario.receivers) in
+  let m_t1 = Tcp.delivered_meter t1 in
+  let m_t2 = Tcp.delivered_meter t2 in
+  let before_lo = attack_at /. 2. in
+  {
+    f1 = smooth m_f1;
+    f2 = smooth m_f2;
+    t1 = smooth m_t1;
+    t2 = smooth m_t2;
+    f1_before = Meter.mean_kbps m_f1 ~lo:before_lo ~hi:attack_at;
+    f1_after = Meter.mean_kbps m_f1 ~lo:(attack_at +. 10.) ~hi:duration;
+    f2_after = Meter.mean_kbps m_f2 ~lo:(attack_at +. 10.) ~hi:duration;
+    t1_after = Meter.mean_kbps m_t1 ~lo:(attack_at +. 10.) ~hi:duration;
+    t2_after = Meter.mean_kbps m_t2 ~lo:(attack_at +. 10.) ~hi:duration;
+  }
+
+(* --- Figures 8a-8d ----------------------------------------------------- *)
+
+type sweep_point = {
+  sessions : int;
+  individual_kbps : float list;
+  average_kbps : float;
+}
+
+let throughput_vs_sessions ?(seed = 11) ?(duration = 200.)
+    ?(cross_traffic = false) ~mode ~counts () =
+  List.map
+    (fun sessions ->
+      let bottleneck =
+        Defaults.fair_share_bps
+        *. float_of_int (if cross_traffic then 2 * sessions else sessions)
+      in
+      let t =
+        Scenario.create ~seed:(seed + sessions) ~bottleneck_rate_bps:bottleneck
+          ()
+      in
+      let multicast =
+        List.init sessions (fun _ ->
+            Scenario.add_multicast t ~mode
+              ~receivers:[ Scenario.receiver () ] ())
+      in
+      if cross_traffic then begin
+        for _ = 1 to sessions do
+          ignore (Scenario.add_tcp t)
+        done;
+        ignore
+          (Scenario.add_onoff_cbr t ~rate_bps:(0.1 *. bottleneck)
+             ~on_period:5. ~off_period:5.)
+      end;
+      Scenario.run t ~seconds:duration;
+      let rates =
+        List.map
+          (fun session ->
+            let meter =
+              Flid.receiver_meter (List.hd session.Scenario.receivers)
+            in
+            (* Skip the first quarter: start-up transient. *)
+            Meter.mean_kbps meter ~lo:(duration /. 4.) ~hi:duration)
+          multicast
+      in
+      {
+        sessions;
+        individual_kbps = rates;
+        average_kbps = Mcc_util.Stats.mean rates;
+      })
+    counts
+
+(* --- Figure 8e --------------------------------------------------------- *)
+
+type responsiveness_result = {
+  multicast : series;
+  burst_start : float;
+  burst_stop : float;
+  before_kbps : float;
+  during_kbps : float;
+  after_kbps : float;
+}
+
+let responsiveness ?(seed = 19) ?(duration = 100.) ~mode () =
+  let burst_start = 45. and burst_stop = 75. in
+  let t = Scenario.create ~seed ~bottleneck_rate_bps:1_000_000. () in
+  let session =
+    Scenario.add_multicast t ~mode ~receivers:[ Scenario.receiver () ] ()
+  in
+  ignore
+    (Scenario.add_onoff_cbr t ~at:burst_start ~until:burst_stop
+       ~rate_bps:800_000. ~on_period:(burst_stop -. burst_start)
+       ~off_period:1.);
+  Scenario.run t ~seconds:duration;
+  let meter = Flid.receiver_meter (List.hd session.Scenario.receivers) in
+  {
+    multicast = smooth meter;
+    burst_start;
+    burst_stop;
+    before_kbps = Meter.mean_kbps meter ~lo:30. ~hi:burst_start;
+    during_kbps = Meter.mean_kbps meter ~lo:(burst_start +. 5.) ~hi:burst_stop;
+    after_kbps = Meter.mean_kbps meter ~lo:(burst_stop +. 10.) ~hi:duration;
+  }
+
+(* --- Figure 8f --------------------------------------------------------- *)
+
+let rtt_fairness ?(seed = 23) ?(duration = 200.) ?(receivers = 20) ~mode () =
+  (* RTT = 2 * (access + bottleneck(5 ms) + sender access(10 ms)); the
+     receiver access delay spreads RTTs over [30 ms, 220 ms]. *)
+  let bottleneck_delay_s = 0.005 in
+  let rtt_min = 0.030 and rtt_max = 0.220 in
+  let specs =
+    List.init receivers (fun i ->
+        let frac =
+          if receivers = 1 then 0.
+          else float_of_int i /. float_of_int (receivers - 1)
+        in
+        let rtt = rtt_min +. (frac *. (rtt_max -. rtt_min)) in
+        let access = (rtt /. 2.) -. bottleneck_delay_s -. Defaults.access_delay_s in
+        (rtt, Scenario.receiver ~access_delay_s:(Float.max 0.0001 access) ()))
+  in
+  let t =
+    Scenario.create ~seed ~bottleneck_delay_s
+      ~bottleneck_rate_bps:Defaults.fair_share_bps ()
+  in
+  let session =
+    Scenario.add_multicast t ~mode ~receivers:(List.map snd specs) ()
+  in
+  Scenario.run t ~seconds:duration;
+  List.map2
+    (fun (rtt, _) receiver ->
+      let meter = Flid.receiver_meter receiver in
+      (rtt *. 1000., Meter.mean_kbps meter ~lo:(duration /. 4.) ~hi:duration))
+    specs session.Scenario.receivers
+
+(* --- Figures 8g / 8h --------------------------------------------------- *)
+
+let convergence ?(seed = 29) ?(duration = 40.) ?(join_times = [ 0.; 10.; 20.; 30. ])
+    ~mode () =
+  let t =
+    Scenario.create ~seed ~bottleneck_rate_bps:Defaults.fair_share_bps ()
+  in
+  let session =
+    Scenario.add_multicast t ~mode
+      ~receivers:(List.map (fun at -> Scenario.receiver ~at ()) join_times)
+      ()
+  in
+  Scenario.run t ~seconds:duration;
+  List.map
+    (fun receiver ->
+      Meter.smoothed_kbps (Flid.receiver_meter receiver) ~window:3.0)
+    session.Scenario.receivers
+
+(* --- Incremental deployment (paper Section 3.2.3) ---------------------- *)
+
+type partial_result = {
+  protected_attacker_kbps : float;
+  unprotected_attacker_kbps : float;
+  honest_kbps : float;
+}
+
+let partial_deployment ?(seed = 37) ?(duration = 120.) ?(attack_at = 40.) () =
+  let module Sim = Mcc_engine.Sim in
+  let module Topology = Mcc_net.Topology in
+  let module Node = Mcc_net.Node in
+  let module Router_agent = Mcc_sigma.Router_agent in
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  let prng = Prng.create seed in
+  (* Left router, bottleneck, core fan-out to two edge routers: one runs
+     SIGMA, the other is a legacy IGMP router. *)
+  let left = Topology.add_node topo Node.Core_router in
+  let core = Topology.add_node topo Node.Core_router in
+  let edge_sigma = Topology.add_node topo Node.Edge_router in
+  let edge_legacy = Topology.add_node topo Node.Edge_router in
+  let bottleneck_rate = 750_000. (* 3 sessions x 250 kbps fair share *) in
+  let rtt = Defaults.path_rtt_s ~bottleneck_delay_s:0.02 ~access_delay_s:0.01 in
+  let buffer = Defaults.buffer_bytes ~bottleneck_rate_bps:bottleneck_rate ~rtt_s:rtt in
+  let connect ?(rate = Defaults.access_rate_bps) ?(delay = 0.01) a b =
+    ignore
+      (Topology.connect topo a b ~rate_bps:rate ~delay_s:delay
+         ~buffer_bytes:(Defaults.buffer_bytes ~bottleneck_rate_bps:rate ~rtt_s:rtt)
+         ())
+  in
+  ignore
+    (Topology.connect topo left core ~rate_bps:bottleneck_rate ~delay_s:0.02
+       ~buffer_bytes:buffer ());
+  connect core edge_sigma ~delay:0.005;
+  connect core edge_legacy ~delay:0.005;
+  let agent = Router_agent.attach topo edge_sigma in
+  ignore agent;
+  let host_behind edge =
+    let h = Topology.add_node topo Node.Host in
+    connect h edge;
+    h
+  in
+  let make_session ~id ~edge ~receiver_mode ~behavior =
+    let sender_host = Topology.add_node topo Node.Host in
+    connect sender_host left;
+    let layering = Defaults.layering () in
+    let config =
+      Flid.make_config ~id ~base_group:(0x7000 + (id * 32)) ~layering
+        ~slot_duration:Defaults.flid_ds_slot ~mode:Flid.Robust ()
+    in
+    let _sender =
+      Flid.sender_start topo ~node:sender_host ~prng:(Prng.split prng) config
+    in
+    (* A receiver behind a legacy router falls back to IGMP: model it as
+       a Plain-mode receiver of the same (Robust) session, exactly the
+       paper's incremental-deployment story. *)
+    let receiver_config = { config with Flid.mode = receiver_mode } in
+    let host = host_behind edge in
+    Flid.receiver_start ~behavior topo ~host ~prng:(Prng.split prng)
+      receiver_config
+  in
+  let protected_attacker =
+    make_session ~id:1 ~edge:edge_sigma ~receiver_mode:Flid.Robust
+      ~behavior:(Flid.Inflate_after attack_at)
+  in
+  let unprotected_attacker =
+    make_session ~id:2 ~edge:edge_legacy ~receiver_mode:Flid.Plain
+      ~behavior:(Flid.Inflate_after attack_at)
+  in
+  let honest =
+    make_session ~id:3 ~edge:edge_sigma ~receiver_mode:Flid.Robust
+      ~behavior:Flid.Well_behaved
+  in
+  Topology.compute_routes topo;
+  Sim.run_until sim duration;
+  let after r =
+    Meter.mean_kbps (Flid.receiver_meter r) ~lo:(attack_at +. 10.) ~hi:duration
+  in
+  {
+    protected_attacker_kbps = after protected_attacker;
+    unprotected_attacker_kbps = after unprotected_attacker;
+    honest_kbps = after honest;
+  }
+
+(* --- Figures 9a / 9b --------------------------------------------------- *)
+
+type overhead_point = {
+  x : float;
+  delta_analytic : float;
+  sigma_analytic : float;
+  delta_measured : float;
+  sigma_measured : float;
+}
+
+(* The paper's overhead experiment: cumulative rate R = 4 Mbps, minimal
+   group 100 Kbps, 500-byte (s = 4000 bits) packets, 16-bit keys, 8-bit
+   slot numbers, FEC overcoming 50% loss. *)
+let overhead_run ?(seed = 31) ?(duration = 30.) ~groups ~slot () =
+  let r = 100_000. and cumulative = 4_000_000. in
+  let factor =
+    if groups = 1 then 2.
+    else (cumulative /. r) ** (1. /. float_of_int (groups - 1))
+  in
+  let layering = Layering.make ~groups ~min_rate_bps:r ~factor in
+  let t =
+    Scenario.create ~seed ~bottleneck_rate_bps:(2. *. cumulative) ()
+  in
+  (* The overhead analysis uses 500-byte (s = 4000 bits) data packets. *)
+  let packet_size = 500 in
+  let session =
+    Scenario.add_multicast t ~mode:Flid.Robust ~slot ~layering ~packet_size
+      ~receivers:[ Scenario.receiver () ] ()
+  in
+  Scenario.run t ~seconds:duration;
+  let stats = Flid.sender_stats session.Scenario.sender in
+  let slots = max 1 stats.Flid.slots in
+  let upgrade_freq =
+    Array.init (max 0 (groups - 1)) (fun i ->
+        float_of_int stats.Flid.authorizations.(i + 1) /. float_of_int slots)
+  in
+  let params =
+    {
+      Overhead.groups;
+      min_rate_bps = r;
+      rate_factor = factor;
+      slot;
+      data_bits = packet_size * 8;
+      key_bits = 16;
+      slot_number_bits = 8;
+      fec_expansion = stats.Flid.fec_expansion;
+      header_bits =
+        (if slots = 0 then 0 else stats.Flid.sigma_header_bits / slots);
+      upgrade_freq;
+    }
+  in
+  let measured_delta =
+    if stats.Flid.data_bits = 0 then 0.
+    else float_of_int stats.Flid.delta_bits /. float_of_int stats.Flid.data_bits
+  in
+  let measured_sigma =
+    if stats.Flid.data_bits = 0 then 0.
+    else
+      float_of_int (stats.Flid.sigma_payload_bits + stats.Flid.sigma_header_bits)
+      /. float_of_int stats.Flid.data_bits
+  in
+  {
+    x = 0.;
+    delta_analytic = 100. *. Overhead.delta_overhead params;
+    sigma_analytic = 100. *. Overhead.sigma_overhead params;
+    delta_measured = 100. *. measured_delta;
+    sigma_measured = 100. *. measured_sigma;
+  }
+
+let overhead_vs_groups ?seed ?duration
+    ?(groups_list = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]) () =
+  List.map
+    (fun groups ->
+      let point = overhead_run ?seed ?duration ~groups ~slot:0.25 () in
+      { point with x = float_of_int groups })
+    groups_list
+
+let overhead_vs_slot ?seed ?duration
+    ?(slots = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
+  List.map
+    (fun slot ->
+      let point = overhead_run ?seed ?duration ~groups:10 ~slot () in
+      { point with x = slot })
+    slots

@@ -1,0 +1,133 @@
+(** One entry point per experiment figure of the paper (Figures 1, 7,
+    8a-8h, 9a, 9b).  Each function builds the paper's Section 5.1
+    setting, runs it, and returns the series/rows the figure plots.
+    Durations are parameters so tests can run abbreviated versions; the
+    defaults are the paper's. *)
+
+type series = (float * float) list
+
+(** {1 Figures 1 and 7: inflated subscription, plain and protected} *)
+
+type attack_result = {
+  f1 : series;  (** the (mis)behaving receiver, smoothed Kbps over time *)
+  f2 : series;
+  t1 : series;
+  t2 : series;
+  f1_before : float;  (** mean Kbps in the second half before the attack *)
+  f1_after : float;  (** mean Kbps over the attack period *)
+  f2_after : float;
+  t1_after : float;
+  t2_after : float;
+}
+
+val attack :
+  ?seed:int ->
+  ?duration:float ->
+  ?attack_at:float ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  attack_result
+(** Two multicast + two TCP sessions over a 1 Mbps bottleneck; receiver
+    F1 inflates its subscription from [attack_at] (default 100 s) on. *)
+
+(** {1 Figures 8a-8d: throughput vs number of sessions} *)
+
+type sweep_point = {
+  sessions : int;
+  individual_kbps : float list;  (** one entry per multicast receiver *)
+  average_kbps : float;
+}
+
+val throughput_vs_sessions :
+  ?seed:int ->
+  ?duration:float ->
+  ?cross_traffic:bool ->
+  mode:Mcc_mcast.Flid.mode ->
+  counts:int list ->
+  unit ->
+  sweep_point list
+(** [cross_traffic] adds one TCP flow per multicast session plus an
+    on-off CBR at 10% of the bottleneck (5 s periods) — Figure 8d. *)
+
+(** {1 Figure 8e: responsiveness} *)
+
+type responsiveness_result = {
+  multicast : series;  (** smoothed Kbps *)
+  burst_start : float;
+  burst_stop : float;
+  before_kbps : float;
+  during_kbps : float;
+  after_kbps : float;
+}
+
+val responsiveness :
+  ?seed:int -> ?duration:float -> mode:Mcc_mcast.Flid.mode -> unit ->
+  responsiveness_result
+(** One multicast session and an 800 Kbps on-off CBR active during
+    [45 s, 75 s] over a 1 Mbps bottleneck. *)
+
+(** {1 Figure 8f: heterogeneous round-trip times} *)
+
+val rtt_fairness :
+  ?seed:int ->
+  ?duration:float ->
+  ?receivers:int ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  (float * float) list
+(** One session, [receivers] (default 20) receivers whose RTTs spread
+    uniformly over [30 ms, 220 ms] (bottleneck delay 5 ms).  Returns
+    (rtt_ms, average Kbps) rows. *)
+
+(** {1 Figures 8g and 8h: subscription convergence} *)
+
+val convergence :
+  ?seed:int ->
+  ?duration:float ->
+  ?join_times:float list ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  series list
+(** One 250 Kbps-bottleneck session; receivers join at [join_times]
+    (default 0/10/20/30 s).  Returns one smoothed throughput series per
+    receiver. *)
+
+(** {1 Incremental deployment (paper Section 3.2.3)} *)
+
+type partial_result = {
+  protected_attacker_kbps : float;
+      (** inflating receiver behind a SIGMA edge router *)
+  unprotected_attacker_kbps : float;
+      (** the same attack behind a legacy IGMP router *)
+  honest_kbps : float;  (** a well-behaved receiver behind the SIGMA edge *)
+}
+
+val partial_deployment :
+  ?seed:int -> ?duration:float -> ?attack_at:float -> unit -> partial_result
+(** Three FLID-DS sessions share a 750 kbps bottleneck; two receivers
+    inflate at [attack_at], one behind each kind of edge router.  Even a
+    partial SIGMA deployment protects its own receivers (the protected
+    attacker stays near its fair share) while the legacy edge lets the
+    attack through. *)
+
+(** {1 Figures 9a and 9b: communication overhead} *)
+
+type overhead_point = {
+  x : float;  (** number of groups (9a) or slot duration (9b) *)
+  delta_analytic : float;  (** percent *)
+  sigma_analytic : float;
+  delta_measured : float;
+  sigma_measured : float;
+}
+
+val overhead_vs_groups :
+  ?seed:int -> ?duration:float -> ?groups_list:int list -> unit ->
+  overhead_point list
+(** FLID-DS session at cumulative rate 4 Mbps, 500-byte packets,
+    16-bit keys, t = 250 ms; N varies (default 2..20). *)
+
+val overhead_vs_slot :
+  ?seed:int -> ?duration:float -> ?slots:float list -> unit ->
+  overhead_point list
+(** Same session with N = 10 and the slot duration varying (default
+    0.2..1.0 s). *)

@@ -1,0 +1,63 @@
+let series fmt ~label points =
+  Format.fprintf fmt "# %s@." label;
+  List.iter (fun (x, y) -> Format.fprintf fmt "%.2f %.1f@." x y) points;
+  Format.fprintf fmt "@."
+
+let row fmt label pairs =
+  Format.fprintf fmt "%-28s" label;
+  List.iter (fun (name, v) -> Format.fprintf fmt " %s=%.1f" name v) pairs;
+  Format.fprintf fmt "@."
+
+let heading fmt title =
+  Format.fprintf fmt "@.=== %s ===@." title
+
+let attack fmt (r : Experiments.attack_result) =
+  row fmt "F1 (misbehaving)"
+    [ ("before", r.Experiments.f1_before); ("after", r.Experiments.f1_after) ];
+  row fmt "F2" [ ("after", r.Experiments.f2_after) ];
+  row fmt "T1" [ ("after", r.Experiments.t1_after) ];
+  row fmt "T2" [ ("after", r.Experiments.t2_after) ];
+  series fmt ~label:"F1 Kbps" r.Experiments.f1;
+  series fmt ~label:"F2 Kbps" r.Experiments.f2;
+  series fmt ~label:"T1 Kbps" r.Experiments.t1;
+  series fmt ~label:"T2 Kbps" r.Experiments.t2
+
+let sweep fmt points =
+  Format.fprintf fmt "# sessions individual... | average@.";
+  List.iter
+    (fun (p : Experiments.sweep_point) ->
+      Format.fprintf fmt "%2d " p.Experiments.sessions;
+      List.iter (fun v -> Format.fprintf fmt "%.0f " v) p.Experiments.individual_kbps;
+      Format.fprintf fmt "| avg %.1f@." p.Experiments.average_kbps)
+    points;
+  Format.fprintf fmt "@."
+
+let responsiveness fmt (r : Experiments.responsiveness_result) =
+  row fmt "multicast Kbps"
+    [
+      ("before", r.Experiments.before_kbps);
+      ("during-burst", r.Experiments.during_kbps);
+      ("after", r.Experiments.after_kbps);
+    ];
+  series fmt ~label:"multicast Kbps" r.Experiments.multicast
+
+let rtt fmt rows =
+  Format.fprintf fmt "# rtt_ms kbps@.";
+  List.iter (fun (x, y) -> Format.fprintf fmt "%.0f %.1f@." x y) rows;
+  Format.fprintf fmt "@."
+
+let convergence fmt receivers =
+  List.iteri
+    (fun i s -> series fmt ~label:(Printf.sprintf "receiver %d Kbps" (i + 1)) s)
+    receivers
+
+let overhead fmt ~x_label points =
+  Format.fprintf fmt "# %s delta%%(analytic) sigma%%(analytic) delta%%(measured) sigma%%(measured)@."
+    x_label;
+  List.iter
+    (fun (p : Experiments.overhead_point) ->
+      Format.fprintf fmt "%5.2f  %.3f %.3f  %.3f %.3f@." p.Experiments.x
+        p.Experiments.delta_analytic p.Experiments.sigma_analytic
+        p.Experiments.delta_measured p.Experiments.sigma_measured)
+    points;
+  Format.fprintf fmt "@."

@@ -1,0 +1,18 @@
+(** Uniform printing of experiment results: gnuplot-style series blocks
+    and aligned summary rows, matching what the paper's figures plot. *)
+
+val series :
+  Format.formatter -> label:string -> (float * float) list -> unit
+(** A "# label" header followed by "x y" rows and a blank line. *)
+
+val row : Format.formatter -> string -> (string * float) list -> unit
+(** One labelled summary row of name/value pairs. *)
+
+val heading : Format.formatter -> string -> unit
+
+val attack : Format.formatter -> Experiments.attack_result -> unit
+val sweep : Format.formatter -> Experiments.sweep_point list -> unit
+val responsiveness : Format.formatter -> Experiments.responsiveness_result -> unit
+val rtt : Format.formatter -> (float * float) list -> unit
+val convergence : Format.formatter -> Experiments.series list -> unit
+val overhead : Format.formatter -> x_label:string -> Experiments.overhead_point list -> unit

@@ -1,0 +1,248 @@
+module Sim = Mcc_engine.Sim
+module Node = Mcc_net.Node
+module Link = Mcc_net.Link
+module Packet = Mcc_net.Packet
+module Prng = Mcc_util.Prng
+module Flid = Mcc_mcast.Flid
+module Layering = Mcc_mcast.Layering
+module Router_agent = Mcc_sigma.Router_agent
+module Tcp = Mcc_transport.Tcp
+module On_off = Mcc_transport.On_off
+module Field = Mcc_delta.Field
+module Ecn = Mcc_delta.Ecn
+
+type receiver_spec = {
+  start_at : float;
+  behavior : Flid.behavior;
+  access_delay_s : float option;
+  access_rate_bps : float option;
+}
+
+let receiver ?(at = 0.) ?(behavior = Flid.Well_behaved) ?access_delay_s
+    ?access_rate_bps () =
+  { start_at = at; behavior; access_delay_s; access_rate_bps }
+
+type session = {
+  config : Flid.config;
+  sender : Flid.sender;
+  receivers : Flid.receiver list;
+}
+
+type t = {
+  sim : Sim.t;
+  db : Dumbbell.t;
+  prng : Prng.t;
+  agent_config : Router_agent.config;
+  mutable next_session : int;
+  mutable next_base_group : int;
+  mutable agent : Router_agent.t option;
+  mutable tcp_flows : int;
+  mutable routed : bool;
+}
+
+let create ?(seed = 42) ?bottleneck_delay_s ?ecn ?packet_buffer
+    ?(agent_config = Router_agent.default_config) ~bottleneck_rate_bps () =
+  let sim = Sim.create () in
+  let db =
+    Dumbbell.create ?bottleneck_delay_s ?ecn ?packet_buffer sim
+      ~bottleneck_rate_bps ()
+  in
+  {
+    sim;
+    db;
+    prng = Prng.create seed;
+    agent_config;
+    next_session = 1;
+    next_base_group = 0x1000;
+    agent = None;
+    tcp_flows = 0;
+    routed = false;
+  }
+
+let sim t = t.sim
+let dumbbell t = t.db
+let agent t = t.agent
+
+(* Component transform for FLID payloads, installed on the SIGMA agent.
+   Marked copies get a fresh random component (ECN scrub); with
+   interface-specific keys enabled every other copy is XOR-padded and
+   the pad recorded so the agent can map the interface's lower keys back
+   to the sender's upper keys (paper Section 4.2).  The payload is
+   replaced, never mutated: multicast branches share it. *)
+let transform agent prng (link : Link.t) pkt =
+  match pkt.Packet.payload with
+  | Flid.Data ({ delta = Some f; group = _; slot; _ } as d) ->
+      let width = Mcc_delta.Key.default_width in
+      if pkt.Packet.ecn then begin
+        let fresh =
+          Field.make
+            ~component:(Ecn.scrubbed_component prng ~width f.Field.component)
+            ~decrease:f.Field.decrease
+        in
+        pkt.Packet.payload <- Flid.Data { d with delta = Some fresh }
+      end
+      else if Router_agent.interface_keys_enabled agent then begin
+        match pkt.Packet.dst with
+        | Packet.Multicast addr ->
+            let pad = Mcc_delta.Key.nonce prng ~width in
+            let fresh =
+              Field.make
+                ~component:(Mcc_delta.Key.xor f.Field.component pad)
+                ~decrease:f.Field.decrease
+            in
+            pkt.Packet.payload <- Flid.Data { d with delta = Some fresh };
+            Router_agent.note_pad agent ~link_id:link.Link.id ~group:addr
+              ~guarded_slot:(slot + 2) ~pad
+        | Packet.Unicast _ -> ()
+      end
+  | _ -> ()
+
+let ensure_agent t =
+  match t.agent with
+  | Some agent -> agent
+  | None ->
+      let agent =
+        Router_agent.attach ~config:t.agent_config t.db.Dumbbell.topo
+          t.db.Dumbbell.right
+      in
+      let scrub_prng = Prng.split t.prng in
+      Router_agent.set_scrubber agent (transform agent scrub_prng);
+      t.agent <- Some agent;
+      agent
+
+let add_multicast ?slot ?layering ?fec_scheme ?packet_size t ~mode ~receivers () =
+  let layering = match layering with Some l -> l | None -> Defaults.layering () in
+  let slot =
+    match slot with
+    | Some s -> s
+    | None -> (
+        match mode with
+        | Flid.Plain -> Defaults.flid_dl_slot
+        | Flid.Robust -> Defaults.flid_ds_slot)
+  in
+  (match mode with Flid.Robust -> ignore (ensure_agent t) | Flid.Plain -> ());
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let base_group = t.next_base_group in
+  t.next_base_group <- base_group + layering.Layering.groups;
+  let config =
+    Flid.make_config ?fec_scheme ?packet_size ~id ~base_group ~layering
+      ~slot_duration:slot ~mode ()
+  in
+  let sender_host = Dumbbell.add_sender t.db in
+  let sender =
+    Flid.sender_start t.db.Dumbbell.topo ~node:sender_host
+      ~prng:(Prng.split t.prng) config
+  in
+  let receivers =
+    List.map
+      (fun spec ->
+        let host =
+          Dumbbell.add_receiver ?delay_s:spec.access_delay_s
+            ?rate_bps:spec.access_rate_bps t.db
+        in
+        Flid.receiver_start ~at:spec.start_at ~behavior:spec.behavior
+          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) config)
+      receivers
+  in
+  { config; sender; receivers }
+
+type replicated_session = {
+  rep_config : Mcc_mcast.Replicated_proto.config;
+  rep_sender : Mcc_mcast.Replicated_proto.sender;
+  rep_receivers : Mcc_mcast.Replicated_proto.receiver list;
+}
+
+let fresh_session t ~groups =
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let base_group = t.next_base_group in
+  t.next_base_group <- base_group + groups;
+  (id, base_group)
+
+let add_replicated ?slot ?layering t ~mode ~receivers () =
+  let module Rep = Mcc_mcast.Replicated_proto in
+  let layering =
+    match layering with Some l -> l | None -> Defaults.layering ()
+  in
+  let slot = Option.value slot ~default:Defaults.flid_ds_slot in
+  (match mode with Flid.Robust -> ignore (ensure_agent t) | Flid.Plain -> ());
+  let id, base_group = fresh_session t ~groups:layering.Layering.groups in
+  let config =
+    Rep.make_config ~id ~base_group ~layering ~slot_duration:slot ~mode ()
+  in
+  let sender_host = Dumbbell.add_sender t.db in
+  let sender =
+    Rep.sender_start t.db.Dumbbell.topo ~node:sender_host
+      ~prng:(Prng.split t.prng) config
+  in
+  let rep_receivers =
+    List.map
+      (fun spec ->
+        let host =
+          Dumbbell.add_receiver ?delay_s:spec.access_delay_s
+            ?rate_bps:spec.access_rate_bps t.db
+        in
+        Rep.receiver_start ~at:spec.start_at ~behavior:spec.behavior
+          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) config)
+      receivers
+  in
+  { rep_config = config; rep_sender = sender; rep_receivers }
+
+type rlm_session = {
+  rlm_config : Mcc_mcast.Rlm_like.config;
+  rlm_sender : Mcc_mcast.Rlm_like.sender;
+  rlm_receivers : Mcc_mcast.Rlm_like.receiver list;
+}
+
+let add_rlm ?slot ?layering ?policy t ~mode ~receivers () =
+  let module Rlm = Mcc_mcast.Rlm_like in
+  let layering =
+    match layering with Some l -> l | None -> Defaults.layering ()
+  in
+  let slot = Option.value slot ~default:Defaults.flid_ds_slot in
+  (match mode with Flid.Robust -> ignore (ensure_agent t) | Flid.Plain -> ());
+  let id, base_group = fresh_session t ~groups:layering.Layering.groups in
+  let config =
+    Rlm.make_config ?policy ~id ~base_group ~layering ~slot_duration:slot
+      ~mode ()
+  in
+  let sender_host = Dumbbell.add_sender t.db in
+  let sender =
+    Rlm.sender_start t.db.Dumbbell.topo ~node:sender_host
+      ~prng:(Prng.split t.prng) config
+  in
+  let rlm_receivers =
+    List.map
+      (fun spec ->
+        let host =
+          Dumbbell.add_receiver ?delay_s:spec.access_delay_s
+            ?rate_bps:spec.access_rate_bps t.db
+        in
+        Rlm.receiver_start ~at:spec.start_at t.db.Dumbbell.topo ~host
+          ~prng:(Prng.split t.prng) config)
+      receivers
+  in
+  { rlm_config = config; rlm_sender = sender; rlm_receivers }
+
+let add_tcp ?(at = 0.) t =
+  t.tcp_flows <- t.tcp_flows + 1;
+  let src = Dumbbell.add_sender t.db in
+  let dst = Dumbbell.add_receiver t.db in
+  Tcp.start ~at t.db.Dumbbell.topo ~flow:t.tcp_flows ~src ~dst ()
+
+let add_onoff_cbr ?(at = 0.) ?until t ~rate_bps ~on_period ~off_period =
+  let src = Dumbbell.add_sender t.db in
+  let dst = Dumbbell.add_receiver t.db in
+  On_off.start ~at ?until t.db.Dumbbell.topo ~src
+    ~dst:(Packet.Unicast dst.Node.id) ~rate_bps ~size:Defaults.packet_size
+    ~on_period ~off_period ()
+
+let run t ~seconds =
+  if not t.routed then begin
+    Dumbbell.finalize t.db;
+    t.routed <- true
+  end;
+  Sim.run_until t.sim seconds
+
+let bottleneck_drops t = t.db.Dumbbell.forward.Link.drops

@@ -1,0 +1,112 @@
+(** Scenario builder: composes a dumbbell, multicast sessions (FLID-DL
+    or FLID-DS), TCP and CBR cross traffic, and the SIGMA edge-router
+    agent, then runs the simulation.
+
+    Everything stochastic draws from a single seed, so a scenario is a
+    pure function of its parameters. *)
+
+type receiver_spec = {
+  start_at : float;
+  behavior : Mcc_mcast.Flid.behavior;
+  access_delay_s : float option;  (** overrides the default 10 ms *)
+  access_rate_bps : float option;
+      (** overrides the default 10 Mbps: a capacity-limited receiver *)
+}
+
+val receiver : ?at:float -> ?behavior:Mcc_mcast.Flid.behavior ->
+  ?access_delay_s:float -> ?access_rate_bps:float -> unit -> receiver_spec
+
+type session = {
+  config : Mcc_mcast.Flid.config;
+  sender : Mcc_mcast.Flid.sender;
+  receivers : Mcc_mcast.Flid.receiver list;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?bottleneck_delay_s:float ->
+  ?ecn:bool ->
+  ?packet_buffer:bool ->
+  ?agent_config:Mcc_sigma.Router_agent.config ->
+  bottleneck_rate_bps:float ->
+  unit ->
+  t
+
+val sim : t -> Mcc_engine.Sim.t
+val dumbbell : t -> Dumbbell.t
+val agent : t -> Mcc_sigma.Router_agent.t option
+(** The SIGMA agent on the right edge router; installed as soon as the
+    first robust session is added. *)
+
+val add_multicast :
+  ?slot:float ->
+  ?layering:Mcc_mcast.Layering.t ->
+  ?fec_scheme:Mcc_sigma.Fec.scheme ->
+  ?packet_size:int ->
+  t ->
+  mode:Mcc_mcast.Flid.mode ->
+  receivers:receiver_spec list ->
+  unit ->
+  session
+(** Adds a sender host on the left, one receiver host per spec on the
+    right, and starts the protocol.  Default slot duration: 500 ms for
+    FLID-DL, 250 ms for FLID-DS (paper Section 5.1). *)
+
+type replicated_session = {
+  rep_config : Mcc_mcast.Replicated_proto.config;
+  rep_sender : Mcc_mcast.Replicated_proto.sender;
+  rep_receivers : Mcc_mcast.Replicated_proto.receiver list;
+}
+
+val add_replicated :
+  ?slot:float ->
+  ?layering:Mcc_mcast.Layering.t ->
+  t ->
+  mode:Mcc_mcast.Flid.mode ->
+  receivers:receiver_spec list ->
+  unit ->
+  replicated_session
+(** A replicated-multicast session (paper Fig. 5 instantiation) on the
+    same dumbbell; shares the SIGMA agent with any FLID-DS session. *)
+
+type rlm_session = {
+  rlm_config : Mcc_mcast.Rlm_like.config;
+  rlm_sender : Mcc_mcast.Rlm_like.sender;
+  rlm_receivers : Mcc_mcast.Rlm_like.receiver list;
+}
+
+val add_rlm :
+  ?slot:float ->
+  ?layering:Mcc_mcast.Layering.t ->
+  ?policy:Mcc_mcast.Rlm_like.policy ->
+  t ->
+  mode:Mcc_mcast.Flid.mode ->
+  receivers:receiver_spec list ->
+  unit ->
+  rlm_session
+(** A threshold-protocol session (RLM-like; [policy] picks the ladder or
+    the WEBRC-style equation receiver).  Receiver behaviours in the
+    specs are ignored: only well-behaved threshold receivers are
+    modelled. *)
+
+val add_tcp : ?at:float -> t -> Mcc_transport.Tcp.t
+(** One TCP Reno flow left to right; returns the flow (its meter gives
+    the receiver throughput). *)
+
+val add_onoff_cbr :
+  ?at:float ->
+  ?until:float ->
+  t ->
+  rate_bps:float ->
+  on_period:float ->
+  off_period:float ->
+  Mcc_transport.On_off.t
+(** On-off CBR cross traffic left to right. *)
+
+val run : t -> seconds:float -> unit
+(** Computes routes and executes the simulation to the horizon.  May be
+    called repeatedly with growing horizons. *)
+
+val bottleneck_drops : t -> int

@@ -1,0 +1,9 @@
+let scrubbed_component prng ~width original =
+  let rec fresh () =
+    let c = Key.nonce prng ~width in
+    if c = original then fresh () else c
+  in
+  fresh ()
+
+let scrub prng ~width (field : Field.t) =
+  field.Field.component <- scrubbed_component prng ~width field.Field.component

@@ -1,0 +1,7 @@
+type t = { mutable component : Key.t; decrease : Key.t option }
+
+let make ~component ~decrease = { component; decrease }
+
+let wire_bytes ~width t =
+  let per = Key.field_bytes ~width in
+  match t.decrease with None -> per | Some _ -> 2 * per

@@ -1,0 +1,17 @@
+(** The DELTA fields a protocol embeds in each multicast data packet:
+    one component field per packet, plus a decrease field on packets of
+    every group above the minimal one.
+
+    [component] is mutable because trusted edge routers scrub it on
+    ECN-marked packets (paper Section 3.1.2, "Congestion notification"),
+    and each multicast branch forwards its own packet copy. *)
+
+type t = {
+  mutable component : Key.t;
+  decrease : Key.t option;  (** [d_g]: the decrease key of group g-1 *)
+}
+
+val make : component:Key.t -> decrease:Key.t option -> t
+
+val wire_bytes : width:int -> t -> int
+(** Bytes this field block adds to the packet. *)

@@ -1,0 +1,24 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion order so that events scheduled for the
+    same instant fire first-in first-out, which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a NaN time. *)
+
+val peek_time : 'a t -> float option
+(** Earliest event time, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val clear : 'a t -> unit

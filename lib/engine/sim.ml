@@ -1,0 +1,68 @@
+type handle = { mutable cancelled : bool; mutable fire : unit -> unit }
+
+type t = {
+  queue : handle Event_queue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.; executed = 0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
+  let h = { cancelled = false; fire = f } in
+  Event_queue.push t.queue ~time:at h;
+  h
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+let cancelled h = h.cancelled
+
+let every t ~start ~period f =
+  if period <= 0. then invalid_arg "Sim.every: period <= 0";
+  (* The outer handle stands for the whole periodic task: cancelling it
+     prevents both the pending tick and all future rescheduling. *)
+  let outer = { cancelled = false; fire = (fun () -> ()) } in
+  let rec tick at () =
+    if not outer.cancelled then begin
+      f ();
+      if not outer.cancelled then begin
+        let next = at +. period in
+        ignore (schedule t ~at:next (tick next))
+      end
+    end
+  in
+  outer.fire <- (fun () -> ());
+  ignore (schedule t ~at:start (tick start));
+  outer
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+      t.clock <- time;
+      if not h.cancelled then begin
+        t.executed <- t.executed + 1;
+        h.fire ()
+      end;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- max t.clock horizon
+
+let run t = while step t do () done
+let events_executed t = t.executed

@@ -1,0 +1,41 @@
+(** Discrete-event simulation driver: a virtual clock plus an event
+    queue of callbacks.  All network components schedule their work
+    through one [Sim.t], so a run is single-threaded and deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** Schedule a callback at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule a callback [delay] seconds from now ([delay >= 0]). *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val every : t -> start:float -> period:float -> (unit -> unit) -> handle
+(** Periodic task: fires at [start], [start+period], ...  Cancelling the
+    returned handle stops future firings.  @raise Invalid_argument if
+    [period <= 0]. *)
+
+val run_until : t -> float -> unit
+(** Execute events in time order until the queue is empty or the next
+    event is later than the horizon; the clock ends at the horizon. *)
+
+val run : t -> unit
+(** Execute until the queue drains.  Periodic tasks never drain, so most
+    callers want [run_until]. *)
+
+val events_executed : t -> int
+(** Total callbacks fired so far (observability / benchmarks). *)

@@ -1,0 +1,162 @@
+(** FLID-DL and FLID-DS: cumulative layered multicast congestion
+    control, without and with the paper's DELTA + SIGMA protection.
+
+    A session has N groups carrying layers at multiplicatively growing
+    cumulative rates.  Time is divided into sender-driven slots; every
+    data packet names its (group, slot, sequence) coordinates, flags the
+    group's last packet of the slot, and carries the slot's upgrade
+    authorization mask.  A receiver that loses any packet of its
+    subscription during a slot is congested and drops its top layer; an
+    uncongested receiver may add a layer when the mask authorizes an
+    upgrade to the next level (paper Section 3.1.1 subscription rules).
+
+    In [Robust] mode ([FLID-DS]) every packet additionally carries DELTA
+    component and decrease fields for the keys of slot s+2, the sender
+    distributes address-key tuples to edge routers through SIGMA special
+    packets, and receivers must present reconstructed keys to their edge
+    router each slot.  In [Plain] mode ([FLID-DL]) group membership is
+    plain IGMP-style join/leave, which is what the inflated-subscription
+    attack exploits. *)
+
+type mode = Plain | Robust
+
+type config = {
+  id : int;  (** session id *)
+  base_group : int;  (** address of group 1; group g is base + g - 1 *)
+  layering : Layering.t;
+  slot_duration : float;
+  packet_size : int;  (** data bytes per packet (the paper's 576) *)
+  width : int;  (** DELTA key width in bits *)
+  mode : mode;
+  upgrade_period : int -> int;
+      (** slots between upgrade authorizations to level g *)
+  processing_margin : float;
+      (** Evaluation is normally self-clocked: a slot is processed as
+          soon as every subscribed group delivered its flagged last
+          packet or a packet of a later slot (the FIFO path guarantees
+          nothing is still in flight).  This margin — a fraction of a
+          slot — is the wall-clock fallback for groups that went
+          completely silent; packets arriving after it count as lost,
+          as in FLID-DL. *)
+  fec_scheme : Mcc_sigma.Fec.scheme;
+}
+
+val make_config :
+  ?packet_size:int ->
+  ?width:int ->
+  ?upgrade_period:(int -> int) ->
+  ?processing_margin:float ->
+  ?fec_scheme:Mcc_sigma.Fec.scheme ->
+  id:int ->
+  base_group:int ->
+  layering:Layering.t ->
+  slot_duration:float ->
+  mode:mode ->
+  unit ->
+  config
+(** The default upgrade period to level g is
+    [max 2 (ceil (R_g / R_1))] slots: probing slows multiplicatively at
+    higher levels.  Default fallback margin 0.9 — larger than the worst
+    drop-tail queueing delay (two RTTs with the paper's buffers), so a
+    merely-delayed slot is never misread as silence.  FEC
+    [Repetition 2]. *)
+
+val group_addr : config -> int -> int
+(** Address of group [g] (1-based). *)
+
+val default_upgrade_period : Layering.t -> int -> int
+(** [max 2 (ceil (R_g / R_1))] slots between authorizations to level g;
+    shared with the other multi-group protocols in this library. *)
+
+type Mcc_net.Payload.t +=
+  | Data of {
+      session : int;
+      group : int;  (** 1-based group index *)
+      slot : int;
+      seq : int;  (** per-group sequence within the slot, from 0 *)
+      last : bool;  (** group's final packet of the slot *)
+      upgrade_mask : int;  (** bit g-1 set: upgrade to level g authorized *)
+      delta : Mcc_delta.Field.t option;  (** present in [Robust] mode *)
+    }
+
+(** {1 Sender} *)
+
+type sender_stats = {
+  mutable slots : int;
+  mutable data_bits : int;
+  mutable delta_bits : int;
+  mutable sigma_payload_bits : int;
+  mutable sigma_header_bits : int;
+  mutable sigma_packets : int;
+  mutable authorizations : int array;
+      (** [authorizations.(g-1)]: slots that authorized an upgrade to g *)
+  mutable fec_expansion : float;  (** z of the last slot's encoding *)
+}
+
+type sender
+
+val sender_start :
+  ?at:float ->
+  Mcc_net.Topology.t ->
+  node:Mcc_net.Node.t ->
+  prng:Mcc_util.Prng.t ->
+  config ->
+  sender
+(** Registers the session's groups with the topology and begins slot
+    ticking and per-group emission at [at] (default 0). *)
+
+val sender_stats : sender -> sender_stats
+val sender_stop : sender -> unit
+
+val sender_keys_for_slot :
+  sender -> slot:int -> Mcc_delta.Layered.keys option
+(** Keys guarding [slot] (Robust mode; the two most recent slots are
+    retained).  Exposed for tests. *)
+
+(** {1 Receivers} *)
+
+type behavior =
+  | Well_behaved
+  | Inflate_after of float
+      (** misbehave from the given time on: a [Plain] receiver joins
+          every group; a [Robust] receiver submits its eligible keys
+          plus random guesses for all higher groups *)
+
+type receiver
+
+val receiver_start :
+  ?at:float ->
+  ?behavior:behavior ->
+  Mcc_net.Topology.t ->
+  host:Mcc_net.Node.t ->
+  prng:Mcc_util.Prng.t ->
+  config ->
+  receiver
+
+val receiver_meter : receiver -> Mcc_util.Meter.t
+(** Bytes of session data reaching the receiver's host. *)
+
+val receiver_level : receiver -> int
+(** Current subscription level (what the receiver believes). *)
+
+val level_series : receiver -> Mcc_util.Series.t
+(** (time, level) samples recorded at every level change. *)
+
+val congestion_events : receiver -> int
+
+val receiver_stop : receiver -> unit
+(** Freezes the receiver (no further evaluation or subscriptions);
+    group membership decays via key expiry.  For an orderly departure
+    use {!receiver_leave}. *)
+
+val receiver_leave : receiver -> unit
+(** The paper's explicit unsubscription (Section 3.2.2, Figure 6c): the
+    receiver leaves all its groups at once — an unsubscription message
+    under SIGMA, IGMP leaves otherwise — and stops. *)
+
+val set_colluder : receiver -> source:receiver -> unit
+(** Turns the receiver into a colluder (paper Section 4.2): every slot
+    it replays the (slot, key) submissions its accomplice [source] —
+    typically a receiver behind a cleaner path — last made, instead of
+    reconstructing keys from its own reception.  Defeated by the SIGMA
+    agent's [interface_keys] option, which makes keys interface-specific. *)

@@ -1,0 +1,29 @@
+(** Rate structure of a multi-group session.
+
+    The paper's sessions are cumulative layered: subscription level g
+    receives groups 1..g at cumulative rate R_g = r * m^(g-1) (Eq. 10),
+    so group g alone carries R_g - R_(g-1).  The same record describes a
+    replicated session, where level g is the single group g at rate
+    R_g. *)
+
+type t = {
+  groups : int;  (** N *)
+  min_rate_bps : float;  (** r: rate of group 1 / the minimal level *)
+  factor : float;  (** m: multiplicative growth per level *)
+}
+
+val make : groups:int -> min_rate_bps:float -> factor:float -> t
+(** @raise Invalid_argument on non-positive parameters or factor <= 1. *)
+
+val cumulative_rate : t -> level:int -> float
+(** R_g; [level] in 1..N.  [cumulative_rate ~level:0] is 0. *)
+
+val layer_rate : t -> group:int -> float
+(** R_g - R_(g-1): what group g alone transmits in a layered session. *)
+
+val fair_level : t -> rate_bps:float -> int
+(** The highest level whose cumulative rate fits within [rate_bps];
+    0 if even the minimal level exceeds it. *)
+
+val top_rate : t -> float
+(** R_N, the session's full cumulative rate. *)

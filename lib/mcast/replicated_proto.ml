@@ -1,0 +1,513 @@
+module Sim = Mcc_engine.Sim
+module Node = Mcc_net.Node
+module Packet = Mcc_net.Packet
+module Payload = Mcc_net.Payload
+module Topology = Mcc_net.Topology
+module Multicast = Mcc_net.Multicast
+module Meter = Mcc_util.Meter
+module Series = Mcc_util.Series
+module Prng = Mcc_util.Prng
+module Key = Mcc_delta.Key
+module Field = Mcc_delta.Field
+module Replicated = Mcc_delta.Replicated
+module Tuple = Mcc_sigma.Tuple
+module Special = Mcc_sigma.Special
+module Client = Mcc_sigma.Client
+
+type config = {
+  id : int;
+  base_group : int;
+  layering : Layering.t;
+  slot_duration : float;
+  packet_size : int;
+  width : int;
+  mode : Flid.mode;
+  upgrade_period : int -> int;
+  processing_margin : float;
+}
+
+let make_config ?(packet_size = 576) ?(width = Key.default_width)
+    ?upgrade_period ?(processing_margin = 0.9) ~id ~base_group ~layering
+    ~slot_duration ~mode () =
+  if slot_duration <= 0. then
+    invalid_arg "Replicated_proto.make_config: slot_duration";
+  let upgrade_period =
+    match upgrade_period with
+    | Some f -> f
+    | None -> Flid.default_upgrade_period layering
+  in
+  {
+    id;
+    base_group;
+    layering;
+    slot_duration;
+    packet_size;
+    width;
+    mode;
+    upgrade_period;
+    processing_margin;
+  }
+
+let group_addr config g = config.base_group + g - 1
+
+type Payload.t +=
+  | Rep_data of {
+      session : int;
+      group : int;
+      slot : int;
+      seq : int;
+      last : bool;
+      upgrade_mask : int;
+      delta : Field.t option;
+    }
+
+let () =
+  Payload.register_pp (fun fmt -> function
+    | Rep_data { session; group; slot; seq; _ } ->
+        Format.fprintf fmt "rep s%d g%d slot%d #%d" session group slot seq;
+        true
+    | _ -> false)
+
+let mask_bit mask g = mask land (1 lsl (g - 1)) <> 0
+
+(* ----------------------------------------------------------------- *)
+(* Sender                                                            *)
+(* ----------------------------------------------------------------- *)
+
+type sender = {
+  s_config : config;
+  s_topo : Topology.t;
+  s_node : Node.t;
+  s_prng : Prng.t;
+  mutable s_slot : int;
+  s_credits : float array;
+  mutable s_keys : (int * Replicated.keys) list;
+  mutable s_tick : Sim.handle option;
+  mutable s_stopped : bool;
+}
+
+let sender_stop s =
+  s.s_stopped <- true;
+  match s.s_tick with Some h -> Sim.cancel h | None -> ()
+
+let sender_keys_for_slot s ~slot = List.assoc_opt slot s.s_keys
+
+let upgrade_mask config slot =
+  let n = config.layering.Layering.groups in
+  let mask = ref 0 in
+  for g = 2 to n do
+    if (slot + g) mod config.upgrade_period g = 0 then
+      mask := !mask lor (1 lsl (g - 1))
+  done;
+  !mask
+
+let emit s ~group ~slot ~seq ~last ~mask ~delta () =
+  if not s.s_stopped then begin
+    let config = s.s_config in
+    let field_bytes =
+      match delta with
+      | Some f -> Field.wire_bytes ~width:config.width f
+      | None -> 0
+    in
+    Node.originate s.s_node
+      (Packet.make ~src:s.s_node.Node.id
+         ~dst:(Packet.Multicast (group_addr config group))
+         ~size:(config.packet_size + field_bytes)
+         (Rep_data
+            { session = config.id; group; slot; seq; last; upgrade_mask = mask;
+              delta }))
+  end
+
+let sender_slot_tick s () =
+  let config = s.s_config in
+  let sim = Topology.sim s.s_topo in
+  let tick_now = Sim.now sim in
+  let n = config.layering.Layering.groups in
+  let slot = s.s_slot in
+  s.s_slot <- slot + 1;
+  let mask = upgrade_mask config slot in
+  let delta_state =
+    match config.mode with
+    | Flid.Plain -> None
+    | Flid.Robust ->
+        let upgrades = Array.init n (fun i -> i >= 1 && mask_bit mask (i + 1)) in
+        let st =
+          Replicated.sender_create ~prng:s.s_prng ~width:config.width ~groups:n
+            ~upgrades
+        in
+        let keys = Replicated.sender_keys st in
+        let guarded = slot + 2 in
+        s.s_keys <- (guarded, keys) :: List.filteri (fun i _ -> i < 3) s.s_keys;
+        let tuples =
+          List.init n (fun i ->
+              let g = i + 1 in
+              Tuple.make ~group:(group_addr config g) ~slot:guarded
+                ~keys:(Replicated.valid_keys keys ~group:g) ~minimal:(g = 1))
+        in
+        ignore
+          (Special.distribute s.s_topo ~sender:s.s_node ~session:config.id
+             ~via_group:(group_addr config 1) ~width:config.width ~slot:guarded
+             ~slot_duration:config.slot_duration ~tuples ());
+        Some st
+  in
+  for g = 1 to n do
+    (* Each group carries the full content: group g transmits at the
+       cumulative rate R_g, not a layer residue. *)
+    let rate = Layering.cumulative_rate config.layering ~level:g in
+    s.s_credits.(g - 1) <-
+      s.s_credits.(g - 1)
+      +. (rate *. config.slot_duration /. float_of_int (config.packet_size * 8));
+    let count = max 1 (int_of_float s.s_credits.(g - 1)) in
+    s.s_credits.(g - 1) <- s.s_credits.(g - 1) -. float_of_int count;
+    let spacing = config.slot_duration /. float_of_int count in
+    let phase = float_of_int g /. float_of_int (n + 1) *. spacing in
+    for i = 0 to count - 1 do
+      let last = i = count - 1 in
+      let delta () =
+        match delta_state with
+        | Some st ->
+            Some
+              (Field.make
+                 ~component:(Replicated.next_component st ~group:g ~last)
+                 ~decrease:(Replicated.decrease_field st ~group:g))
+        | None -> None
+      in
+      ignore
+        (Sim.schedule sim
+           ~at:(tick_now +. phase +. (float_of_int i *. spacing))
+           (fun () -> emit s ~group:g ~slot ~seq:i ~last ~mask ~delta:(delta ()) ()))
+    done
+  done
+
+let sender_start ?(at = 0.) topo ~node ~prng config =
+  let n = config.layering.Layering.groups in
+  for g = 1 to n do
+    Topology.register_group topo ~group:(group_addr config g) ~source:node
+  done;
+  let s =
+    {
+      s_config = config;
+      s_topo = topo;
+      s_node = node;
+      s_prng = prng;
+      s_slot = 0;
+      s_credits = Array.make n 0.;
+      s_keys = [];
+      s_tick = None;
+      s_stopped = false;
+    }
+  in
+  s.s_tick <-
+    Some
+      (Sim.every (Topology.sim topo) ~start:at ~period:config.slot_duration
+         (sender_slot_tick s));
+  s
+
+(* ----------------------------------------------------------------- *)
+(* Receiver                                                          *)
+(* ----------------------------------------------------------------- *)
+
+type slot_rec = {
+  mutable count : int;
+  mutable last_seq : int option;
+  mutable saw_last : bool;
+  mutable mask : int;
+  delta_recv : Replicated.receiver option;
+}
+
+type receiver = {
+  r_config : config;
+  r_topo : Topology.t;
+  r_host : Node.t;
+  r_behavior : Flid.behavior;
+  r_prng : Prng.t;
+  r_meter : Meter.t;
+  r_series : Series.t;
+  mutable r_group : int;  (* currently subscribed group; 0 = re-admitting *)
+  mutable r_active_since : int;  (* first slot the group is evaluated for *)
+  r_slots : (int, slot_rec) Hashtbl.t;
+  mutable r_base : float;
+  mutable r_synced : bool;
+  mutable r_next_eval : int;
+  mutable r_highest : int;  (* highest slot seen on the current group *)
+  r_client : Client.t option;
+  mutable r_misbehaving : bool;
+  mutable r_joined_all : bool;
+  mutable r_stopped : bool;
+}
+
+let receiver_meter r = r.r_meter
+let receiver_group r = r.r_group
+let group_series r = r.r_series
+let receiver_stop r = r.r_stopped <- true
+
+let slot_rec r slot =
+  match Hashtbl.find_opt r.r_slots slot with
+  | Some rec_ -> rec_
+  | None ->
+      let rec_ =
+        {
+          count = 0;
+          last_seq = None;
+          saw_last = false;
+          mask = 0;
+          delta_recv =
+            (match r.r_config.mode with
+            | Flid.Robust ->
+                Some
+                  (Replicated.receiver_create
+                     ~groups:r.r_config.layering.Layering.groups)
+            | Flid.Plain -> None);
+        }
+      in
+      Hashtbl.replace r.r_slots slot rec_;
+      rec_
+
+let record_group r =
+  Series.add r.r_series ~time:(Sim.now (Topology.sim r.r_topo))
+    ~value:(float_of_int r.r_group)
+
+let lost rec_ =
+  rec_.count = 0
+  || (not rec_.saw_last)
+  || match rec_.last_seq with Some l -> rec_.count < l + 1 | None -> true
+
+let switch_plain r ~from_group ~to_group =
+  let config = r.r_config in
+  if to_group >= 1 then
+    Multicast.host_join r.r_topo ~host:r.r_host
+      ~group:(group_addr config to_group);
+  if from_group >= 1 && from_group <> to_group then
+    Multicast.host_leave r.r_topo ~host:r.r_host
+      ~group:(group_addr config from_group)
+
+let plain_inflate r =
+  if not r.r_joined_all then begin
+    r.r_joined_all <- true;
+    let n = r.r_config.layering.Layering.groups in
+    (* Replicated inflation: jump straight to the fastest group (and,
+       greedily, keep everything else too). *)
+    for g = 1 to n do
+      Multicast.host_join r.r_topo ~host:r.r_host
+        ~group:(group_addr r.r_config g)
+    done;
+    r.r_group <- n;
+    record_group r
+  end
+
+let eval_slot r slot =
+  let config = r.r_config in
+  let n = config.layering.Layering.groups in
+  let rec_ = slot_rec r slot in
+  (match r.r_behavior with
+  | Flid.Inflate_after t when Sim.now (Topology.sim r.r_topo) >= t ->
+      r.r_misbehaving <- true
+  | Flid.Inflate_after _ | Flid.Well_behaved -> ());
+  if r.r_group >= 1 && r.r_active_since <= slot then begin
+    let congested = lost rec_ in
+    let g = r.r_group in
+    match config.mode with
+    | Flid.Plain ->
+        if r.r_misbehaving then plain_inflate r
+        else if congested then begin
+          let to_group = max 1 (g - 1) in
+          if to_group <> g then begin
+            switch_plain r ~from_group:g ~to_group;
+            r.r_group <- to_group;
+            r.r_active_since <- slot + 2;
+            record_group r
+          end
+        end
+        else if g < n && mask_bit rec_.mask (g + 1) then begin
+          switch_plain r ~from_group:g ~to_group:(g + 1);
+          r.r_group <- g + 1;
+          r.r_active_since <- slot + 2;
+          record_group r
+        end
+    | Flid.Robust -> (
+        match rec_.delta_recv with
+        | None -> ()
+        | Some delta ->
+            let outcome =
+              Replicated.slot_end delta ~group:g ~congested
+                ~upgrade_to:(fun j -> j <= n && mask_bit rec_.mask j)
+            in
+            let pairs =
+              match outcome.Replicated.key with
+              | Some k when outcome.Replicated.next_group >= 1 ->
+                  [ (group_addr config outcome.Replicated.next_group, k) ]
+              | Some _ | None -> []
+            in
+            let pairs =
+              if r.r_misbehaving then
+                (* Claim every faster group with guessed keys. *)
+                pairs
+                @ List.filter_map
+                    (fun j ->
+                      if j > outcome.Replicated.next_group then
+                        Some
+                          ( group_addr config j,
+                            Key.nonce r.r_prng ~width:config.width )
+                      else None)
+                    (List.init n (fun i -> i + 1))
+              else pairs
+            in
+            (match r.r_client with
+            | Some client when pairs <> [] ->
+                Client.subscribe client ~slot:(slot + 2) ~pairs
+            | Some _ | None -> ());
+            let next = outcome.Replicated.next_group in
+            if next = 0 then begin
+              (match r.r_client with
+              | Some client ->
+                  Client.session_join client ~group:(group_addr config 1)
+              | None -> ());
+              r.r_group <- 1;
+              r.r_active_since <- slot + 3;
+              record_group r
+            end
+            else if next <> g then begin
+              (* Switch, don't stack: a replicated receiver leaves its
+                 old group as it moves, otherwise both rates transit the
+                 bottleneck and the overlap itself causes congestion. *)
+              (if not r.r_misbehaving then
+                 match r.r_client with
+                 | Some client ->
+                     Client.unsubscribe client ~groups:[ group_addr config g ]
+                 | None -> ());
+              r.r_group <- next;
+              r.r_active_since <- slot + 2;
+              record_group r
+            end;
+            (* Total silence while nominally subscribed: knock again. *)
+            if rec_.count = 0 && r.r_group = 1 then
+              match r.r_client with
+              | Some client ->
+                  Client.session_join client ~group:(group_addr config 1)
+              | None -> ())
+  end;
+  let stale =
+    Hashtbl.fold (fun s _ acc -> if s <= slot then s :: acc else acc) r.r_slots []
+  in
+  List.iter (Hashtbl.remove r.r_slots) stale
+
+let slot_closed r slot =
+  r.r_group >= 1 && r.r_active_since <= slot
+  && (r.r_highest > slot
+     ||
+     match Hashtbl.find_opt r.r_slots slot with
+     | Some rec_ -> rec_.saw_last
+     | None -> false)
+
+let rec try_eval r =
+  if (not r.r_stopped) && slot_closed r r.r_next_eval then begin
+    let slot = r.r_next_eval in
+    eval_slot r slot;
+    r.r_next_eval <- slot + 1;
+    try_eval r
+  end
+
+let rec schedule_eval r =
+  if not r.r_stopped then begin
+    let sim = Topology.sim r.r_topo in
+    let config = r.r_config in
+    let slot = r.r_next_eval in
+    let at =
+      r.r_base
+      +. (float_of_int (slot + 1) *. config.slot_duration)
+      +. (config.processing_margin *. config.slot_duration)
+    in
+    let at = Float.max at (Sim.now sim) in
+    ignore
+      (Sim.schedule sim ~at (fun () ->
+           if not r.r_stopped then begin
+             if r.r_next_eval = slot then begin
+               eval_slot r slot;
+               r.r_next_eval <- slot + 1;
+               try_eval r
+             end;
+             schedule_eval r
+           end))
+  end
+
+let on_data r pkt =
+  match pkt.Packet.payload with
+  | Rep_data { session; group; slot; seq; last; upgrade_mask; delta }
+    when session = r.r_config.id ->
+      let now = Sim.now (Topology.sim r.r_topo) in
+      Meter.record r.r_meter ~time:now ~bytes:pkt.Packet.size;
+      let candidate_base =
+        now -. (float_of_int slot *. r.r_config.slot_duration)
+      in
+      if not r.r_synced then begin
+        r.r_synced <- true;
+        r.r_base <- candidate_base;
+        r.r_next_eval <- slot + 1;
+        if r.r_active_since = max_int then r.r_active_since <- slot + 1;
+        schedule_eval r
+      end
+      else r.r_base <- Float.min r.r_base candidate_base;
+      if group = r.r_group then
+        r.r_highest <- max r.r_highest slot;
+      if slot >= r.r_next_eval then begin
+        (* Only the subscribed group's packets feed congestion state; a
+           packet from another group (stale forwarding during a switch)
+           still feeds the DELTA accumulators, which are per-group. *)
+        let rec_ = slot_rec r slot in
+        if group = r.r_group then begin
+          rec_.count <- rec_.count + 1;
+          if last then begin
+            rec_.saw_last <- true;
+            rec_.last_seq <- Some seq
+          end
+        end;
+        rec_.mask <- rec_.mask lor upgrade_mask;
+        match (rec_.delta_recv, delta) with
+        | Some dr, Some f ->
+            Replicated.on_packet dr ~group ~component:f.Field.component
+              ~decrease:f.Field.decrease
+        | _, _ -> ()
+      end;
+      try_eval r
+  | _ -> ()
+
+let receiver_start ?(at = 0.) ?(behavior = Flid.Well_behaved) topo ~host ~prng
+    config =
+  let n = config.layering.Layering.groups in
+  let r =
+    {
+      r_config = config;
+      r_topo = topo;
+      r_host = host;
+      r_behavior = behavior;
+      r_prng = prng;
+      r_meter = Meter.create ();
+      r_series = Series.create ();
+      r_group = 1;
+      r_active_since = max_int;
+      r_slots = Hashtbl.create 8;
+      r_base = infinity;
+      r_synced = false;
+      r_next_eval = 0;
+      r_highest = -1;
+      r_client =
+        (match config.mode with
+        | Flid.Robust -> Some (Client.create ~width:config.width topo ~host)
+        | Flid.Plain -> None);
+      r_misbehaving = false;
+      r_joined_all = false;
+      r_stopped = false;
+    }
+  in
+  for g = 1 to n do
+    Node.subscribe_local host ~group:(group_addr config g) (on_data r)
+  done;
+  ignore
+    (Sim.schedule (Topology.sim topo) ~at (fun () ->
+         match (config.mode, r.r_client) with
+         | Flid.Plain, _ ->
+             Multicast.host_join topo ~host ~group:(group_addr config 1)
+         | Flid.Robust, Some client ->
+             Client.session_join client ~group:(group_addr config 1)
+         | Flid.Robust, None -> ()));
+  r

@@ -1,0 +1,84 @@
+(** Replicated multicast congestion control (paper Section 3.1.2,
+    "Session structure", and Figure 5).
+
+    Each group of the session carries the {e same} content at a
+    different rate (group 1 slowest, group N fastest) and a receiver
+    subscribes to exactly one group: it switches down one group when
+    congested, and up one group when uncongested and authorized.  In
+    [Robust] mode the session is protected by the replicated DELTA
+    instantiation — per-group top keys, decrease fields naming the next
+    lower group's key, increase keys equal to the lower group's
+    component XOR — enforced by the same generic SIGMA agent that
+    guards FLID-DS. *)
+
+type config = {
+  id : int;
+  base_group : int;
+  layering : Layering.t;  (** level g = single group g at rate R_g *)
+  slot_duration : float;
+  packet_size : int;
+  width : int;
+  mode : Flid.mode;  (** [Plain] or [Robust], as for FLID *)
+  upgrade_period : int -> int;
+  processing_margin : float;
+}
+
+val make_config :
+  ?packet_size:int ->
+  ?width:int ->
+  ?upgrade_period:(int -> int) ->
+  ?processing_margin:float ->
+  id:int ->
+  base_group:int ->
+  layering:Layering.t ->
+  slot_duration:float ->
+  mode:Flid.mode ->
+  unit ->
+  config
+
+val group_addr : config -> int -> int
+
+type Mcc_net.Payload.t +=
+  | Rep_data of {
+      session : int;
+      group : int;
+      slot : int;
+      seq : int;
+      last : bool;
+      upgrade_mask : int;
+      delta : Mcc_delta.Field.t option;
+    }
+
+type sender
+
+val sender_start :
+  ?at:float ->
+  Mcc_net.Topology.t ->
+  node:Mcc_net.Node.t ->
+  prng:Mcc_util.Prng.t ->
+  config ->
+  sender
+
+val sender_stop : sender -> unit
+
+val sender_keys_for_slot :
+  sender -> slot:int -> Mcc_delta.Replicated.keys option
+
+type receiver
+
+val receiver_start :
+  ?at:float ->
+  ?behavior:Flid.behavior ->
+  Mcc_net.Topology.t ->
+  host:Mcc_net.Node.t ->
+  prng:Mcc_util.Prng.t ->
+  config ->
+  receiver
+
+val receiver_meter : receiver -> Mcc_util.Meter.t
+
+val receiver_group : receiver -> int
+(** The single group currently subscribed (0 while re-admitting). *)
+
+val group_series : receiver -> Mcc_util.Series.t
+val receiver_stop : receiver -> unit

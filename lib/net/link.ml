@@ -1,0 +1,121 @@
+module Sim = Mcc_engine.Sim
+
+type dst_kind = To_host | To_router | To_lan
+
+type event = Tx_start | Enqueued | Dropped | Marked | Delivered
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  dst_kind : dst_kind;
+  rate_bps : float;
+  delay_s : float;
+  buffer_bytes : int;
+  buffer_packets : int option;
+  ecn_threshold_bytes : int option;
+  mutable red : Red.t option;
+  sim : Sim.t;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable rev : t option;
+  mutable deliver : Packet.t -> unit;
+  mutable on_event : (event -> Packet.t -> unit) option;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+  mutable drop_bytes : int;
+  mutable marks : int;
+}
+
+let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
+    ?buffer_packets ?ecn_threshold_bytes () =
+  if rate_bps <= 0. then invalid_arg "Link.create: rate_bps <= 0";
+  if delay_s < 0. then invalid_arg "Link.create: negative delay";
+  if buffer_bytes < 0 then invalid_arg "Link.create: negative buffer";
+  {
+    id;
+    src;
+    dst;
+    dst_kind;
+    rate_bps;
+    delay_s;
+    buffer_bytes;
+    buffer_packets;
+    ecn_threshold_bytes;
+    red = None;
+    sim;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    rev = None;
+    deliver = (fun _ -> ());
+    on_event = None;
+    tx_packets = 0;
+    tx_bytes = 0;
+    drops = 0;
+    drop_bytes = 0;
+    marks = 0;
+  }
+
+let tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
+
+let emit t event pkt =
+  match t.on_event with Some f -> f event pkt | None -> ()
+
+let rec start_tx t pkt =
+  t.busy <- true;
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+  emit t Tx_start pkt;
+  ignore
+    (Sim.schedule_after t.sim ~delay:(tx_time t pkt) (fun () ->
+         (* Serialization finished: launch propagation, then service the
+            next queued packet. *)
+         ignore
+           (Sim.schedule_after t.sim ~delay:t.delay_s (fun () ->
+                emit t Delivered pkt;
+                t.deliver pkt));
+         if Queue.is_empty t.queue then t.busy <- false
+         else begin
+           let next = Queue.pop t.queue in
+           t.queued_bytes <- t.queued_bytes - next.Packet.size;
+           start_tx t next
+         end))
+
+let send t pkt =
+  let packet_room =
+    match t.buffer_packets with
+    | Some cap -> Queue.length t.queue < cap
+    | None -> true
+  in
+  if not t.busy then start_tx t pkt
+  else if packet_room && t.queued_bytes + pkt.Packet.size <= t.buffer_bytes
+  then begin
+    (match t.red with
+    | Some red ->
+        if Red.on_enqueue red ~queue_bytes:t.queued_bytes then begin
+          pkt.Packet.ecn <- true;
+          t.marks <- t.marks + 1;
+          emit t Marked pkt
+        end
+    | None -> (
+        match t.ecn_threshold_bytes with
+        | Some thr when t.queued_bytes >= thr ->
+            pkt.Packet.ecn <- true;
+            t.marks <- t.marks + 1;
+            emit t Marked pkt
+        | Some _ | None -> ()));
+    Queue.push pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
+    emit t Enqueued pkt
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    t.drop_bytes <- t.drop_bytes + pkt.Packet.size;
+    emit t Dropped pkt
+  end
+
+let occupancy_bytes t = t.queued_bytes
+let control_delay t = t.delay_s

@@ -1,0 +1,75 @@
+(** Unidirectional link: a transmission rate, a propagation delay, and a
+    finite drop-tail FIFO buffer, optionally ECN-marking.
+
+    A packet handed to [send] is transmitted immediately if the link is
+    idle, queued if the buffer has room, and dropped otherwise.  After
+    serialization ([size * 8 / rate] seconds) the packet propagates for
+    [delay] seconds and is handed to the receive callback installed by
+    the topology. *)
+
+type dst_kind = To_host | To_router | To_lan
+
+type event =
+  | Tx_start  (** serialization of a packet began *)
+  | Enqueued
+  | Dropped
+  | Marked
+  | Delivered  (** handed to the receiving node after propagation *)
+
+type t = {
+  id : int;
+  src : int;  (** node id of the transmitting end *)
+  dst : int;  (** node id of the receiving end *)
+  dst_kind : dst_kind;
+  rate_bps : float;
+  delay_s : float;
+  buffer_bytes : int;  (** queue capacity, excluding the packet in service *)
+  buffer_packets : int option;
+      (** optional NS-2-style packet-count cap applied on top of the
+          byte cap; keeps small control packets from being undroppable
+          in a byte-quantized queue *)
+  ecn_threshold_bytes : int option;
+      (** mark instead of waiting for loss once occupancy exceeds this *)
+  mutable red : Red.t option;
+      (** probabilistic marking; takes precedence over the fixed
+          threshold when installed (see {!Red}) *)
+  sim : Mcc_engine.Sim.t;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable rev : t option;  (** reverse direction of a duplex pair *)
+  mutable deliver : Packet.t -> unit;
+  mutable on_event : (event -> Packet.t -> unit) option;
+      (** observability tap (see {!Trace}); never affects forwarding *)
+  (* counters *)
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+  mutable drop_bytes : int;
+  mutable marks : int;
+}
+
+val create :
+  sim:Mcc_engine.Sim.t ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  dst_kind:dst_kind ->
+  rate_bps:float ->
+  delay_s:float ->
+  buffer_bytes:int ->
+  ?buffer_packets:int ->
+  ?ecn_threshold_bytes:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive rate or negative delay. *)
+
+val send : t -> Packet.t -> unit
+(** Transmit, queue, or drop the packet. *)
+
+val occupancy_bytes : t -> int
+(** Bytes currently queued (not counting the packet in service). *)
+
+val control_delay : t -> float
+(** Propagation delay only; used for control-plane messages (grafts,
+    prunes, IGMP reports) that do not compete for data bandwidth. *)

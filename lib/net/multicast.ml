@@ -1,0 +1,128 @@
+module Sim = Mcc_engine.Sim
+
+let upstream_link topo ~(node : Node.t) ~group =
+  match Topology.group_source topo group with
+  | None -> None
+  | Some src ->
+      if src.Node.id = node.Node.id then None
+      else Hashtbl.find_opt node.Node.fib src.Node.id
+
+let rec graft topo ~node ~group ~down =
+  let was_off_tree = Node.add_downstream node ~group down in
+  if was_off_tree then
+    match upstream_link topo ~node ~group with
+    | None -> () (* at the source, or unroutable *)
+    | Some up -> (
+        match up.Link.rev with
+        | None -> ()
+        | Some rev ->
+            let parent = Topology.node topo up.Link.dst in
+            ignore
+              (Sim.schedule_after (Topology.sim topo)
+                 ~delay:(Link.control_delay up) (fun () ->
+                   graft topo ~node:parent ~group ~down:rev)))
+
+let rec prune topo ~node ~group ~down =
+  let became_empty = Node.remove_downstream node ~group down in
+  if became_empty && not (Hashtbl.mem node.Node.local_groups group) then
+    match upstream_link topo ~node ~group with
+    | None -> ()
+    | Some up -> (
+        match up.Link.rev with
+        | None -> ()
+        | Some rev ->
+            let parent = Topology.node topo up.Link.dst in
+            ignore
+              (Sim.schedule_after (Topology.sim topo)
+                 ~delay:(Link.control_delay up) (fun () ->
+                   prune topo ~node:parent ~group ~down:rev)))
+
+let propagate_graft topo ~(node : Node.t) ~group =
+  match upstream_link topo ~node ~group with
+  | None -> ()
+  | Some up -> (
+      match up.Link.rev with
+      | None -> ()
+      | Some rev ->
+          let parent = Topology.node topo up.Link.dst in
+          ignore
+            (Sim.schedule_after (Topology.sim topo)
+               ~delay:(Link.control_delay up) (fun () ->
+                 graft topo ~node:parent ~group ~down:rev)))
+
+let graft_local topo ~(node : Node.t) ~group =
+  let on_tree =
+    Hashtbl.mem node.Node.local_groups group
+    || Node.downstream node ~group <> []
+  in
+  if not (Hashtbl.mem node.Node.local_groups group) then
+    Node.subscribe_local node ~group (fun _ -> ());
+  if not on_tree then propagate_graft topo ~node ~group
+
+let prune_local topo ~(node : Node.t) ~group =
+  if Hashtbl.mem node.Node.local_groups group then begin
+    Node.unsubscribe_local node ~group;
+    if Node.downstream node ~group = [] then
+      match upstream_link topo ~node ~group with
+      | None -> ()
+      | Some up -> (
+          match up.Link.rev with
+          | None -> ()
+          | Some rev ->
+              let parent = Topology.node topo up.Link.dst in
+              ignore
+                (Sim.schedule_after (Topology.sim topo)
+                   ~delay:(Link.control_delay up) (fun () ->
+                     prune topo ~node:parent ~group ~down:rev)))
+  end
+
+let router_of topo (host : Node.t) =
+  (* A host's (or LAN's) unique router neighbor, and the router's link
+     back toward the host: the interface SIGMA guards.  A host wired
+     through a LAN segment shares the LAN's router interface. *)
+  let rec find = function
+    | [] -> None
+    | (l : Link.t) :: rest -> (
+        match l.Link.dst_kind with
+        | Link.To_router -> (
+            match l.Link.rev with Some rev -> Some rev | None -> find rest)
+        | Link.To_host | Link.To_lan -> find rest)
+  in
+  let rec resolve (node : Node.t) depth =
+    if depth > 2 then (None, None)
+    else
+      match find node.Node.links with
+      | Some rev -> (Some (Topology.node topo rev.Link.src), Some rev)
+      | None -> (
+          (* Look one segment further through an attached LAN. *)
+          let lan =
+            List.find_opt
+              (fun (l : Link.t) -> l.Link.dst_kind = Link.To_lan)
+              node.Node.links
+          in
+          match lan with
+          | Some l -> resolve (Topology.node topo l.Link.dst) (depth + 1)
+          | None -> (None, None))
+  in
+  resolve host 0
+
+let host_join ?latency topo ~host ~group =
+  match router_of topo host with
+  | Some router, Some down ->
+      let delay =
+        match latency with Some l -> l | None -> Link.control_delay down
+      in
+      ignore
+        (Sim.schedule_after (Topology.sim topo) ~delay (fun () ->
+             if not (Hashtbl.mem router.Node.protected_groups group) then
+               graft topo ~node:router ~group ~down))
+  | _, _ -> ()
+
+let host_leave ?(latency = 0.05) topo ~host ~group =
+  match router_of topo host with
+  | Some router, Some down ->
+      ignore
+        (Sim.schedule_after (Topology.sim topo) ~delay:latency (fun () ->
+             if not (Hashtbl.mem router.Node.protected_groups group) then
+               prune topo ~node:router ~group ~down))
+  | _, _ -> ()

@@ -1,0 +1,138 @@
+type kind = Host | Edge_router | Core_router | Lan
+
+type t = {
+  id : int;
+  kind : kind;
+  sim : Mcc_engine.Sim.t;
+  mutable links : Link.t list;
+  fib : (int, Link.t) Hashtbl.t;
+  mcast_out : (int, Link.t list ref) Hashtbl.t;
+  local_groups : (int, Packet.t -> unit) Hashtbl.t;
+  mutable local_unicast : (Packet.t -> unit) option;
+  mutable mcast_filter : (int -> Link.t -> bool) option;
+  mutable intercept : (Packet.t -> unit) option;
+  mutable on_forward : (int -> Link.t -> Packet.t -> unit) option;
+  mutable promiscuous : (Packet.t -> unit) option;
+  protected_groups : (int, unit) Hashtbl.t;
+}
+
+let create ~sim ~id ~kind =
+  {
+    id;
+    kind;
+    sim;
+    links = [];
+    fib = Hashtbl.create 16;
+    mcast_out = Hashtbl.create 16;
+    local_groups = Hashtbl.create 16;
+    local_unicast = None;
+    mcast_filter = None;
+    intercept = None;
+    on_forward = None;
+    promiscuous = None;
+    protected_groups = Hashtbl.create 16;
+  }
+
+let is_router t = match t.kind with Edge_router | Core_router -> true | Host | Lan -> false
+
+let downstream t ~group =
+  match Hashtbl.find_opt t.mcast_out group with Some l -> !l | None -> []
+
+let add_downstream t ~group link =
+  match Hashtbl.find_opt t.mcast_out group with
+  | None ->
+      Hashtbl.replace t.mcast_out group (ref [ link ]);
+      true
+  | Some l ->
+      let was_empty = !l = [] in
+      if not (List.memq link !l) then l := link :: !l;
+      was_empty
+
+let remove_downstream t ~group link =
+  match Hashtbl.find_opt t.mcast_out group with
+  | None -> false
+  | Some l ->
+      let before = !l in
+      l := List.filter (fun x -> not (x == link)) before;
+      before <> [] && !l = []
+
+let subscribe_local t ~group handler = Hashtbl.replace t.local_groups group handler
+let unsubscribe_local t ~group = Hashtbl.remove t.local_groups group
+let set_unicast_handler t handler = t.local_unicast <- Some handler
+
+let link_to t neighbor =
+  List.find_opt (fun (l : Link.t) -> l.Link.dst = neighbor) t.links
+
+let deliver_local t pkt =
+  match pkt.Packet.dst with
+  | Packet.Unicast id ->
+      if id = t.id then begin
+        match t.local_unicast with Some h -> h pkt | None -> ()
+      end
+  | Packet.Multicast g ->
+      if not pkt.Packet.router_alert then begin
+        match Hashtbl.find_opt t.local_groups g with
+        | Some h -> h pkt
+        | None -> ()
+      end
+
+let may_forward_on t ~group link pkt =
+  let host_facing =
+    match link.Link.dst_kind with
+    | Link.To_host | Link.To_lan -> true
+    | Link.To_router -> false
+  in
+  if pkt.Packet.router_alert && host_facing then false
+  else
+    match t.mcast_filter with
+    | Some f when host_facing -> f group link
+    | Some _ | None -> true
+
+let forward_multicast t ~from ~group pkt =
+  let same_link l = match from with Some f -> l == f | None -> false in
+  List.iter
+    (fun link ->
+      if (not (same_link link)) && may_forward_on t ~group link pkt then begin
+        let fresh = Packet.copy pkt in
+        (match t.on_forward with Some h -> h group link fresh | None -> ());
+        Link.send link fresh
+      end)
+    (downstream t ~group)
+
+let receive t ~from pkt =
+  match t.kind with
+  | Lan ->
+      (* Repeat onto every attached link except the one leading back to
+         the sender. *)
+      let leads_back (l : Link.t) =
+        match from with Some f -> l.Link.dst = f.Link.src | None -> false
+      in
+      List.iter
+        (fun link -> if not (leads_back link) then Link.send link (Packet.copy pkt))
+        t.links
+  | Host ->
+      (match t.promiscuous with Some h -> h pkt | None -> ());
+      deliver_local t pkt
+  | Edge_router | Core_router -> (
+      deliver_local t pkt;
+      if pkt.Packet.router_alert then
+        (match t.intercept with Some h -> h pkt | None -> ());
+      match pkt.Packet.dst with
+      | Packet.Unicast id ->
+          if id <> t.id then (
+            match Hashtbl.find_opt t.fib id with
+            | Some link -> Link.send link pkt
+            | None -> ())
+      | Packet.Multicast g -> forward_multicast t ~from ~group:g pkt)
+
+let originate t pkt =
+  match pkt.Packet.dst with
+  | Packet.Unicast id -> (
+      if id = t.id then deliver_local t pkt
+      else
+        match Hashtbl.find_opt t.fib id with
+        | Some link -> Link.send link pkt
+        | None -> ())
+  | Packet.Multicast g ->
+      deliver_local t pkt;
+      forward_multicast t ~from:None ~group:g pkt

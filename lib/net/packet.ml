@@ -1,0 +1,31 @@
+type dst = Unicast of int | Multicast of int
+
+type t = {
+  uid : int;
+  src : int;
+  dst : dst;
+  size : int;
+  mutable ecn : bool;
+  router_alert : bool;
+  mutable payload : Payload.t;
+}
+
+let next_uid = ref 0
+
+let make ?(router_alert = false) ~src ~dst ~size payload =
+  if size <= 0 then invalid_arg "Packet.make: size <= 0";
+  incr next_uid;
+  { uid = !next_uid; src; dst; size; ecn = false; router_alert; payload }
+
+let copy t = { t with uid = t.uid }
+let is_multicast t = match t.dst with Multicast _ -> true | Unicast _ -> false
+
+let pp fmt t =
+  let dst_str =
+    match t.dst with
+    | Unicast n -> Printf.sprintf "u%d" n
+    | Multicast g -> Printf.sprintf "g%d" g
+  in
+  Format.fprintf fmt "#%d %d->%s %dB%s [%a]" t.uid t.src dst_str t.size
+    (if t.ecn then " ecn" else "")
+    Payload.pp t.payload

@@ -1,0 +1,32 @@
+(** Network packets.
+
+    A packet records its total wire size in bytes; link transmission
+    time and buffer occupancy are computed from it.  Multicast
+    forwarding duplicates packets per branch with [copy] so that
+    per-copy mutations (the ECN mark) stay independent. *)
+
+type dst = Unicast of int | Multicast of int
+
+type t = {
+  uid : int;  (** unique per original packet; shared by multicast copies *)
+  src : int;  (** originating node id *)
+  dst : dst;
+  size : int;  (** bytes on the wire *)
+  mutable ecn : bool;  (** explicit congestion notification mark *)
+  router_alert : bool;
+      (** SIGMA special packets: intercepted by edge routers, never
+          forwarded onto host-facing interfaces *)
+  mutable payload : Payload.t;
+      (** mutable so a per-branch copy can swap in a rewritten payload
+          (ECN component scrubbing) without aliasing other branches *)
+}
+
+val make : ?router_alert:bool -> src:int -> dst:dst -> size:int -> Payload.t -> t
+(** Allocates a fresh uid.  @raise Invalid_argument if [size <= 0]. *)
+
+val copy : t -> t
+(** Same uid and fields; independent mutable state. *)
+
+val is_multicast : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = ..
+type t += Raw
+
+let printers : (Format.formatter -> t -> bool) list ref = ref []
+let register_pp f = printers := f :: !printers
+
+let pp fmt p =
+  match p with
+  | Raw -> Format.pp_print_string fmt "raw"
+  | _ ->
+      let rec try_printers = function
+        | [] -> Format.pp_print_string fmt "<payload>"
+        | f :: rest -> if not (f fmt p) then try_printers rest
+      in
+      try_printers !printers

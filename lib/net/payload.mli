@@ -1,0 +1,17 @@
+(** Extensible packet payloads.
+
+    The network layer forwards packets without looking inside them;
+    each protocol library (transport, mcast, sigma) extends this type
+    with its own segments.  [Raw] is a size-only filler used by plain
+    CBR sources and tests. *)
+
+type t = ..
+
+type t += Raw
+
+val pp : Format.formatter -> t -> unit
+(** Prints the constructor name for registered payloads and ["<payload>"]
+    otherwise; extensions may register a printer with [register_pp]. *)
+
+val register_pp : (Format.formatter -> t -> bool) -> unit
+(** Printers return [true] if they handled the payload. *)

@@ -1,0 +1,49 @@
+type config = {
+  min_bytes : int;
+  max_bytes : int;
+  max_probability : float;
+  weight : float;
+}
+
+let default_config ~buffer_bytes =
+  {
+    min_bytes = buffer_bytes / 4;
+    max_bytes = 3 * buffer_bytes / 4;
+    max_probability = 0.1;
+    weight = 0.02;
+  }
+
+type t = {
+  config : config;
+  prng : Mcc_util.Prng.t;
+  mutable avg : float;
+  mutable mark_count : int;
+}
+
+let create ?(seed = 12345) config =
+  if config.min_bytes < 0 || config.max_bytes <= config.min_bytes then
+    invalid_arg "Red.create: thresholds";
+  if config.max_probability <= 0. || config.max_probability > 1. then
+    invalid_arg "Red.create: max_probability";
+  if config.weight <= 0. || config.weight > 1. then
+    invalid_arg "Red.create: weight";
+  { config; prng = Mcc_util.Prng.create seed; avg = 0.; mark_count = 0 }
+
+let average t = t.avg
+let marks t = t.mark_count
+
+let on_enqueue t ~queue_bytes =
+  let c = t.config in
+  t.avg <- ((1. -. c.weight) *. t.avg) +. (c.weight *. float_of_int queue_bytes);
+  let mark =
+    if t.avg < float_of_int c.min_bytes then false
+    else if t.avg >= float_of_int c.max_bytes then true
+    else
+      let span = float_of_int (c.max_bytes - c.min_bytes) in
+      let p =
+        c.max_probability *. (t.avg -. float_of_int c.min_bytes) /. span
+      in
+      Mcc_util.Prng.float t.prng < p
+  in
+  if mark then t.mark_count <- t.mark_count + 1;
+  mark

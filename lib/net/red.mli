@@ -1,0 +1,30 @@
+(** Random Early Detection (RED) active queue management.
+
+    The fixed [ecn_threshold_bytes] on a link marks deterministically;
+    RED is the standard probabilistic discipline used with ECN: it
+    tracks an exponentially weighted moving average of the queue size
+    and marks with probability rising linearly from 0 at [min_bytes] to
+    [max_probability] at [max_bytes] (marking everything above).  This
+    module is a pure policy object the link consults per enqueue, so it
+    is unit-testable without a simulator. *)
+
+type config = {
+  min_bytes : int;
+  max_bytes : int;
+  max_probability : float;  (** marking probability at [max_bytes] *)
+  weight : float;  (** EWMA weight for the average queue size, e.g. 0.002 *)
+}
+
+val default_config : buffer_bytes:int -> config
+(** min = buffer/4, max = 3*buffer/4, p_max = 0.1, weight = 0.02. *)
+
+type t
+
+val create : ?seed:int -> config -> t
+
+val on_enqueue : t -> queue_bytes:int -> bool
+(** Updates the average with the instantaneous [queue_bytes] and returns
+    whether this packet should be marked. *)
+
+val average : t -> float
+val marks : t -> int

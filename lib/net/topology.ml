@@ -1,0 +1,104 @@
+module Sim = Mcc_engine.Sim
+
+type t = {
+  sim : Sim.t;
+  mutable nodes : Node.t list;  (* reverse insertion order *)
+  mutable node_count : int;
+  mutable links : Link.t list;
+  mutable link_count : int;
+  groups : (int, Node.t) Hashtbl.t;
+}
+
+let create sim =
+  { sim; nodes = []; node_count = 0; links = []; link_count = 0; groups = Hashtbl.create 16 }
+
+let sim t = t.sim
+
+let add_node t kind =
+  let node = Node.create ~sim:t.sim ~id:t.node_count ~kind in
+  t.node_count <- t.node_count + 1;
+  t.nodes <- node :: t.nodes;
+  node
+
+let nodes t = List.rev t.nodes
+
+let node t id =
+  match List.find_opt (fun (n : Node.t) -> n.Node.id = id) t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Topology.node: unknown id %d" id)
+
+let dst_kind_of (n : Node.t) =
+  match n.Node.kind with
+  | Node.Host -> Link.To_host
+  | Node.Lan -> Link.To_lan
+  | Node.Edge_router | Node.Core_router -> Link.To_router
+
+let connect t a b ~rate_bps ~delay_s ~buffer_bytes ?buffer_packets
+    ?ecn_threshold_bytes () =
+  let make ~src ~dst =
+    let id = t.link_count in
+    t.link_count <- t.link_count + 1;
+    let link =
+      Link.create ~sim:t.sim ~id ~src:src.Node.id ~dst:dst.Node.id
+        ~dst_kind:(dst_kind_of dst) ~rate_bps ~delay_s ~buffer_bytes
+        ?buffer_packets ?ecn_threshold_bytes ()
+    in
+    link.Link.deliver <- (fun pkt -> Node.receive dst ~from:(Some link) pkt);
+    t.links <- link :: t.links;
+    link
+  in
+  let ab = make ~src:a ~dst:b in
+  let ba = make ~src:b ~dst:a in
+  ab.Link.rev <- Some ba;
+  ba.Link.rev <- Some ab;
+  a.Node.links <- ab :: a.Node.links;
+  b.Node.links <- ba :: b.Node.links;
+  (ab, ba)
+
+let compute_routes t =
+  let all = nodes t in
+  let n = t.node_count in
+  List.iter
+    (fun (src : Node.t) ->
+      (* Dijkstra from [src] over propagation delay. *)
+      let dist = Array.make n infinity in
+      let first_hop : Link.t option array = Array.make n None in
+      let visited = Array.make n false in
+      dist.(src.Node.id) <- 0.;
+      let rec loop () =
+        (* Linear-scan extraction is fine at simulation topology sizes. *)
+        let best = ref (-1) in
+        for i = 0 to n - 1 do
+          if (not visited.(i)) && dist.(i) < infinity
+             && (!best = -1 || dist.(i) < dist.(!best))
+          then best := i
+        done;
+        if !best >= 0 then begin
+          let u = !best in
+          visited.(u) <- true;
+          let node_u = node t u in
+          List.iter
+            (fun (l : Link.t) ->
+              let v = l.Link.dst in
+              let d = dist.(u) +. l.Link.delay_s +. 1e-9 in
+              if d < dist.(v) then begin
+                dist.(v) <- d;
+                first_hop.(v) <- (if u = src.Node.id then Some l else first_hop.(u))
+              end)
+            node_u.Node.links;
+          loop ()
+        end
+      in
+      loop ();
+      Hashtbl.reset src.Node.fib;
+      for v = 0 to n - 1 do
+        if v <> src.Node.id then
+          match first_hop.(v) with
+          | Some l -> Hashtbl.replace src.Node.fib v l
+          | None -> ()
+      done)
+    all
+
+let register_group t ~group ~source = Hashtbl.replace t.groups group source
+let group_source t group = Hashtbl.find_opt t.groups group
+let links t = List.rev t.links

@@ -1,0 +1,42 @@
+(** Topology builder: nodes, duplex links, static shortest-path routing,
+    and the multicast group registry (group address -> source node). *)
+
+type t
+
+val create : Mcc_engine.Sim.t -> t
+
+val sim : t -> Mcc_engine.Sim.t
+
+val add_node : t -> Node.kind -> Node.t
+(** Node ids are assigned densely from 0. *)
+
+val node : t -> int -> Node.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val nodes : t -> Node.t list
+
+val connect :
+  t ->
+  Node.t ->
+  Node.t ->
+  rate_bps:float ->
+  delay_s:float ->
+  buffer_bytes:int ->
+  ?buffer_packets:int ->
+  ?ecn_threshold_bytes:int ->
+  unit ->
+  Link.t * Link.t
+(** Creates a duplex link (two simplex links wired as each other's
+    [rev]) and installs delivery into the endpoints. *)
+
+val compute_routes : t -> unit
+(** Fills every node's FIB with delay-metric shortest paths (Dijkstra).
+    Call after the topology is complete and before traffic starts. *)
+
+val register_group : t -> group:int -> source:Node.t -> unit
+(** Declares [source] as the root of [group]'s distribution tree. *)
+
+val group_source : t -> int -> Node.t option
+
+val links : t -> Link.t list
+(** All simplex links, for counters and reports. *)

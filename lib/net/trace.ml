@@ -1,0 +1,79 @@
+type record = {
+  time : float;
+  event : Link.event;
+  uid : int;
+  size : int;
+  multicast : bool;
+}
+
+type t = {
+  capacity : int;
+  ring : record Queue.t;
+  mutable tx : int;
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable marked : int;
+  mutable delivered : int;
+}
+
+let count t = function
+  | Link.Tx_start -> t.tx
+  | Link.Enqueued -> t.enqueued
+  | Link.Dropped -> t.dropped
+  | Link.Marked -> t.marked
+  | Link.Delivered -> t.delivered
+
+let bump t = function
+  | Link.Tx_start -> t.tx <- t.tx + 1
+  | Link.Enqueued -> t.enqueued <- t.enqueued + 1
+  | Link.Dropped -> t.dropped <- t.dropped + 1
+  | Link.Marked -> t.marked <- t.marked + 1
+  | Link.Delivered -> t.delivered <- t.delivered + 1
+
+let attach ?(capacity = 1024) (link : Link.t) =
+  let t =
+    {
+      capacity;
+      ring = Queue.create ();
+      tx = 0;
+      enqueued = 0;
+      dropped = 0;
+      marked = 0;
+      delivered = 0;
+    }
+  in
+  let previous = link.Link.on_event in
+  link.Link.on_event <-
+    Some
+      (fun event pkt ->
+        (match previous with Some f -> f event pkt | None -> ());
+        bump t event;
+        Queue.push
+          {
+            time = Mcc_engine.Sim.now link.Link.sim;
+            event;
+            uid = pkt.Packet.uid;
+            size = pkt.Packet.size;
+            multicast = Packet.is_multicast pkt;
+          }
+          t.ring;
+        if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring));
+  t
+
+let records t = List.of_seq (Queue.to_seq t.ring)
+let clear t = Queue.clear t.ring
+
+let event_name = function
+  | Link.Tx_start -> "tx"
+  | Link.Enqueued -> "enq"
+  | Link.Dropped -> "drop"
+  | Link.Marked -> "mark"
+  | Link.Delivered -> "rx"
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%.6f %-5s #%d %dB%s@." r.time (event_name r.event)
+        r.uid r.size
+        (if r.multicast then " mcast" else ""))
+    (records t)

@@ -1,0 +1,32 @@
+(** Packet-event tracing on links.
+
+    Attach a trace to any link to record its events — transmissions,
+    enqueues, drops, marks, deliveries — with timestamps and packet
+    summaries, bounded by a ring buffer.  Intended for debugging and for
+    tests that assert on event sequences; attaching a trace never
+    changes forwarding behaviour. *)
+
+type record = {
+  time : float;
+  event : Link.event;
+  uid : int;  (** packet uid *)
+  size : int;
+  multicast : bool;
+}
+
+type t
+
+val attach : ?capacity:int -> Link.t -> t
+(** Installs (or chains onto) the link's event tap; the ring keeps the
+    most recent [capacity] records (default 1024). *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val count : t -> Link.event -> int
+(** Events seen since attach (counted even after the ring evicts them). *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained record. *)

@@ -1,0 +1,63 @@
+module Payload = Mcc_net.Payload
+module Key = Mcc_delta.Key
+
+type Payload.t +=
+  | Subscribe of {
+      receiver : int;
+      slot : int;
+      pairs : (int * Key.t) list;
+    }
+  | Sub_ack of {
+      receiver : int;
+      slot : int;
+      pairs : (int * Key.t) list;
+    }
+  | Unsubscribe of { receiver : int; groups : int list }
+  | Session_join of { receiver : int; group : int }
+  | Special of {
+      session : int;
+      slot : int;
+      slot_duration : float;
+      chunk : int;
+      total_chunks : int;
+      copy : int;
+      tuples : Tuple.t list;
+    }
+
+let () =
+  Payload.register_pp (fun fmt -> function
+    | Subscribe { receiver; slot; pairs } ->
+        Format.fprintf fmt "sigma-subscribe r%d s%d %d pairs" receiver slot
+          (List.length pairs);
+        true
+    | Sub_ack { receiver; slot; pairs } ->
+        Format.fprintf fmt "sigma-ack r%d s%d %d pairs" receiver slot
+          (List.length pairs);
+        true
+    | Unsubscribe { receiver; groups } ->
+        Format.fprintf fmt "sigma-unsub r%d %d groups" receiver
+          (List.length groups);
+        true
+    | Session_join { receiver; group } ->
+        Format.fprintf fmt "sigma-join r%d g%d" receiver group;
+        true
+    | Special { slot; chunk; total_chunks; copy; tuples; _ } ->
+        Format.fprintf fmt "sigma-special s%d chunk %d/%d copy %d (%d tuples)"
+          slot chunk total_chunks copy (List.length tuples);
+        true
+    | _ -> false)
+
+let header_bytes = 28
+
+let pair_bytes ~width = 4 + Key.field_bytes ~width
+
+let subscribe_bytes ~width pairs =
+  header_bytes + 4 + (List.length pairs * pair_bytes ~width)
+
+let ack_bytes = subscribe_bytes
+let unsubscribe_bytes groups = header_bytes + (4 * List.length groups)
+let session_join_bytes = header_bytes + 4
+
+let special_bytes ~width tuples =
+  header_bytes + 1 (* slot number, l = 8 bits *)
+  + List.fold_left (fun acc t -> acc + Tuple.wire_bytes ~width t) 0 tuples

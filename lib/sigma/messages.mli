@@ -1,0 +1,40 @@
+(** SIGMA control messages exchanged between receivers and their edge
+    router over the local interface (paper Figure 6), plus the special
+    packets that carry address-key tuples from the sender to edge
+    routers.
+
+    Every constructor is a {!Mcc_net.Payload.t} extension; wire sizes
+    include a 28-byte network/transport header. *)
+
+type Mcc_net.Payload.t +=
+  | Subscribe of {
+      receiver : int;  (** requesting host node id *)
+      slot : int;
+      pairs : (int * Mcc_delta.Key.t) list;  (** (group address, key) *)
+    }
+  | Sub_ack of {
+      receiver : int;
+      slot : int;
+      pairs : (int * Mcc_delta.Key.t) list;  (** the accepted pairs *)
+    }
+  | Unsubscribe of { receiver : int; groups : int list }
+  | Session_join of { receiver : int; group : int }
+      (** [group] must be the session's minimal group *)
+  | Special of {
+      session : int;
+      slot : int;  (** slot the enclosed keys guard *)
+      slot_duration : float;
+      chunk : int;
+      total_chunks : int;
+      copy : int;  (** FEC copy index, 0-based *)
+      tuples : Tuple.t list;
+    }
+
+val header_bytes : int
+(** 28: IP + UDP-style header accounted on every control packet. *)
+
+val subscribe_bytes : width:int -> (int * Mcc_delta.Key.t) list -> int
+val ack_bytes : width:int -> (int * Mcc_delta.Key.t) list -> int
+val unsubscribe_bytes : int list -> int
+val session_join_bytes : int
+val special_bytes : width:int -> Tuple.t list -> int

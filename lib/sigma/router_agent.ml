@@ -1,0 +1,580 @@
+module Sim = Mcc_engine.Sim
+module Node = Mcc_net.Node
+module Link = Mcc_net.Link
+module Packet = Mcc_net.Packet
+module Topology = Mcc_net.Topology
+module Multicast = Mcc_net.Multicast
+module Key = Mcc_delta.Key
+
+let log_src = Logs.Src.create "mcc.sigma" ~doc:"SIGMA edge-router agent"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  width : int;
+  upgrade_grace_slots : float;
+  join_grace_slots : float;
+  lockout_slots : float;
+  cleanup_period : float;
+  interface_keys : bool;
+}
+
+let default_config =
+  {
+    width = Key.default_width;
+    upgrade_grace_slots = 2.0;
+    join_grace_slots = 3.0;
+    lockout_slots = 1.0;
+    cleanup_period = 0.05;
+    interface_keys = false;
+  }
+
+type slot_entry = {
+  keys : Key.t list;
+  est_start : float;  (** estimated wall-clock start of the guarded slot *)
+  duration : float;
+}
+
+type group_info = {
+  mutable minimal : bool;
+  mutable latest_duration : float;
+  mutable session_minimal : int option;
+      (** address of this group's session's minimal group, learnt from
+          the special-packet batches *)
+  slots : (int, slot_entry) Hashtbl.t;
+}
+
+type grant = {
+  mutable granted_until : float;
+  mutable grace_until : float;
+  mutable lockout_until : float;
+  mutable by_join : bool;  (** grace came from a keyless session-join *)
+  mutable grafted : bool;
+}
+
+type iface = {
+  link : Link.t;  (** router -> host/LAN direction *)
+  grants : (int, grant) Hashtbl.t;
+}
+
+type t = {
+  topo : Topology.t;
+  node : Node.t;
+  config : config;
+  groups : (int, group_info) Hashtbl.t;
+  ifaces : (int, iface) Hashtbl.t;  (* keyed by link id *)
+  decoders : (int * int, Fec.decoder) Hashtbl.t;  (* (session, slot) *)
+  guesses : (int * int, (Key.t, unit) Hashtbl.t) Hashtbl.t;
+  sessions : (int, int list ref) Hashtbl.t;
+      (* minimal-group address -> all group addresses of the session *)
+  control_held : (int, unit) Hashtbl.t;
+      (* minimal groups the router itself is grafted to, keeping the
+         special-packet channel alive while receivers hold only higher
+         groups *)
+  pads : (int * int * int, Key.t) Hashtbl.t;
+      (* (link id, group, guarded slot) -> XOR of the pads applied to
+         that interface's forwarded components: the delta between the
+         sender's upper keys and the interface-specific lower keys
+         (paper Section 4.2, collusion resistance) *)
+  mutable scrubber : (Link.t -> Packet.t -> unit) option;
+}
+
+let now t = Sim.now (Topology.sim t.topo)
+
+let group_info t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some gi -> gi
+  | None ->
+      let gi =
+        {
+          minimal = false;
+          latest_duration = 0.5;
+          session_minimal = None;
+          slots = Hashtbl.create 32;
+        }
+      in
+      Hashtbl.replace t.groups group gi;
+      Hashtbl.replace t.node.Node.protected_groups group ();
+      gi
+
+let iface_of_link t (link : Link.t) =
+  match Hashtbl.find_opt t.ifaces link.Link.id with
+  | Some i -> i
+  | None ->
+      let i = { link; grants = Hashtbl.create 8 } in
+      Hashtbl.replace t.ifaces link.Link.id i;
+      i
+
+let iface_toward t receiver =
+  match Hashtbl.find_opt t.node.Node.fib receiver with
+  | Some link -> Some (iface_of_link t link)
+  | None -> None
+
+let grant_of _t iface group =
+  match Hashtbl.find_opt iface.grants group with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          granted_until = neg_infinity;
+          grace_until = neg_infinity;
+          lockout_until = neg_infinity;
+          by_join = false;
+          grafted = false;
+        }
+      in
+      Hashtbl.replace iface.grants group g;
+      g
+
+let active_at grant time =
+  time < grant.granted_until || time < grant.grace_until
+
+(* --- enforcement hooks ------------------------------------------------ *)
+
+let filter t group link =
+  if not (Hashtbl.mem t.groups group) then true (* unprotected group *)
+  else
+    match Hashtbl.find_opt t.ifaces link.Link.id with
+    | None -> false
+    | Some iface -> (
+        match Hashtbl.find_opt iface.grants group with
+        | None -> false
+        | Some grant -> active_at grant (now t))
+
+let on_forward t _group (link : Link.t) pkt =
+  match link.Link.dst_kind with
+  | Link.To_host | Link.To_lan -> (
+      (* The transform rewrites components: always on marked packets
+         (ECN scrub), and on every copy when interface-specific keys
+         are enabled (collusion resistance). *)
+      if pkt.Packet.ecn || t.config.interface_keys then
+        match t.scrubber with Some f -> f link pkt | None -> ())
+  | Link.To_router -> ()
+
+(* --- graft / prune glue ------------------------------------------------ *)
+
+(* Keep the session's special-packet channel (its minimal-group tree)
+   alive at this router while any local grant exists, even when no
+   interface subscribes to the minimal group itself. *)
+let ensure_control_channel t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some { session_minimal = Some m; _ } ->
+      if not (Hashtbl.mem t.control_held m) then begin
+        Hashtbl.replace t.control_held m ();
+        Multicast.graft_local t.topo ~node:t.node ~group:m
+      end
+  | Some { session_minimal = None; _ } | None -> ()
+
+let release_idle_control_channels t =
+  let active_session m =
+    match Hashtbl.find_opt t.sessions m with
+    | None -> false
+    | Some members ->
+        let time = now t in
+        List.exists
+          (fun g ->
+            Hashtbl.fold
+              (fun _ iface acc ->
+                acc
+                ||
+                match Hashtbl.find_opt iface.grants g with
+                | Some grant -> active_at grant time
+                | None -> false)
+              t.ifaces false)
+          !members
+  in
+  let held = Hashtbl.fold (fun m () acc -> m :: acc) t.control_held [] in
+  List.iter
+    (fun m ->
+      if not (active_session m) then begin
+        Hashtbl.remove t.control_held m;
+        Multicast.prune_local t.topo ~node:t.node ~group:m
+      end)
+    held
+
+let graft_iface t iface group =
+  let grant = grant_of t iface group in
+  ensure_control_channel t group;
+  if not grant.grafted then begin
+    grant.grafted <- true;
+    Multicast.graft t.topo ~node:t.node ~group ~down:iface.link
+  end
+
+let prune_iface t iface group =
+  let grant = grant_of t iface group in
+  if grant.grafted then begin
+    grant.grafted <- false;
+    Multicast.prune t.topo ~node:t.node ~group ~down:iface.link
+  end
+
+(* --- key store -------------------------------------------------------- *)
+
+let store_tuples t ~slot ~slot_duration tuples =
+  let time = now t in
+  let batch_minimal =
+    List.find_map
+      (fun (tuple : Tuple.t) ->
+        if tuple.Tuple.minimal then Some tuple.Tuple.group else None)
+      tuples
+  in
+  (match batch_minimal with
+  | Some m ->
+      let members =
+        match Hashtbl.find_opt t.sessions m with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.sessions m l;
+            l
+      in
+      List.iter
+        (fun (tuple : Tuple.t) ->
+          if not (List.mem tuple.Tuple.group !members) then
+            members := tuple.Tuple.group :: !members)
+        tuples
+  | None -> ());
+  List.iter
+    (fun (tuple : Tuple.t) ->
+      let gi = group_info t tuple.Tuple.group in
+      gi.latest_duration <- slot_duration;
+      gi.session_minimal <- (match batch_minimal with
+                             | Some _ as m -> m
+                             | None -> gi.session_minimal);
+      if tuple.Tuple.minimal then gi.minimal <- true;
+      if not (Hashtbl.mem gi.slots slot) then
+        Hashtbl.replace gi.slots slot
+          {
+            keys = tuple.Tuple.keys;
+            (* Tuples for slot s are sent during slot s-2 starting at its
+               first instant, so the guarded slot opens two durations
+               after the first special packet lands (paper Figure 2). *)
+            est_start = time +. (2. *. slot_duration);
+            duration = slot_duration;
+          };
+      (* A session-join grace for a group that tuples now reveal to be
+         non-minimal was an inflation attempt: revoke it. *)
+      if not gi.minimal then
+        Hashtbl.iter
+          (fun _ iface ->
+            match Hashtbl.find_opt iface.grants tuple.Tuple.group with
+            | Some grant when grant.by_join ->
+                grant.grace_until <- neg_infinity;
+                grant.lockout_until <-
+                  time +. (t.config.lockout_slots *. slot_duration);
+                prune_iface t iface tuple.Tuple.group
+            | Some _ | None -> ())
+          t.ifaces)
+    tuples
+
+let on_special t pkt =
+  match pkt.Packet.payload with
+  | Messages.Special { session; slot; slot_duration; chunk; total_chunks; copy;
+                       tuples } ->
+      let key = (session, slot) in
+      let decoder =
+        match Hashtbl.find_opt t.decoders key with
+        | Some d -> d
+        | None ->
+            let d = Fec.decoder_create () in
+            Hashtbl.replace t.decoders key d;
+            d
+      in
+      let is_parity = chunk = total_chunks in
+      let coded =
+        {
+          Fec.chunk;
+          total_chunks;
+          copy;
+          tuples = (if is_parity then [] else tuples);
+          recovery = (if is_parity then tuples else []);
+          wire_bytes = pkt.Packet.size;
+        }
+      in
+      (match Fec.feed decoder coded with
+      | Some all -> store_tuples t ~slot ~slot_duration all
+      | None -> ())
+  | _ -> ()
+
+(* --- receiver messages ------------------------------------------------- *)
+
+let tally_guess t ~group ~slot key =
+  let tbl =
+    match Hashtbl.find_opt t.guesses (group, slot) with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.guesses (group, slot) tbl;
+        tbl
+  in
+  Hashtbl.replace tbl key ()
+
+let interface_keys_enabled t = t.config.interface_keys
+
+let note_pad t ~link_id ~group ~guarded_slot ~pad =
+  let key = (link_id, group, guarded_slot) in
+  let prev = Option.value (Hashtbl.find_opt t.pads key) ~default:0 in
+  Hashtbl.replace t.pads key (Key.xor prev pad)
+
+(* XOR of the pads applied on [link] to groups [from_addr..to_addr] of a
+   consecutively addressed session: the correction between a lower
+   (interface-specific) cumulative key and the sender's upper key. *)
+let cumulative_pad t ~link_id ~from_addr ~to_addr ~slot =
+  let acc = ref 0 in
+  for addr = from_addr to to_addr do
+    match Hashtbl.find_opt t.pads (link_id, addr, slot) with
+    | Some p -> acc := Key.xor !acc p
+    | None -> ()
+  done;
+  !acc
+
+(* Candidate upper keys for a submitted (possibly lower) key: identity
+   (decrease fields are not padded), the cumulative pad up to the group
+   (top keys), and up to the previous group (increase keys). *)
+let upper_candidates t ~link_id ~group ~slot key =
+  if not t.config.interface_keys then [ key ]
+  else
+    let session_base =
+      match Hashtbl.find_opt t.groups group with
+      | Some { session_minimal = Some m; _ } -> m
+      | Some _ | None -> group
+    in
+    let cum_top =
+      cumulative_pad t ~link_id ~from_addr:session_base ~to_addr:group ~slot
+    in
+    let cum_inc =
+      if group > session_base then
+        cumulative_pad t ~link_id ~from_addr:session_base
+          ~to_addr:(group - 1) ~slot
+      else 0
+    in
+    [ key; Key.xor key cum_top; Key.xor key cum_inc ]
+
+let guess_count t ~group ~slot =
+  match Hashtbl.find_opt t.guesses (group, slot) with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+let total_guesses t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.guesses 0
+
+let send_ack t ~receiver ~slot ~pairs =
+  let size = Messages.ack_bytes ~width:t.config.width pairs in
+  let pkt =
+    Packet.make ~src:t.node.Node.id ~dst:(Packet.Unicast receiver) ~size
+      (Messages.Sub_ack { receiver; slot; pairs })
+  in
+  Node.originate t.node pkt
+
+let handle_subscribe t ~receiver ~slot ~pairs =
+  match iface_toward t receiver with
+  | None -> ()
+  | Some iface ->
+      let time = now t in
+      let accepted =
+        List.filter
+          (fun (group, key) ->
+            match Hashtbl.find_opt t.groups group with
+            | None -> false
+            | Some gi -> (
+                match Hashtbl.find_opt gi.slots slot with
+                | None ->
+                    tally_guess t ~group ~slot key;
+                    false
+                | Some entry ->
+                    let candidates =
+                      upper_candidates t ~link_id:iface.link.Link.id ~group
+                        ~slot key
+                    in
+                    if
+                      List.exists
+                        (fun candidate -> List.mem candidate entry.keys)
+                        candidates
+                    then true
+                    else begin
+                      tally_guess t ~group ~slot key;
+                      false
+                    end))
+          pairs
+      in
+      let denied = List.length pairs - List.length accepted in
+      if denied > 0 then
+        Log.debug (fun m ->
+            m "t=%.3f router %d: %d invalid key(s) from receiver %d for slot %d"
+              (now t) t.node.Node.id denied receiver slot);
+      List.iter
+        (fun (group, _) ->
+          let gi = Hashtbl.find t.groups group in
+          let entry = Hashtbl.find gi.slots slot in
+          let grant = grant_of t iface group in
+          Log.debug (fun m ->
+              m "t=%.3f router %d: grant group %d slot %d to receiver %d"
+                (now t) t.node.Node.id group slot receiver);
+          let slot_end = entry.est_start +. entry.duration in
+          let newly_active = not (active_at grant time) in
+          grant.granted_until <- Float.max grant.granted_until slot_end;
+          grant.by_join <- false;
+          if newly_active then
+            (* Keyed (re)activation of an interface: unconditional
+               forwarding long enough for the receiver's first complete
+               slots to yield keys (paper Section 3.2.2). *)
+            grant.grace_until <-
+              Float.max grant.grace_until
+                (grant.granted_until
+                +. (t.config.upgrade_grace_slots *. entry.duration));
+          graft_iface t iface group)
+        accepted;
+      if accepted <> [] then send_ack t ~receiver ~slot ~pairs:accepted
+
+let handle_unsubscribe t ~receiver ~groups =
+  match iface_toward t receiver with
+  | None -> ()
+  | Some iface ->
+      List.iter
+        (fun group ->
+          match Hashtbl.find_opt iface.grants group with
+          | None -> ()
+          | Some grant ->
+              grant.granted_until <- neg_infinity;
+              grant.grace_until <- neg_infinity;
+              grant.by_join <- false;
+              prune_iface t iface group)
+        groups
+
+let handle_session_join t ~receiver ~group =
+  match iface_toward t receiver with
+  | None -> ()
+  | Some iface ->
+      let known_non_minimal =
+        match Hashtbl.find_opt t.groups group with
+        | Some gi -> not gi.minimal
+        | None -> false
+      in
+      if not known_non_minimal then begin
+        let duration =
+          match Hashtbl.find_opt t.groups group with
+          | Some gi -> gi.latest_duration
+          | None -> 0.5
+        in
+        let grant = grant_of t iface group in
+        let time = now t in
+        if time >= grant.lockout_until && not (active_at grant time) then begin
+          Log.debug (fun m ->
+              m "t=%.3f router %d: session-join admits receiver %d to group %d"
+                time t.node.Node.id receiver group);
+          grant.grace_until <-
+            time +. (t.config.join_grace_slots *. duration);
+          grant.by_join <- true;
+          graft_iface t iface group
+        end
+      end
+
+(* --- expiry sweep ------------------------------------------------------ *)
+
+let sweep t =
+  let time = now t in
+  Hashtbl.iter
+    (fun _ iface ->
+      Hashtbl.iter
+        (fun group grant ->
+          if grant.grafted && not (active_at grant time) then begin
+            if grant.by_join then begin
+              (* Keyless admission expired: pause the minimal group for
+                 at least one slot (paper Section 3.2.2). *)
+              let duration =
+                match Hashtbl.find_opt t.groups group with
+                | Some gi -> gi.latest_duration
+                | None -> 0.5
+              in
+              grant.lockout_until <-
+                time +. (t.config.lockout_slots *. duration);
+              grant.by_join <- false
+            end;
+            prune_iface t iface group
+          end)
+        iface.grants)
+    t.ifaces;
+  release_idle_control_channels t;
+  (* Purge pad accumulators for long-gone slots. *)
+  if Hashtbl.length t.pads > 4096 then begin
+    let horizon =
+      Hashtbl.fold (fun (_, _, slot) _ acc -> max acc slot) t.pads 0 - 16
+    in
+    let stale =
+      Hashtbl.fold
+        (fun ((_, _, slot) as key) _ acc ->
+          if slot < horizon then key :: acc else acc)
+        t.pads []
+    in
+    List.iter (Hashtbl.remove t.pads) stale
+  end;
+  (* Purge stale slot entries and decoders. *)
+  Hashtbl.iter
+    (fun _ gi ->
+      let stale =
+        Hashtbl.fold
+          (fun slot entry acc ->
+            if entry.est_start +. (10. *. entry.duration) < time then
+              slot :: acc
+            else acc)
+          gi.slots []
+      in
+      List.iter (Hashtbl.remove gi.slots) stale)
+    t.groups
+
+let on_unicast t pkt =
+  match pkt.Packet.payload with
+  | Messages.Subscribe { receiver; slot; pairs } ->
+      handle_subscribe t ~receiver ~slot ~pairs;
+      true
+  | Messages.Unsubscribe { receiver; groups } ->
+      handle_unsubscribe t ~receiver ~groups;
+      true
+  | Messages.Session_join { receiver; group } ->
+      handle_session_join t ~receiver ~group;
+      true
+  | _ -> false
+
+let iface_active t ~group ~toward =
+  match Hashtbl.find_opt t.node.Node.fib toward with
+  | None -> false
+  | Some link -> (
+      match Hashtbl.find_opt t.ifaces link.Link.id with
+      | None -> false
+      | Some iface -> (
+          match Hashtbl.find_opt iface.grants group with
+          | None -> false
+          | Some grant -> active_at grant (now t)))
+
+let known_groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t.groups []
+
+let set_scrubber t f = t.scrubber <- Some f
+
+let attach ?(config = default_config) topo node =
+  (match node.Node.kind with
+  | Node.Edge_router -> ()
+  | Node.Host | Node.Core_router | Node.Lan ->
+      invalid_arg "Router_agent.attach: node is not an edge router");
+  let t =
+    {
+      topo;
+      node;
+      config;
+      groups = Hashtbl.create 32;
+      ifaces = Hashtbl.create 16;
+      decoders = Hashtbl.create 64;
+      guesses = Hashtbl.create 16;
+      sessions = Hashtbl.create 8;
+      control_held = Hashtbl.create 8;
+      pads = Hashtbl.create 256;
+      scrubber = None;
+    }
+  in
+  node.Node.intercept <- Some (on_special t);
+  node.Node.mcast_filter <- Some (filter t);
+  node.Node.on_forward <- Some (on_forward t);
+  node.Node.local_unicast <-
+    Some (fun pkt -> ignore (on_unicast t pkt));
+  ignore
+    (Sim.every (Topology.sim topo) ~start:config.cleanup_period
+       ~period:config.cleanup_period (fun () -> sweep t));
+  t

@@ -1,0 +1,89 @@
+(** SIGMA edge-router agent: the protocol-independent enforcement point
+    (paper Section 3.2).
+
+    The agent intercepts special packets, decodes the per-slot
+    address-key tuples, and guards every host-facing interface: group
+    traffic is forwarded only while the interface holds a grant — a
+    validated key for the current slot, or a grace window.  Grace
+    windows cover the two-complete-slot gaps the paper identifies: after
+    a keyed upgrade to a new group, and after a session-join to the
+    minimal group (which needs no key but is locked out for a slot if no
+    valid key follows).
+
+    The agent stores keys per (group address, slot) and estimates slot
+    wall-clock boundaries from special-packet arrival (tuples for slot s
+    arrive during slot s-2, paper Figure 2), so it needs no
+    protocol-specific code — Requirement 3. *)
+
+type config = {
+  width : int;  (** key width in bits *)
+  upgrade_grace_slots : float;
+      (** unconditional forwarding after a keyed graft, in slots
+          (paper: 2 complete slots) *)
+  join_grace_slots : float;
+      (** unconditional forwarding after a session-join *)
+  lockout_slots : float;
+      (** forwarding pause when a session-join expires keyless
+          (paper: at least one slot) *)
+  cleanup_period : float;  (** seconds between expiry sweeps *)
+  interface_keys : bool;
+      (** collusion resistance (paper Section 4.2): the router pads
+          every forwarded component per interface, so a key lifted from
+          a receiver on another interface no longer validates.  The
+          padding itself is performed by the protocol integration (see
+          {!note_pad}); validation then accepts a key if some candidate
+          — raw, or corrected by the interface's cumulative pad for top
+          or increase keys — matches an upper key from the sender.
+          Assumes consecutively addressed session groups, trading
+          generality for collusion resistance exactly as the paper
+          notes. *)
+}
+
+val default_config : config
+
+type t
+
+val attach : ?config:config -> Mcc_net.Topology.t -> Mcc_net.Node.t -> t
+(** Installs intercept, filter and forwarding hooks on an edge router.
+    @raise Invalid_argument if the node is not an [Edge_router]. *)
+
+val set_scrubber : t -> (Mcc_net.Link.t -> Mcc_net.Packet.t -> unit) -> unit
+(** Component transform, called per outgoing copy with its interface
+    link: on every ECN-marked copy (scrub, paper Section 3.1.2), and on
+    every copy when [interface_keys] is enabled (per-interface padding,
+    Section 4.2). *)
+
+val interface_keys_enabled : t -> bool
+
+val note_pad :
+  t -> link_id:int -> group:int -> guarded_slot:int -> pad:Mcc_delta.Key.t ->
+  unit
+(** Record that a forwarded component of [group] (whose components build
+    the keys of [guarded_slot]) was XOR-padded with [pad] on the given
+    interface.  The protocol integration calls this from the node's
+    forwarding hook as it rewrites each copy. *)
+
+val iface_active : t -> group:int -> toward:int -> bool
+(** Is traffic for [group] currently forwarded toward node [toward]? *)
+
+val guess_count : t -> group:int -> slot:int -> int
+(** Distinct invalid keys submitted for (group, slot): the paper's
+    indicator of a key-guessing attack. *)
+
+val total_guesses : t -> int
+(** Sum of {!guess_count} over every (group, slot).  Honest receivers
+    contribute only when the router's keystore has gaps (lost special
+    packets), which makes this a sensitive FEC-quality metric. *)
+
+val known_groups : t -> int list
+(** Groups the agent has received tuples for. *)
+
+(** The three receiver messages (paper Figure 6) arrive as unicast
+    packets addressed to the router and are handled internally; these
+    entry points are exposed for tests. *)
+
+val handle_subscribe :
+  t -> receiver:int -> slot:int -> pairs:(int * Mcc_delta.Key.t) list -> unit
+
+val handle_unsubscribe : t -> receiver:int -> groups:int list -> unit
+val handle_session_join : t -> receiver:int -> group:int -> unit

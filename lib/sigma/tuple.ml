@@ -1,0 +1,11 @@
+type t = {
+  group : int;
+  slot : int;
+  keys : Mcc_delta.Key.t list;
+  minimal : bool;
+}
+
+let make ~group ~slot ~keys ~minimal = { group; slot; keys; minimal }
+
+let wire_bytes ~width t =
+  4 + 1 + (List.length t.keys * Mcc_delta.Key.field_bytes ~width)

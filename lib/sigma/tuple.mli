@@ -1,0 +1,19 @@
+(** Address-key tuples: the unit of key distribution from sender to edge
+    routers (paper Section 3.2.1).  A tuple binds a group address to the
+    set of keys that open the group during one time slot. *)
+
+type t = {
+  group : int;  (** multicast group address *)
+  slot : int;  (** the guarded time slot *)
+  keys : Mcc_delta.Key.t list;  (** top, decrease and (when authorized)
+                                    increase keys *)
+  minimal : bool;
+      (** marks the session's minimal group, which SIGMA admits new
+          receivers to without a key (session-join) *)
+}
+
+val make :
+  group:int -> slot:int -> keys:Mcc_delta.Key.t list -> minimal:bool -> t
+
+val wire_bytes : width:int -> t -> int
+(** 32-bit address + flags byte + one [width]-bit field per key. *)

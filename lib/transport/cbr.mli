@@ -1,0 +1,24 @@
+(** Constant-bit-rate source: fixed-size packets at a fixed rate. *)
+
+type t
+
+val start :
+  ?at:float ->
+  ?payload:(unit -> Mcc_net.Payload.t) ->
+  Mcc_net.Topology.t ->
+  src:Mcc_net.Node.t ->
+  dst:Mcc_net.Packet.dst ->
+  rate_bps:float ->
+  size:int ->
+  unit ->
+  t
+(** Emits a [size]-byte packet every [size * 8 / rate_bps] seconds
+    starting at [at] (default 0).  [payload] supplies each packet's
+    payload (default {!Mcc_net.Payload.Raw}). *)
+
+val pause : t -> unit
+(** Suspends emission (packets already in flight are unaffected). *)
+
+val resume : t -> unit
+val stop : t -> unit
+val packets_sent : t -> int

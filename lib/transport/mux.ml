@@ -1,0 +1,23 @@
+module Node = Mcc_net.Node
+
+type t = { mutable handlers : (Mcc_net.Packet.t -> bool) list }
+
+(* Keyed by physical node identity: node ids restart from 0 in every
+   topology, and one process (the benchmark harness) builds many. *)
+let registry : (Node.t * t) list ref = ref []
+
+let of_node (node : Node.t) =
+  match List.find_opt (fun (n, _) -> n == node) !registry with
+  | Some (_, t) -> t
+  | None ->
+      let t = { handlers = [] } in
+      registry := (node, t) :: !registry;
+      Node.set_unicast_handler node (fun pkt ->
+          let rec dispatch = function
+            | [] -> ()
+            | h :: rest -> if not (h pkt) then dispatch rest
+          in
+          dispatch t.handlers);
+      t
+
+let add_handler t h = t.handlers <- t.handlers @ [ h ]

@@ -1,0 +1,258 @@
+module Sim = Mcc_engine.Sim
+module Node = Mcc_net.Node
+module Packet = Mcc_net.Packet
+module Payload = Mcc_net.Payload
+module Meter = Mcc_util.Meter
+
+type Payload.t +=
+  | Tcp_data of { flow : int; seq : int }
+  | Tcp_ack of { flow : int; ack : int }
+
+let () =
+  Payload.register_pp (fun fmt -> function
+    | Tcp_data { flow; seq } ->
+        Format.fprintf fmt "tcp-data f%d s%d" flow seq;
+        true
+    | Tcp_ack { flow; ack } ->
+        Format.fprintf fmt "tcp-ack f%d a%d" flow ack;
+        true
+    | _ -> false)
+
+type config = {
+  segment_size : int;
+  initial_cwnd : float;
+  initial_ssthresh : float;
+  min_rto : float;
+  max_rto : float;
+  ack_size : int;
+}
+
+let default_config =
+  {
+    segment_size = 576;
+    initial_cwnd = 1.;
+    initial_ssthresh = 64.;
+    min_rto = 0.5;
+    max_rto = 60.;
+    ack_size = 40;
+  }
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  flow : int;
+  src : Node.t;
+  dst : Node.t;
+  meter : Meter.t;
+  (* sender state *)
+  mutable cwnd : float;  (* segments *)
+  mutable ssthresh : float;
+  mutable snd_una : int;  (* lowest unacked seq *)
+  mutable snd_nxt : int;  (* next seq to send *)
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;  (* highest seq outstanding when loss detected *)
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff : float;
+  mutable timing : (int * float) option;  (* (seq, send time) RTT sample *)
+  mutable rto_timer : Sim.handle option;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+  mutable running : bool;
+  (* receiver state *)
+  mutable rcv_nxt : int;
+  ooo : (int, unit) Hashtbl.t;  (* out-of-order segments buffered at sink *)
+}
+
+let delivered_meter t = t.meter
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let retransmissions t = t.retransmissions
+let timeouts t = t.timeouts
+
+let flight t = t.snd_nxt - t.snd_una
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some h ->
+      Sim.cancel h;
+      t.rto_timer <- None
+  | None -> ()
+
+let send_segment t ~seq ~retransmit =
+  if retransmit then begin
+    t.retransmissions <- t.retransmissions + 1;
+    (* Karn: never sample the RTT of a retransmitted segment. *)
+    match t.timing with
+    | Some (s, _) when s = seq -> t.timing <- None
+    | Some _ | None -> ()
+  end
+  else if t.timing = None then t.timing <- Some (seq, Sim.now t.sim);
+  let pkt =
+    Packet.make ~src:t.src.Node.id ~dst:(Packet.Unicast t.dst.Node.id)
+      ~size:t.config.segment_size
+      (Tcp_data { flow = t.flow; seq })
+  in
+  Node.originate t.src pkt
+
+let rec arm_rto t =
+  cancel_rto t;
+  if flight t > 0 && t.running then
+    let delay = min t.config.max_rto (t.rto *. t.backoff) in
+    t.rto_timer <- Some (Sim.schedule_after t.sim ~delay (fun () -> on_timeout t))
+
+and on_timeout t =
+  t.rto_timer <- None;
+  if flight t > 0 && t.running then begin
+    t.timeouts <- t.timeouts + 1;
+    t.ssthresh <- Float.max (float_of_int (flight t) /. 2.) 2.;
+    t.cwnd <- 1.;
+    t.dupacks <- 0;
+    t.in_recovery <- false;
+    t.backoff <- Float.min (t.backoff *. 2.) 64.;
+    t.timing <- None;
+    send_segment t ~seq:t.snd_una ~retransmit:true;
+    arm_rto t
+  end
+
+let fill_window t =
+  if t.running then begin
+    let window = max 1 (int_of_float t.cwnd) in
+    let started_empty = flight t = 0 in
+    while flight t < window do
+      send_segment t ~seq:t.snd_nxt ~retransmit:false;
+      t.snd_nxt <- t.snd_nxt + 1
+    done;
+    if started_empty && flight t > 0 then arm_rto t
+  end
+
+let rtt_sample t r =
+  (match t.srtt with
+  | None ->
+      t.srtt <- Some r;
+      t.rttvar <- r /. 2.
+  | Some srtt ->
+      let delta = Float.abs (srtt -. r) in
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. delta);
+      t.srtt <- Some ((0.875 *. srtt) +. (0.125 *. r)));
+  let srtt = Option.value t.srtt ~default:r in
+  t.rto <-
+    Float.min t.config.max_rto
+      (Float.max t.config.min_rto (srtt +. (4. *. t.rttvar)))
+
+let on_ack t ack =
+  if ack > t.snd_una then begin
+    (* New data acknowledged. *)
+    (match t.timing with
+    | Some (seq, sent) when ack > seq ->
+        rtt_sample t (Sim.now t.sim -. sent);
+        t.timing <- None
+    | Some _ | None -> ());
+    t.backoff <- 1.;
+    t.snd_una <- ack;
+    if t.in_recovery then begin
+      (* Reno: leave recovery on the first new ACK, deflating the window. *)
+      t.in_recovery <- false;
+      t.cwnd <- t.ssthresh
+    end
+    else if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+    else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
+    t.dupacks <- 0;
+    arm_rto t;
+    fill_window t
+  end
+  else if ack = t.snd_una && flight t > 0 then begin
+    t.dupacks <- t.dupacks + 1;
+    if t.in_recovery then begin
+      t.cwnd <- t.cwnd +. 1.;
+      fill_window t
+    end
+    else if t.dupacks = 3 then begin
+      t.ssthresh <- Float.max (float_of_int (flight t) /. 2.) 2.;
+      t.recover <- t.snd_nxt - 1;
+      t.in_recovery <- true;
+      send_segment t ~seq:t.snd_una ~retransmit:true;
+      t.cwnd <- t.ssthresh +. 3.;
+      arm_rto t
+    end
+  end
+
+let send_ack t =
+  let pkt =
+    Packet.make ~src:t.dst.Node.id ~dst:(Packet.Unicast t.src.Node.id)
+      ~size:t.config.ack_size
+      (Tcp_ack { flow = t.flow; ack = t.rcv_nxt })
+  in
+  Node.originate t.dst pkt
+
+let on_data t seq =
+  if seq = t.rcv_nxt then begin
+    t.rcv_nxt <- t.rcv_nxt + 1;
+    Meter.record t.meter ~time:(Sim.now t.sim) ~bytes:t.config.segment_size;
+    let rec drain () =
+      if Hashtbl.mem t.ooo t.rcv_nxt then begin
+        Hashtbl.remove t.ooo t.rcv_nxt;
+        t.rcv_nxt <- t.rcv_nxt + 1;
+        Meter.record t.meter ~time:(Sim.now t.sim)
+          ~bytes:t.config.segment_size;
+        drain ()
+      end
+    in
+    drain ()
+  end
+  else if seq > t.rcv_nxt then Hashtbl.replace t.ooo seq ();
+  send_ack t
+
+let start ?(config = default_config) ?(at = 0.) topo ~flow ~src ~dst () =
+  let sim = Mcc_net.Topology.sim topo in
+  let t =
+    {
+      config;
+      sim;
+      flow;
+      src;
+      dst;
+      meter = Meter.create ();
+      cwnd = config.initial_cwnd;
+      ssthresh = config.initial_ssthresh;
+      snd_una = 0;
+      snd_nxt = 0;
+      dupacks = 0;
+      in_recovery = false;
+      recover = 0;
+      srtt = None;
+      rttvar = 0.;
+      rto = 3.;
+      backoff = 1.;
+      timing = None;
+      rto_timer = None;
+      retransmissions = 0;
+      timeouts = 0;
+      running = false;
+      rcv_nxt = 0;
+      ooo = Hashtbl.create 64;
+    }
+  in
+  Mux.add_handler (Mux.of_node dst) (fun pkt ->
+      match pkt.Packet.payload with
+      | Tcp_data { flow = f; seq } when f = flow ->
+          on_data t seq;
+          true
+      | _ -> false);
+  Mux.add_handler (Mux.of_node src) (fun pkt ->
+      match pkt.Packet.payload with
+      | Tcp_ack { flow = f; ack } when f = flow ->
+          on_ack t ack;
+          true
+      | _ -> false);
+  ignore
+    (Sim.schedule sim ~at (fun () ->
+         t.running <- true;
+         fill_window t));
+  t
+
+let stop t =
+  t.running <- false;
+  cancel_rto t

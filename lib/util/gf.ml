@@ -1,0 +1,49 @@
+let p = 2147483647 (* 2^31 - 1 *)
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a - b + p
+
+(* (p-1)^2 = 2^62 - 2^32 + ... fits within OCaml's 63-bit native int. *)
+let mul a b = a * b mod p
+
+let rec pow x n =
+  if n = 0 then 1
+  else
+    let h = pow x (n / 2) in
+    let h2 = mul h h in
+    if n land 1 = 1 then mul h2 x else h2
+
+let inv x = if x = 0 then raise Division_by_zero else pow x (p - 2)
+
+let eval_poly coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := add (mul !acc x) coeffs.(i)
+  done;
+  !acc
+
+let interpolate_at_zero points =
+  let xs = List.map fst points in
+  let rec dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || dup rest
+  in
+  if dup xs then invalid_arg "Gf.interpolate_at_zero: duplicate abscissae";
+  let term (xi, yi) =
+    let num, den =
+      List.fold_left
+        (fun (num, den) (xj, _) ->
+          if xj = xi then (num, den)
+          else (mul num (sub 0 xj), mul den (sub xi xj)))
+        (1, 1) points
+    in
+    mul yi (mul num (inv den))
+  in
+  List.fold_left (fun acc pt -> add acc (term pt)) 0 points

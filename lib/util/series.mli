@@ -1,0 +1,28 @@
+(** Append-only time series of (time, value) samples with helpers to
+    bin, window-average, and print the series the paper's figures plot. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> time:float -> value:float -> unit
+(** Samples must be appended in non-decreasing time order.
+    @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+
+val to_list : t -> (float * float) list
+(** Samples in insertion order. *)
+
+val values_between : t -> lo:float -> hi:float -> float list
+(** Values of samples with [lo <= time < hi]. *)
+
+val mean_between : t -> lo:float -> hi:float -> float
+(** Mean value over the half-open window; 0. if the window is empty. *)
+
+val moving_average : t -> window:float -> (float * float) list
+(** Centered moving average: for each sample time [t], the mean of values
+    in [t - window/2, t + window/2]. *)
+
+val pp_rows : ?label:string -> Format.formatter -> t -> unit
+(** Prints "time value" rows, one per line, gnuplot-style. *)

@@ -1,0 +1,15 @@
+type share = { x : int; y : int }
+
+let split prng ~k ~n ~secret =
+  if k <= 0 || k > n || n >= Gf.p then invalid_arg "Shamir.split";
+  let coeffs = Array.make k 0 in
+  coeffs.(0) <- Gf.of_int secret;
+  for i = 1 to k - 1 do
+    coeffs.(i) <- Prng.int prng Gf.p
+  done;
+  Array.init n (fun i ->
+      let x = i + 1 in
+      { x; y = Gf.eval_poly coeffs x })
+
+let reconstruct shares =
+  Gf.interpolate_at_zero (List.map (fun { x; y } -> (x, y)) shares)

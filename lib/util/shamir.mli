@@ -1,0 +1,21 @@
+(** Shamir (k, n) threshold secret sharing over GF(2^31 - 1).
+
+    DELTA's instantiation for threshold-based protocols (paper Section
+    3.1.2, "Congested state"): the key for a subscription level is split
+    among the n packets of a time slot so that any k of them suffice to
+    reconstruct it, matching protocols that declare a receiver congested
+    only above a loss-rate threshold. *)
+
+type share = { x : int; y : int }
+(** One share: the pair (p, q(p)) carried by packet number [x]. *)
+
+val split : Prng.t -> k:int -> n:int -> secret:int -> share array
+(** [split prng ~k ~n ~secret] builds shares of [secret] (a field
+    element) using a random degree-(k-1) polynomial.  Share abscissae are
+    1..n.  @raise Invalid_argument unless [0 < k <= n < Gf.p]. *)
+
+val reconstruct : share list -> int
+(** Reconstructs the secret from at least [k] distinct shares.  With
+    fewer than [k] shares the result is (with overwhelming probability)
+    a wrong value, never an error: the scheme is information-theoretic,
+    an ineligible receiver simply computes garbage. *)

@@ -1,0 +1,117 @@
+module Event_queue = Mcc_engine.Event_queue
+module Sim = Mcc_engine.Sim
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3. "c";
+  Event_queue.push q ~time:1. "a";
+  Event_queue.push q ~time:2. "b";
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1. i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_queue_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Event_queue.push q ~time:Float.nan ())
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_bound_inclusive 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let test_sim_order_and_clock () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:2. (fun () -> log := ("b", Sim.now sim) :: !log));
+  ignore (Sim.schedule sim ~at:1. (fun () -> log := ("a", Sim.now sim) :: !log));
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 0.)))) "order & clock"
+    [ ("a", 1.); ("b", 2.) ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:1. (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check bool) "flag" true (Sim.cancelled h)
+
+let test_sim_past () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:5. (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check bool) "raises on past" true
+    (try
+       ignore (Sim.schedule sim ~at:1. (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let h = Sim.every sim ~start:0. ~period:1. (fun () -> incr count) in
+  Sim.run_until sim 5.5;
+  Alcotest.(check int) "six ticks in [0,5]" 6 !count;
+  Sim.cancel h;
+  Sim.run_until sim 10.;
+  Alcotest.(check int) "no ticks after cancel" 6 !count
+
+let test_sim_run_until_clock () =
+  let sim = Sim.create () in
+  Sim.run_until sim 3.;
+  Alcotest.(check (float 0.)) "clock advances to horizon" 3. (Sim.now sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:1. (fun () ->
+         log := 1 :: !log;
+         ignore (Sim.schedule_after sim ~delay:0.5 (fun () -> log := 2 :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list int)) "nested" [ 1; 2 ] (List.rev !log)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "queue order" `Quick test_queue_order;
+      Alcotest.test_case "queue fifo ties" `Quick test_queue_fifo_ties;
+      Alcotest.test_case "queue nan" `Quick test_queue_nan;
+      QCheck_alcotest.to_alcotest prop_queue_sorted;
+      Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
+      Alcotest.test_case "sim cancel" `Quick test_sim_cancel;
+      Alcotest.test_case "sim rejects past" `Quick test_sim_past;
+      Alcotest.test_case "sim periodic" `Quick test_sim_every;
+      Alcotest.test_case "run_until clock" `Quick test_sim_run_until_clock;
+      Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+    ] )

@@ -1,0 +1,114 @@
+module Fec = Mcc_sigma.Fec
+module Tuple = Mcc_sigma.Tuple
+
+let tuples n =
+  List.init n (fun i ->
+      Tuple.make ~group:(1000 + i) ~slot:5 ~keys:[ i; i + 1 ] ~minimal:(i = 0))
+
+let decode_with coded =
+  let d = Fec.decoder_create () in
+  List.fold_left
+    (fun acc c -> match Fec.feed d c with Some ts -> Some ts | None -> acc)
+    None coded
+
+let groups_of ts = List.map (fun (t : Tuple.t) -> t.Tuple.group) ts
+
+let test_repetition_all_arrive () =
+  let coded = Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:4 (tuples 10) in
+  Alcotest.(check int) "3 chunks x 2 copies" 6 (List.length coded);
+  match decode_with coded with
+  | Some ts ->
+      Alcotest.(check (list int)) "order preserved"
+        (groups_of (tuples 10)) (groups_of ts)
+  | None -> Alcotest.fail "should decode"
+
+let test_repetition_survives_one_copy () =
+  let coded = Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:4 (tuples 10) in
+  (* Drop every copy-0 packet: copy-1 packets alone must decode. *)
+  let survivors = List.filter (fun (c : Fec.coded) -> c.Fec.copy = 1) coded in
+  match decode_with survivors with
+  | Some ts -> Alcotest.(check int) "all tuples" 10 (List.length ts)
+  | None -> Alcotest.fail "copies should decode"
+
+let test_repetition_fails_when_chunk_gone () =
+  let coded = Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:4 (tuples 10) in
+  let survivors = List.filter (fun (c : Fec.coded) -> c.Fec.chunk <> 1) coded in
+  Alcotest.(check bool) "incomplete" true (decode_with survivors = None)
+
+let test_parity_recovers_missing_chunk () =
+  let coded = Fec.encode ~width:16 Fec.Xor_parity ~max_per_packet:4 (tuples 10) in
+  Alcotest.(check int) "3 data + 1 parity" 4 (List.length coded);
+  (* Drop one data chunk: parity recovers. *)
+  let survivors = List.filter (fun (c : Fec.coded) -> c.Fec.chunk <> 0) coded in
+  match decode_with survivors with
+  | Some ts -> Alcotest.(check int) "recovered" 10 (List.length ts)
+  | None -> Alcotest.fail "parity should recover one missing chunk"
+
+let test_parity_fails_on_two_missing () =
+  let coded = Fec.encode ~width:16 Fec.Xor_parity ~max_per_packet:4 (tuples 10) in
+  let survivors =
+    List.filter (fun (c : Fec.coded) -> c.Fec.chunk > 1) coded
+  in
+  Alcotest.(check bool) "two chunks gone" true (decode_with survivors = None)
+
+let test_expansion () =
+  Alcotest.(check (float 1e-9)) "repetition z" 2.
+    (Fec.expansion (Fec.Repetition 2) ~total_chunks:3);
+  Alcotest.(check (float 1e-9)) "parity z" (4. /. 3.)
+    (Fec.expansion Fec.Xor_parity ~total_chunks:3)
+
+let test_decoder_reports_once () =
+  let coded = Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:100 (tuples 3) in
+  let d = Fec.decoder_create () in
+  let results = List.map (Fec.feed d) coded in
+  let some = List.filter Option.is_some results in
+  Alcotest.(check int) "exactly one completion" 1 (List.length some);
+  Alcotest.(check bool) "complete" true (Fec.complete d)
+
+let test_invalid_args () =
+  Alcotest.(check bool) "empty tuples" true
+    (try
+       ignore (Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:4 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad chunk size" true
+    (try
+       ignore (Fec.encode ~width:16 Fec.Xor_parity ~max_per_packet:0 (tuples 2));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_repetition_random_loss =
+  QCheck.Test.make ~name:"repetition-2 decodes iff each chunk has a copy"
+    ~count:200
+    QCheck.(list_of_size (Gen.return 6) bool)
+    (fun keep ->
+      let coded =
+        Fec.encode ~width:16 (Fec.Repetition 2) ~max_per_packet:4 (tuples 10)
+      in
+      let coded = List.sort (fun (a : Fec.coded) b -> compare (a.Fec.chunk, a.Fec.copy) (b.Fec.chunk, b.Fec.copy)) coded in
+      let survivors =
+        List.filteri (fun i _ -> List.nth keep (i mod List.length keep)) coded
+      in
+      let chunk_survives c =
+        List.exists (fun (s : Fec.coded) -> s.Fec.chunk = c) survivors
+      in
+      let decodable = chunk_survives 0 && chunk_survives 1 && chunk_survives 2 in
+      (decode_with survivors <> None) = decodable)
+
+let suite =
+  ( "fec",
+    [
+      Alcotest.test_case "repetition, all arrive" `Quick
+        test_repetition_all_arrive;
+      Alcotest.test_case "repetition, one copy set" `Quick
+        test_repetition_survives_one_copy;
+      Alcotest.test_case "repetition, chunk gone" `Quick
+        test_repetition_fails_when_chunk_gone;
+      Alcotest.test_case "parity recovers" `Quick
+        test_parity_recovers_missing_chunk;
+      Alcotest.test_case "parity limit" `Quick test_parity_fails_on_two_missing;
+      Alcotest.test_case "expansion factors" `Quick test_expansion;
+      Alcotest.test_case "single completion" `Quick test_decoder_reports_once;
+      Alcotest.test_case "invalid args" `Quick test_invalid_args;
+      QCheck_alcotest.to_alcotest prop_repetition_random_loss;
+    ] )

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "mcc"
+    [
+      Test_prng.suite;
+      Test_gf.suite;
+      Test_shamir.suite;
+      Test_stats.suite;
+      Test_series_meter.suite;
+      Test_engine.suite;
+      Test_net.suite;
+      Test_delta.suite;
+      Test_threshold.suite;
+      Test_fec.suite;
+      Test_overhead.suite;
+      Test_sigma.suite;
+      Test_transport.suite;
+      Test_flid.suite;
+      Test_protocols.suite;
+      Test_core.suite;
+      Test_red.suite;
+      Test_trace.suite;
+      Test_misc.suite;
+      Test_integration.suite;
+      Test_properties.suite;
+      Test_tfrc.suite;
+      Test_collusion.suite;
+    ]

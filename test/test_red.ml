@@ -1,0 +1,100 @@
+module Red = Mcc_net.Red
+module Sim = Mcc_engine.Sim
+module Topology = Mcc_net.Topology
+module Node = Mcc_net.Node
+module Link = Mcc_net.Link
+module Packet = Mcc_net.Packet
+
+let config =
+  { Red.min_bytes = 1000; max_bytes = 3000; max_probability = 0.5; weight = 1.0 }
+
+let test_no_marks_below_min () =
+  let red = Red.create config in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "below min" false
+      (Red.on_enqueue red ~queue_bytes:500)
+  done;
+  Alcotest.(check int) "no marks" 0 (Red.marks red)
+
+let test_all_marks_above_max () =
+  let red = Red.create config in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "above max" true
+      (Red.on_enqueue red ~queue_bytes:5000)
+  done;
+  Alcotest.(check int) "all marked" 100 (Red.marks red)
+
+let test_probability_ramp () =
+  (* With weight 1 the average tracks instantaneously; at the midpoint
+     the marking probability is max_probability / 2 = 0.25. *)
+  let red = Red.create ~seed:5 config in
+  let n = 20_000 in
+  let marked = ref 0 in
+  for _ = 1 to n do
+    if Red.on_enqueue red ~queue_bytes:2000 then incr marked
+  done;
+  let rate = float_of_int !marked /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "midpoint rate %.3f near 0.25" rate)
+    true
+    (abs_float (rate -. 0.25) < 0.02)
+
+let test_ewma_smoothing () =
+  let red =
+    Red.create { config with Red.weight = 0.1 }
+  in
+  (* A single burst sample barely moves a slow average. *)
+  ignore (Red.on_enqueue red ~queue_bytes:10_000);
+  Alcotest.(check bool) "smoothed" true (Red.average red < 1_001.)
+
+let test_invalid_configs () =
+  let check name c =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Red.create c);
+         false
+       with Invalid_argument _ -> true)
+  in
+  check "thresholds" { config with Red.max_bytes = 500 };
+  check "probability" { config with Red.max_probability = 0. };
+  check "weight" { config with Red.weight = 2. }
+
+let test_red_on_link_marks () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.add_node topo Node.Host in
+  let b = Topology.add_node topo Node.Host in
+  let ab, _ =
+    Topology.connect topo a b ~rate_bps:80_000. ~delay_s:0.001
+      ~buffer_bytes:8_000 ()
+  in
+  ab.Link.red <-
+    Some
+      (Red.create
+         { Red.min_bytes = 1000; max_bytes = 4000; max_probability = 0.5;
+           weight = 1.0 });
+  Topology.compute_routes topo;
+  let marked = ref 0 and total = ref 0 in
+  Node.set_unicast_handler b (fun pkt ->
+      incr total;
+      if pkt.Packet.ecn then incr marked);
+  for _ = 1 to 8 do
+    Node.originate a
+      (Packet.make ~src:a.Node.id ~dst:(Packet.Unicast b.Node.id) ~size:1000
+         Mcc_net.Payload.Raw)
+  done;
+  Sim.run sim;
+  Alcotest.(check bool) "all delivered (buffer fits)" true (!total = 8);
+  Alcotest.(check bool) "deep-queue packets marked" true (!marked > 0);
+  Alcotest.(check int) "link counter consistent" !marked ab.Link.marks
+
+let suite =
+  ( "red",
+    [
+      Alcotest.test_case "below min" `Quick test_no_marks_below_min;
+      Alcotest.test_case "above max" `Quick test_all_marks_above_max;
+      Alcotest.test_case "probability ramp" `Quick test_probability_ramp;
+      Alcotest.test_case "ewma smoothing" `Quick test_ewma_smoothing;
+      Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+      Alcotest.test_case "marks on a link" `Quick test_red_on_link_marks;
+    ] )

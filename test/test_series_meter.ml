@@ -1,0 +1,79 @@
+open Mcc_util
+
+let test_series_order () =
+  let s = Series.create () in
+  Series.add s ~time:1. ~value:10.;
+  Series.add s ~time:2. ~value:20.;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Series.add: time going backwards") (fun () ->
+      Series.add s ~time:1.5 ~value:0.)
+
+let test_series_window () =
+  let s = Series.create () in
+  List.iter
+    (fun (t, v) -> Series.add s ~time:t ~value:v)
+    [ (0., 1.); (1., 2.); (2., 3.); (3., 4.) ];
+  Alcotest.(check int) "length" 4 (Series.length s);
+  Alcotest.(check (list (float 0.))) "between" [ 2.; 3. ]
+    (Series.values_between s ~lo:1. ~hi:3.);
+  Alcotest.(check (float 1e-9)) "mean window" 2.5
+    (Series.mean_between s ~lo:1. ~hi:3.)
+
+let test_series_moving_average () =
+  let s = Series.create () in
+  List.iter (fun t -> Series.add s ~time:t ~value:t) [ 0.; 1.; 2.; 3.; 4. ];
+  let ma = Series.moving_average s ~window:2.0 in
+  (* At time 2 the window [1,3] holds values 1,2 (hi exclusive gives 1,2)
+     - centered average includes 1,2 (3 excluded by half-open bound). *)
+  let _, v2 = List.nth ma 2 in
+  Alcotest.(check (float 1e-9)) "centered" 1.5 v2
+
+let test_meter_bins () =
+  let m = Meter.create ~bin:1.0 () in
+  Meter.record m ~time:0.2 ~bytes:125;
+  Meter.record m ~time:0.7 ~bytes:125;
+  Meter.record m ~time:1.5 ~bytes:250;
+  Alcotest.(check int) "total" 500 (Meter.total_bytes m);
+  (match Meter.throughput_kbps m with
+  | (_, k1) :: (_, k2) :: _ ->
+      Alcotest.(check (float 1e-9)) "bin1 kbps" 2.0 k1;
+      Alcotest.(check (float 1e-9)) "bin2 kbps" 2.0 k2
+  | _ -> Alcotest.fail "expected two bins")
+
+let test_meter_mean () =
+  let m = Meter.create ~bin:1.0 () in
+  for i = 0 to 9 do
+    Meter.record m ~time:(float_of_int i +. 0.5) ~bytes:1250
+  done;
+  (* 1250 B/s = 10 kbps over [0, 10). *)
+  Alcotest.(check (float 1e-6)) "mean kbps" 10. (Meter.mean_kbps m ~lo:0. ~hi:10.)
+
+let test_meter_backwards () =
+  let m = Meter.create () in
+  Meter.record m ~time:5. ~bytes:1;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Meter.record: time going backwards") (fun () ->
+      Meter.record m ~time:4. ~bytes:1)
+
+let prop_meter_total =
+  QCheck.Test.make ~name:"meter total equals sum of records" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (int_range 1 10_000))
+    (fun sizes ->
+      let m = Meter.create () in
+      List.iteri
+        (fun i b -> Meter.record m ~time:(float_of_int i *. 0.1) ~bytes:b)
+        sizes;
+      Meter.total_bytes m = List.fold_left ( + ) 0 sizes)
+
+let suite =
+  ( "series-meter",
+    [
+      Alcotest.test_case "series ordering" `Quick test_series_order;
+      Alcotest.test_case "series windows" `Quick test_series_window;
+      Alcotest.test_case "series moving average" `Quick
+        test_series_moving_average;
+      Alcotest.test_case "meter bins" `Quick test_meter_bins;
+      Alcotest.test_case "meter mean" `Quick test_meter_mean;
+      Alcotest.test_case "meter backwards" `Quick test_meter_backwards;
+      QCheck_alcotest.to_alcotest prop_meter_total;
+    ] )

@@ -1,0 +1,65 @@
+open Mcc_util
+
+let test_reconstruct_exact () =
+  let prng = Prng.create 1 in
+  let secret = 987654 in
+  let shares = Shamir.split prng ~k:3 ~n:5 ~secret in
+  let subset = [ shares.(0); shares.(2); shares.(4) ] in
+  Alcotest.(check int) "k shares recover" secret (Shamir.reconstruct subset)
+
+let test_all_shares () =
+  let prng = Prng.create 2 in
+  let secret = 31337 in
+  let shares = Shamir.split prng ~k:4 ~n:7 ~secret in
+  Alcotest.(check int) "n shares recover" secret
+    (Shamir.reconstruct (Array.to_list shares))
+
+let test_below_quorum_wrong () =
+  let prng = Prng.create 3 in
+  let secret = 1234567 in
+  let wrong = ref 0 in
+  for trial = 0 to 19 do
+    let shares = Shamir.split prng ~k:3 ~n:5 ~secret:(secret + trial) in
+    let guess = Shamir.reconstruct [ shares.(0); shares.(1) ] in
+    if guess <> secret + trial then incr wrong
+  done;
+  (* Information-theoretic hiding: two shares of a 3-quorum say nothing;
+     a collision is a ~1/p event. *)
+  Alcotest.(check int) "k-1 shares never recover" 20 !wrong
+
+let test_invalid_params () =
+  let prng = Prng.create 4 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Shamir.split") (fun () ->
+      ignore (Shamir.split prng ~k:5 ~n:3 ~secret:1));
+  Alcotest.check_raises "k = 0" (Invalid_argument "Shamir.split") (fun () ->
+      ignore (Shamir.split prng ~k:0 ~n:3 ~secret:1))
+
+let test_k1_every_share_is_key () =
+  let prng = Prng.create 5 in
+  let shares = Shamir.split prng ~k:1 ~n:4 ~secret:777 in
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "single share" 777 (Shamir.reconstruct [ s ]))
+    shares
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"Shamir split/reconstruct roundtrip" ~count:100
+    QCheck.(triple small_int (int_range 1 10) (int_range 0 1_000_000))
+    (fun (seed, k, secret) ->
+      let n = k + (seed mod 5) in
+      let prng = Prng.create seed in
+      let shares = Shamir.split prng ~k ~n ~secret in
+      (* Any k shares suffice; take the last k. *)
+      let subset = Array.to_list (Array.sub shares (n - k) k) in
+      Shamir.reconstruct subset = Gf.of_int secret)
+
+let suite =
+  ( "shamir",
+    [
+      Alcotest.test_case "k shares recover" `Quick test_reconstruct_exact;
+      Alcotest.test_case "all shares recover" `Quick test_all_shares;
+      Alcotest.test_case "below quorum hides" `Quick test_below_quorum_wrong;
+      Alcotest.test_case "invalid params" `Quick test_invalid_params;
+      Alcotest.test_case "k=1 degenerate" `Quick test_k1_every_share_is_key;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,121 @@
+module Prng = Mcc_util.Prng
+module Threshold = Mcc_delta.Threshold
+
+let make_sender ?(levels = 3) ?(counts = [| 4; 3; 3 |])
+    ?(thresholds = [| 0.25; 0.25; 0.25 |]) () =
+  let prng = Prng.create 55 in
+  Threshold.sender_create ~prng ~levels ~per_group_counts:counts
+    ~loss_thresholds:thresholds
+
+let deliver sender receiver ~drop ~levels ~counts =
+  for g = 1 to levels do
+    for i = 1 to counts.(g - 1) do
+      if not (drop g i) then
+        Threshold.on_shares receiver
+          (Threshold.shares_for_packet sender ~group:g ~packet_index:i)
+    done
+  done
+
+let test_quorums () =
+  let s = make_sender () in
+  (* n_1 = 4, n_2 = 7, n_3 = 10 with 25% tolerance: k = ceil(0.75 n). *)
+  Alcotest.(check int) "k1" 3 (Threshold.level_quorum s ~level:1);
+  Alcotest.(check int) "k2" 6 (Threshold.level_quorum s ~level:2);
+  Alcotest.(check int) "k3" 8 (Threshold.level_quorum s ~level:3)
+
+let test_reconstruct_no_loss () =
+  let s = make_sender () in
+  let r = Threshold.receiver_create ~levels:3 in
+  deliver s r ~drop:(fun _ _ -> false) ~levels:3 ~counts:[| 4; 3; 3 |];
+  for level = 1 to 3 do
+    let quorum = Threshold.level_quorum s ~level in
+    match Threshold.reconstruct r ~level ~quorum with
+    | Some key ->
+        Alcotest.(check int)
+          (Printf.sprintf "level %d key" level)
+          (Threshold.level_key s ~level)
+          key
+    | None -> Alcotest.fail "quorum should be met"
+  done
+
+let test_loss_within_threshold () =
+  let s = make_sender () in
+  let r = Threshold.receiver_create ~levels:3 in
+  (* Lose 2 of 10 packets (20% < 25%): level 3 still reconstructible. *)
+  deliver s r
+    ~drop:(fun g i -> (g = 1 && i = 2) || (g = 3 && i = 1))
+    ~levels:3 ~counts:[| 4; 3; 3 |];
+  let quorum = Threshold.level_quorum s ~level:3 in
+  match Threshold.reconstruct r ~level:3 ~quorum with
+  | Some key ->
+      Alcotest.(check int) "tolerates sub-threshold loss"
+        (Threshold.level_key s ~level:3) key
+  | None -> Alcotest.fail "quorum should be met"
+
+let test_loss_beyond_threshold () =
+  let s = make_sender () in
+  let r = Threshold.receiver_create ~levels:3 in
+  (* Lose 3 of 10 (30% > 25%): level 3 unreachable, but the loss is
+     concentrated so level 1 (4 of 4 delivered... drop hits group 2/3)
+     still reconstructs - graded access. *)
+  deliver s r ~drop:(fun g _ -> g = 3) ~levels:3 ~counts:[| 4; 3; 3 |];
+  Alcotest.(check (option int)) "level 3 denied" None
+    (Threshold.reconstruct r ~level:3
+       ~quorum:(Threshold.level_quorum s ~level:3));
+  (match
+     Threshold.reconstruct r ~level:2 ~quorum:(Threshold.level_quorum s ~level:2)
+   with
+  | Some key ->
+      Alcotest.(check int) "level 2 granted" (Threshold.level_key s ~level:2) key
+  | None -> Alcotest.fail "level 2 should reconstruct")
+
+let test_share_overhead () =
+  let s = make_sender () in
+  (* Group 1 packets carry shares for levels 1..3, group 3 only level 3:
+     the non-reusable overhead the paper points out. *)
+  Alcotest.(check int) "group 1" 12 (Threshold.share_bytes_per_packet s ~group:1);
+  Alcotest.(check int) "group 3" 4 (Threshold.share_bytes_per_packet s ~group:3);
+  Alcotest.(check int) "share lists" 3
+    (List.length (Threshold.shares_for_packet s ~group:1 ~packet_index:1));
+  Alcotest.(check int) "share lists top" 1
+    (List.length (Threshold.shares_for_packet s ~group:3 ~packet_index:1))
+
+let test_duplicate_shares_ignored () =
+  let s = make_sender () in
+  let r = Threshold.receiver_create ~levels:3 in
+  let shares = Threshold.shares_for_packet s ~group:1 ~packet_index:1 in
+  Threshold.on_shares r shares;
+  Threshold.on_shares r shares;
+  Alcotest.(check int) "deduplicated" 1 (Threshold.shares_received r ~level:1)
+
+let prop_threshold_quorum =
+  QCheck.Test.make ~name:"threshold key iff quorum met" ~count:100
+    QCheck.(pair small_int (int_range 0 9))
+    (fun (seed, dropped) ->
+      let prng = Prng.create (seed + 3) in
+      let s =
+        Threshold.sender_create ~prng ~levels:1 ~per_group_counts:[| 10 |]
+          ~loss_thresholds:[| 0.3 |]
+      in
+      let r = Threshold.receiver_create ~levels:1 in
+      for i = 1 to 10 do
+        if i > dropped then
+          Threshold.on_shares r (Threshold.shares_for_packet s ~group:1 ~packet_index:i)
+      done;
+      let quorum = Threshold.level_quorum s ~level:1 in
+      let result = Threshold.reconstruct r ~level:1 ~quorum in
+      if 10 - dropped >= quorum then result = Some (Threshold.level_key s ~level:1)
+      else result = None)
+
+let suite =
+  ( "threshold",
+    [
+      Alcotest.test_case "quorums" `Quick test_quorums;
+      Alcotest.test_case "reconstruct, no loss" `Quick test_reconstruct_no_loss;
+      Alcotest.test_case "sub-threshold loss" `Quick test_loss_within_threshold;
+      Alcotest.test_case "beyond-threshold loss" `Quick
+        test_loss_beyond_threshold;
+      Alcotest.test_case "share overhead" `Quick test_share_overhead;
+      Alcotest.test_case "duplicate shares" `Quick test_duplicate_shares_ignored;
+      QCheck_alcotest.to_alcotest prop_threshold_quorum;
+    ] )

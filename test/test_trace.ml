@@ -1,0 +1,82 @@
+module Sim = Mcc_engine.Sim
+module Topology = Mcc_net.Topology
+module Node = Mcc_net.Node
+module Link = Mcc_net.Link
+module Packet = Mcc_net.Packet
+module Trace = Mcc_net.Trace
+
+let small_link () =
+  let sim = Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.add_node topo Node.Host in
+  let b = Topology.add_node topo Node.Host in
+  let ab, _ =
+    Topology.connect topo a b ~rate_bps:80_000. ~delay_s:0.001
+      ~buffer_bytes:2_000 ()
+  in
+  Topology.compute_routes topo;
+  (sim, a, b, ab)
+
+let burst sim a b n =
+  for _ = 1 to n do
+    Node.originate a
+      (Packet.make ~src:a.Node.id ~dst:(Packet.Unicast b.Node.id) ~size:1000
+         Mcc_net.Payload.Raw)
+  done;
+  Sim.run sim
+
+let test_counts_match_link () =
+  let sim, a, b, ab = small_link () in
+  let trace = Trace.attach ab in
+  burst sim a b 10;
+  Alcotest.(check int) "tx" ab.Link.tx_packets (Trace.count trace Link.Tx_start);
+  Alcotest.(check int) "drops" ab.Link.drops (Trace.count trace Link.Dropped);
+  Alcotest.(check int) "delivered = tx" ab.Link.tx_packets
+    (Trace.count trace Link.Delivered);
+  Alcotest.(check bool) "some drops in this burst" true (ab.Link.drops > 0)
+
+let test_record_order_and_times () =
+  let sim, a, b, ab = small_link () in
+  let trace = Trace.attach ab in
+  burst sim a b 3;
+  let records = Trace.records trace in
+  let times = List.map (fun (r : Trace.record) -> r.Trace.time) records in
+  Alcotest.(check bool) "non-decreasing timestamps" true
+    (List.for_all2 (fun x y -> x <= y)
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times));
+  (* First event of an idle link is the first transmission at t=0. *)
+  match records with
+  | first :: _ ->
+      Alcotest.(check bool) "starts with tx" true
+        (first.Trace.event = Link.Tx_start)
+  | [] -> Alcotest.fail "no records"
+
+let test_ring_capacity () =
+  let sim, a, b, ab = small_link () in
+  let trace = Trace.attach ~capacity:5 ab in
+  burst sim a b 10;
+  Alcotest.(check bool) "bounded" true (List.length (Trace.records trace) <= 5);
+  Alcotest.(check bool) "counts unbounded" true
+    (Trace.count trace Link.Tx_start = 3);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.records trace))
+
+let test_chaining_preserves_existing_tap () =
+  let sim, a, b, ab = small_link () in
+  let seen = ref 0 in
+  ab.Link.on_event <- Some (fun _ _ -> incr seen);
+  let trace = Trace.attach ab in
+  burst sim a b 2;
+  Alcotest.(check bool) "original tap still called" true (!seen > 0);
+  Alcotest.(check bool) "trace also records" true
+    (Trace.count trace Link.Tx_start > 0)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "counts match link" `Quick test_counts_match_link;
+      Alcotest.test_case "record order" `Quick test_record_order_and_times;
+      Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+      Alcotest.test_case "tap chaining" `Quick test_chaining_preserves_existing_tap;
+    ] )
