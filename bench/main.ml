@@ -5,130 +5,179 @@
    Usage:
      dune exec bench/main.exe                 # all figures, paper durations
      dune exec bench/main.exe -- --quick      # abbreviated durations
+     dune exec bench/main.exe -- --jobs 4     # sweeps across 4 domains
      dune exec bench/main.exe -- fig1 fig7    # a subset
      dune exec bench/main.exe -- micro        # microbenchmarks only *)
 
 module E = Mcc_core.Experiments
 module Report = Mcc_core.Report
+module Runner = Mcc_core.Runner
+module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
 
 let fmt = Format.std_formatter
 
 let quick = ref false
+let jobs = ref 1
 let requested : string list ref = ref []
 
 let duration full = if !quick then full /. 4. else full
+
+(* --quick scales a whole spec (attack times, burst windows, joins)
+   rather than just the duration, so abbreviated runs keep their
+   measurement windows inside the simulated horizon. *)
+let q spec = if !quick then Spec.scale_time spec ~factor:0.25 else spec
+let run_specs specs = Runner.run_specs ~jobs:!jobs (List.map q specs)
+let run_spec spec = List.hd (run_specs [ spec ])
+
+let attack mode =
+  match run_spec (Spec.Attack { Spec.default_attack with Spec.mode = mode }) with
+  | E.Attack r -> r
+  | _ -> assert false
 
 let fig1 () =
   Report.heading fmt
     "Figure 1: impact of inflated subscription on FLID-DL (1 Mbps \
      bottleneck, F1 misbehaves at t=100s)";
-  Report.attack fmt
-    (E.attack ~duration:(duration 200.) ~mode:Flid.Plain ())
+  Report.attack fmt (attack Flid.Plain)
 
 let fig7 () =
   Report.heading fmt
     "Figure 7: protection with DELTA and SIGMA (same scenario, FLID-DS)";
-  Report.attack fmt
-    (E.attack ~duration:(duration 200.) ~mode:Flid.Robust ())
+  Report.attack fmt (attack Flid.Robust)
 
 let sweep_counts () =
   if !quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
 
+let sweep_specs ?(cross_traffic = false) mode =
+  List.map
+    (fun sessions ->
+      Spec.Sweep
+        { Spec.seed = 11 + sessions; duration = 200.; sessions; cross_traffic;
+          mode })
+    (sweep_counts ())
+
+let sweep_point = function E.Sweep_point p -> p | _ -> assert false
+let sweep_points specs = List.map sweep_point (run_specs specs)
+
 let fig8a () =
   Report.heading fmt
     "Figure 8a: FLID-DL throughput vs number of sessions (no cross traffic)";
-  Report.sweep fmt
-    (E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Plain
-       ~counts:(sweep_counts ()) ())
+  Report.sweep fmt (sweep_points (sweep_specs Flid.Plain))
 
 let fig8b () =
   Report.heading fmt
     "Figure 8b: FLID-DS throughput vs number of sessions (no cross traffic)";
-  Report.sweep fmt
-    (E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Robust
-       ~counts:(sweep_counts ()) ())
+  Report.sweep fmt (sweep_points (sweep_specs Flid.Robust))
+
+(* Both variants of a comparison figure go into one batch, so --jobs
+   parallelises across the full surface, not per half. *)
+let sweep_pair ?cross_traffic () =
+  let dl_specs = sweep_specs ?cross_traffic Flid.Plain in
+  let points =
+    List.map sweep_point
+      (run_specs (dl_specs @ sweep_specs ?cross_traffic Flid.Robust))
+  in
+  let n = List.length dl_specs in
+  (List.filteri (fun i _ -> i < n) points, List.filteri (fun i _ -> i >= n) points)
+
+let print_pair (dl, ds) =
+  Format.fprintf fmt "# sessions  FLID-DL avg  FLID-DS avg@.";
+  List.iter2
+    (fun (a : E.sweep_point) (b : E.sweep_point) ->
+      Format.fprintf fmt "%2d  %.1f  %.1f@." a.E.sessions a.E.average_kbps
+        b.E.average_kbps)
+    dl ds;
+  Format.fprintf fmt "@."
 
 let fig8c () =
   Report.heading fmt
     "Figure 8c: average throughput, FLID-DL vs FLID-DS (no cross traffic)";
-  let dl =
-    E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Plain
-      ~counts:(sweep_counts ()) ()
-  and ds =
-    E.throughput_vs_sessions ~duration:(duration 200.) ~mode:Flid.Robust
-      ~counts:(sweep_counts ()) ()
-  in
-  Format.fprintf fmt "# sessions  FLID-DL avg  FLID-DS avg@.";
-  List.iter2
-    (fun (a : E.sweep_point) (b : E.sweep_point) ->
-      Format.fprintf fmt "%2d  %.1f  %.1f@." a.E.sessions a.E.average_kbps
-        b.E.average_kbps)
-    dl ds;
-  Format.fprintf fmt "@."
+  print_pair (sweep_pair ())
 
 let fig8d () =
   Report.heading fmt
     "Figure 8d: average throughput with TCP and on-off CBR cross traffic";
-  let dl =
-    E.throughput_vs_sessions ~duration:(duration 200.) ~cross_traffic:true
-      ~mode:Flid.Plain ~counts:(sweep_counts ()) ()
-  and ds =
-    E.throughput_vs_sessions ~duration:(duration 200.) ~cross_traffic:true
-      ~mode:Flid.Robust ~counts:(sweep_counts ()) ()
-  in
-  Format.fprintf fmt "# sessions  FLID-DL avg  FLID-DS avg@.";
-  List.iter2
-    (fun (a : E.sweep_point) (b : E.sweep_point) ->
-      Format.fprintf fmt "%2d  %.1f  %.1f@." a.E.sessions a.E.average_kbps
-        b.E.average_kbps)
-    dl ds;
-  Format.fprintf fmt "@."
+  print_pair (sweep_pair ~cross_traffic:true ())
 
 let fig8e () =
   Report.heading fmt
     "Figure 8e: responsiveness to an 800 Kbps CBR burst (45-75 s)";
-  Format.fprintf fmt "-- FLID-DL --@.";
-  Report.responsiveness fmt
-    (E.responsiveness ~duration:(duration 100.) ~mode:Flid.Plain ());
-  Format.fprintf fmt "-- FLID-DS --@.";
-  Report.responsiveness fmt
-    (E.responsiveness ~duration:(duration 100.) ~mode:Flid.Robust ())
+  let results =
+    run_specs
+      [
+        Spec.Responsiveness
+          { Spec.default_responsiveness with Spec.mode = Flid.Plain };
+        Spec.Responsiveness
+          { Spec.default_responsiveness with Spec.mode = Flid.Robust };
+      ]
+  in
+  List.iter2
+    (fun label result ->
+      Format.fprintf fmt "-- %s --@." label;
+      match result with
+      | E.Responsiveness r -> Report.responsiveness fmt r
+      | _ -> assert false)
+    [ "FLID-DL"; "FLID-DS" ] results
 
 let fig8f () =
   Report.heading fmt
     "Figure 8f: average throughput vs heterogeneous round-trip times";
-  Format.fprintf fmt "-- FLID-DL --@.";
-  Report.rtt fmt (E.rtt_fairness ~duration:(duration 200.) ~mode:Flid.Plain ());
-  Format.fprintf fmt "-- FLID-DS --@.";
-  Report.rtt fmt (E.rtt_fairness ~duration:(duration 200.) ~mode:Flid.Robust ())
+  let results =
+    run_specs
+      [
+        Spec.Rtt { Spec.default_rtt with Spec.mode = Flid.Plain };
+        Spec.Rtt { Spec.default_rtt with Spec.mode = Flid.Robust };
+      ]
+  in
+  List.iter2
+    (fun label result ->
+      Format.fprintf fmt "-- %s --@." label;
+      match result with E.Rtt r -> Report.rtt fmt r | _ -> assert false)
+    [ "FLID-DL"; "FLID-DS" ] results
+
+let convergence mode =
+  match
+    Runner.run_spec (Spec.Convergence { Spec.default_convergence with Spec.mode })
+  with
+  | E.Convergence r -> r
+  | _ -> assert false
 
 let fig8g () =
   Report.heading fmt
     "Figure 8g: subscription convergence, FLID-DL (joins at 0/10/20/30 s)";
-  Report.convergence fmt (E.convergence ~duration:40. ~mode:Flid.Plain ())
+  Report.convergence fmt (convergence Flid.Plain)
 
 let fig8h () =
   Report.heading fmt "Figure 8h: subscription convergence, FLID-DS";
-  Report.convergence fmt (E.convergence ~duration:40. ~mode:Flid.Robust ())
+  Report.convergence fmt (convergence Flid.Robust)
+
+let overhead_points values axis =
+  run_specs
+    (List.map
+       (fun (groups, slot) ->
+         Spec.Overhead { Spec.default_overhead with Spec.groups; slot; axis })
+       values)
+  |> List.map (function E.Overhead p -> p | _ -> assert false)
 
 let fig9a () =
   Report.heading fmt
     "Figure 9a: DELTA / SIGMA communication overhead vs number of groups";
+  let groups_list =
+    if !quick then [ 2; 6; 10; 20 ] else [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+  in
   Report.overhead fmt ~x_label:"groups"
-    (E.overhead_vs_groups ~duration:(duration 30.)
-       ~groups_list:(if !quick then [ 2; 6; 10; 20 ] else
-                       [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ])
-       ())
+    (overhead_points (List.map (fun g -> (g, 0.25)) groups_list) Spec.Groups)
 
 let fig9b () =
   Report.heading fmt
     "Figure 9b: DELTA / SIGMA communication overhead vs slot duration";
+  let slots =
+    if !quick then [ 0.2; 0.5; 1.0 ]
+    else [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
   Report.overhead fmt ~x_label:"slot_s"
-    (E.overhead_vs_slot ~duration:(duration 30.)
-       ~slots:(if !quick then [ 0.2; 0.5; 1.0 ] else
-                 [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
-       ())
+    (overhead_points (List.map (fun s -> (10, s)) slots) Spec.Slot)
 
 (* --- Beyond the paper's figures: Section 3.2.3 and design ablations ---- *)
 
@@ -136,7 +185,11 @@ let partial () =
   Report.heading fmt
     "Incremental deployment (paper Section 3.2.3): the same attack behind \
      a SIGMA edge router vs a legacy IGMP router";
-  let r = E.partial_deployment ~duration:(duration 120.) () in
+  let r =
+    match run_spec (Spec.Partial Spec.default_partial) with
+    | E.Partial r -> r
+    | _ -> assert false
+  in
   Report.row fmt "attacker behind SIGMA edge"
     [ ("kbps", r.E.protected_attacker_kbps) ];
   Report.row fmt "attacker behind legacy edge"
@@ -584,13 +637,19 @@ let all_figs =
   ]
 
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | name -> requested := name :: !requested)
-    Sys.argv;
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := max 1 (int_of_string n);
+        parse rest
+    | name :: rest ->
+        requested := name :: !requested;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let selected =
     if !requested = [] then all_figs
     else

@@ -1,0 +1,32 @@
+(* Emits version.ml from the (version ...) field of dune-project, so the
+   CLI's --version string has a single source of truth.  Run by a dune
+   rule as an ocaml script:  ocaml gen_version.ml ../dune-project *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let version = ref "dev" in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       let prefix = "(version" in
+       if
+         String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+       then begin
+         let v =
+           String.sub line (String.length prefix)
+             (String.length line - String.length prefix)
+         in
+         let v = String.trim v in
+         let v =
+           if String.length v > 0 && v.[String.length v - 1] = ')' then
+             String.sub v 0 (String.length v - 1)
+           else v
+         in
+         version := String.trim v
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf "let version = %S\n" !version

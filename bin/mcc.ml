@@ -1,6 +1,14 @@
 (* Command-line driver for the paper's experiments.
 
+   Every experiment is a first-class spec in Mcc_core.Runner's registry;
+   the per-figure subcommands build one spec with CLI knobs, while `run`
+   executes whole registry batches across domains and streams results
+   into pluggable sinks.
+
    Examples:
+     mcc list
+     mcc run --all --jobs 4 --json results.jsonl --csv results.csv
+     mcc run --only fig8a,fig9a --quick --jobs 2
      mcc attack --mode robust --duration 200
      mcc sweep --mode plain --sessions 1,2,4,8
      mcc responsiveness --mode robust
@@ -12,6 +20,9 @@
 open Cmdliner
 module E = Mcc_core.Experiments
 module Report = Mcc_core.Report
+module Runner = Mcc_core.Runner
+module Sink = Mcc_core.Sink
+module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
 
 let fmt = Format.std_formatter
@@ -41,31 +52,33 @@ let duration default =
     & info [ "d"; "duration" ] ~docv:"SECONDS"
         ~doc:"Simulated duration in seconds.")
 
-let seed =
+let seed default =
   Arg.(
     value
-    & opt int 7
+    & opt int default
     & info [ "s"; "seed" ] ~docv:"SEED"
         ~doc:"Simulation seed; runs are deterministic per seed.")
 
-(* --- subcommands --------------------------------------------------------- *)
+(* --- per-figure subcommands --------------------------------------------- *)
 
 let attack_cmd =
   let run mode duration seed attack_at =
     Report.heading fmt "Inflated subscription (paper Figures 1 / 7)";
-    Report.attack fmt (E.attack ~seed ~duration ~attack_at ~mode ())
+    Report.attack fmt (E.run_attack { Spec.seed; duration; attack_at; mode })
   in
   let attack_at =
     Arg.(
       value
-      & opt float 100.
+      & opt float Spec.default_attack.Spec.attack_at
       & info [ "attack-at" ] ~docv:"SECONDS"
           ~doc:"Time at which receiver F1 starts inflating.")
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Two multicast + two TCP sessions; F1 inflates its subscription.")
-    Term.(const run $ mode $ duration 200. $ seed $ attack_at)
+    Term.(
+      const run $ mode $ duration 200. $ seed Spec.default_attack.Spec.seed
+      $ attack_at)
 
 let sessions_list =
   let parse s =
@@ -81,12 +94,29 @@ let sessions_list =
     & info [ "sessions" ] ~docv:"N1,N2,..."
         ~doc:"Session counts to sweep (paper Figure 8a-8d).")
 
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run up to $(docv) experiments concurrently (OCaml domains).")
+
 let sweep_cmd =
-  let run mode duration seed counts cross =
+  let run mode duration seed counts cross jobs =
     Report.heading fmt "Throughput vs number of sessions (paper Figure 8)";
-    Report.sweep fmt
-      (E.throughput_vs_sessions ~seed ~duration ~cross_traffic:cross ~mode
-         ~counts ())
+    let specs =
+      List.map
+        (fun sessions ->
+          Spec.Sweep
+            { Spec.seed = seed + sessions; duration; sessions;
+              cross_traffic = cross; mode })
+        counts
+    in
+    let points =
+      Runner.run_specs ~jobs specs
+      |> List.map (function E.Sweep_point p -> p | _ -> assert false)
+    in
+    Report.sweep fmt points
   in
   let cross =
     Arg.(
@@ -96,52 +126,79 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Average multicast throughput vs session count.")
-    Term.(const run $ mode $ duration 200. $ seed $ sessions_list $ cross)
+    Term.(
+      const run $ mode $ duration 200. $ seed 11 $ sessions_list $ cross $ jobs)
 
 let responsiveness_cmd =
   let run mode duration seed =
     Report.heading fmt "Responsiveness to an 800 Kbps burst (paper Figure 8e)";
-    Report.responsiveness fmt (E.responsiveness ~seed ~duration ~mode ())
+    Report.responsiveness fmt
+      (E.run_responsiveness
+         { Spec.default_responsiveness with Spec.seed; duration; mode })
   in
   Cmd.v
     (Cmd.info "responsiveness" ~doc:"CBR burst between 45 s and 75 s.")
-    Term.(const run $ mode $ duration 100. $ seed)
+    Term.(
+      const run $ mode $ duration 100.
+      $ seed Spec.default_responsiveness.Spec.seed)
 
 let rtt_cmd =
   let run mode duration seed receivers =
     Report.heading fmt "Heterogeneous round-trip times (paper Figure 8f)";
-    Report.rtt fmt (E.rtt_fairness ~seed ~duration ~receivers ~mode ())
+    Report.rtt fmt (E.run_rtt { Spec.seed; duration; receivers; mode })
   in
   let receivers =
     Arg.(
-      value & opt int 20
+      value & opt int Spec.default_rtt.Spec.receivers
       & info [ "receivers" ] ~docv:"N" ~doc:"Receivers spread over 30-220 ms.")
   in
   Cmd.v
     (Cmd.info "rtt" ~doc:"Throughput vs receiver RTT.")
-    Term.(const run $ mode $ duration 200. $ seed $ receivers)
+    Term.(
+      const run $ mode $ duration 200. $ seed Spec.default_rtt.Spec.seed
+      $ receivers)
 
 let convergence_cmd =
   let run mode duration seed =
     Report.heading fmt "Subscription convergence (paper Figures 8g / 8h)";
-    Report.convergence fmt (E.convergence ~seed ~duration ~mode ())
+    Report.convergence fmt
+      (E.run_convergence
+         { Spec.default_convergence with Spec.seed; duration; mode })
   in
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"Four receivers joining at 0/10/20/30 s converge to one level.")
-    Term.(const run $ mode $ duration 40. $ seed)
+    Term.(
+      const run $ mode $ duration 40. $ seed Spec.default_convergence.Spec.seed)
 
 let overhead_cmd =
-  let run by duration seed =
-    match by with
-    | `Groups ->
-        Report.heading fmt "Key-distribution overhead vs groups (Figure 9a)";
-        Report.overhead fmt ~x_label:"groups"
-          (E.overhead_vs_groups ~seed ~duration ())
-    | `Slot ->
-        Report.heading fmt "Key-distribution overhead vs slot (Figure 9b)";
-        Report.overhead fmt ~x_label:"slot_s"
-          (E.overhead_vs_slot ~seed ~duration ())
+  let run by duration seed jobs =
+    let axis, values, x_label =
+      match by with
+      | `Groups ->
+          Report.heading fmt "Key-distribution overhead vs groups (Figure 9a)";
+          ( Spec.Groups,
+            List.map (fun g -> (g, 0.25)) [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ],
+            "groups" )
+      | `Slot ->
+          Report.heading fmt "Key-distribution overhead vs slot (Figure 9b)";
+          ( Spec.Slot,
+            List.map
+              (fun s -> (10, s))
+              [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ],
+            "slot_s" )
+    in
+    let specs =
+      List.map
+        (fun (groups, slot) ->
+          Spec.Overhead { Spec.seed; duration; groups; slot; axis })
+        values
+    in
+    let points =
+      Runner.run_specs ~jobs specs
+      |> List.map (function E.Overhead p -> p | _ -> assert false)
+    in
+    Report.overhead fmt ~x_label points
   in
   let by =
     let parse = function
@@ -160,31 +217,144 @@ let overhead_cmd =
   in
   Cmd.v
     (Cmd.info "overhead" ~doc:"DELTA and SIGMA communication overhead.")
-    Term.(const run $ by $ duration 30. $ seed)
+    Term.(
+      const run $ by $ duration 30. $ seed Spec.default_overhead.Spec.seed
+      $ jobs)
 
 let partial_cmd =
   let run duration seed =
     Report.heading fmt
       "Incremental deployment (paper Section 3.2.3): SIGMA vs legacy edge";
-    let r = E.partial_deployment ~seed ~duration () in
-    Report.row fmt "attacker behind SIGMA edge"
-      [ ("kbps", r.E.protected_attacker_kbps) ];
-    Report.row fmt "attacker behind legacy edge"
-      [ ("kbps", r.E.unprotected_attacker_kbps) ];
-    Report.row fmt "honest receiver" [ ("kbps", r.E.honest_kbps) ]
+    Report.partial fmt
+      (E.run_partial
+         { Spec.seed; duration;
+           attack_at = Spec.default_partial.Spec.attack_at })
   in
   Cmd.v
     (Cmd.info "partial"
        ~doc:"The same inflation attack behind a SIGMA and a legacy edge router.")
-    Term.(const run $ duration 120. $ seed)
+    Term.(const run $ duration 120. $ seed Spec.default_partial.Spec.seed)
+
+(* --- registry batch commands -------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.fprintf fmt "%-12s %-10s %-14s %s@." "NAME" "GROUP" "KIND" "DOC";
+    List.iter
+      (fun (e : Runner.entry) ->
+        Format.fprintf fmt "%-12s %-10s %-14s %s@." e.Runner.name
+          e.Runner.group
+          (Spec.kind e.Runner.spec)
+          e.Runner.doc)
+      (Runner.all ());
+    Format.fprintf fmt "@.%d experiments; groups: %s@."
+      (List.length (Runner.all ()))
+      (String.concat ", " (Runner.groups ()))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registered experiment spec.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run all only jobs quick json csv quiet =
+    let entries =
+      if all then Runner.all ()
+      else
+        match only with
+        | [] ->
+            prerr_endline
+              "mcc run: select experiments with --all or --only NAME,...";
+            exit 2
+        | names ->
+            List.concat_map
+              (fun name ->
+                match Runner.find name with
+                | [] ->
+                    Printf.eprintf
+                      "mcc run: unknown experiment %S (try `mcc list`)\n" name;
+                    exit 2
+                | entries -> entries)
+              names
+    in
+    let entries =
+      if quick then
+        List.map
+          (fun (e : Runner.entry) ->
+            { e with Runner.spec = Spec.scale_time e.Runner.spec ~factor:0.25 })
+          entries
+      else entries
+    in
+    let file_sinks =
+      try
+        (match json with None -> [] | Some path -> [ Sink.jsonl_file path ])
+        @ match csv with None -> [] | Some path -> [ Sink.csv_file path ]
+      with Sys_error msg ->
+        Printf.eprintf "mcc run: cannot open sink: %s\n" msg;
+        exit 2
+    in
+    let sinks =
+      (if quiet then [] else [ Sink.pretty fmt ]) @ file_sinks
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Runner.run_batch ~jobs ~sinks entries in
+    List.iter Sink.close sinks;
+    Format.fprintf fmt "@.[%d experiments in %.1fs, jobs=%d]@."
+      (List.length results)
+      (Unix.gettimeofday () -. t0)
+      jobs
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every registered experiment.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"NAME,..."
+          ~doc:
+            "Run the named experiments; a figure/group name (e.g. \
+             $(b,fig8a)) selects all of its points.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Scale every duration by 1/4 for an abbreviated pass.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Append one JSON object per run.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Write summary metrics as name,group,metric,value rows.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the human-readable report.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a batch of registered experiments across domains, with JSONL \
+          and CSV sinks.")
+    Term.(const run $ all $ only $ jobs $ quick $ json $ csv $ quiet)
 
 let main =
   Cmd.group
-    (Cmd.info "mcc" ~version:"1.0.0"
+    (Cmd.info "mcc" ~version:Version.version
        ~doc:
          "Robust multicast congestion control: DELTA + SIGMA experiments \
           (Gorinsky et al.)")
     [
+      run_cmd;
+      list_cmd;
       attack_cmd;
       sweep_cmd;
       responsiveness_cmd;

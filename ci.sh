@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: build, test suite, and a smoke batch through the
+# experiment registry (2 domains, abbreviated durations, JSONL sink).
+set -eux
+
+dune build
+dune runtest
+dune exec bin/mcc.exe -- run --all --quick --jobs 2 --json /tmp/out.jsonl --quiet
+test -s /tmp/out.jsonl

@@ -7,6 +7,7 @@
    Run with:  dune exec examples/incremental_deployment.exe *)
 
 module E = Mcc_core.Experiments
+module Spec = Mcc_core.Spec
 module Defaults = Mcc_core.Defaults
 
 let () =
@@ -19,7 +20,9 @@ let () =
     \  * one sits behind an edge router that runs SIGMA,\n\
     \  * one sits behind a legacy IGMP router,\n\
     \  * a third receiver stays honest behind the SIGMA edge.\n\n";
-  let r = E.partial_deployment ~duration:120. ~attack_at:40. () in
+  let r =
+    E.run_partial { Spec.default_partial with Spec.duration = 120.; attack_at = 40. }
+  in
   Printf.printf "  %-36s %10s\n" "receiver" "after t=50s";
   Printf.printf "  %-36s %7.0f kbps\n" "attacker behind SIGMA edge"
     r.E.protected_attacker_kbps;

@@ -23,7 +23,8 @@ type attack_result = {
   t2_after : float;
 }
 
-let attack ?(seed = 7) ?(duration = 200.) ?(attack_at = 100.) ~mode () =
+let run_attack (p : Spec.attack_params) =
+  let { Spec.seed; duration; attack_at; mode } = p in
   let t = Scenario.create ~seed ~bottleneck_rate_bps:1_000_000. () in
   let f1 =
     Scenario.add_multicast t ~mode
@@ -39,16 +40,17 @@ let attack ?(seed = 7) ?(duration = 200.) ?(attack_at = 100.) ~mode () =
   let m_t1 = Tcp.delivered_meter t1 in
   let m_t2 = Tcp.delivered_meter t2 in
   let before_lo = attack_at /. 2. in
+  let settle = Float.min 10. (0.1 *. (duration -. attack_at)) in
   {
     f1 = smooth m_f1;
     f2 = smooth m_f2;
     t1 = smooth m_t1;
     t2 = smooth m_t2;
     f1_before = Meter.mean_kbps m_f1 ~lo:before_lo ~hi:attack_at;
-    f1_after = Meter.mean_kbps m_f1 ~lo:(attack_at +. 10.) ~hi:duration;
-    f2_after = Meter.mean_kbps m_f2 ~lo:(attack_at +. 10.) ~hi:duration;
-    t1_after = Meter.mean_kbps m_t1 ~lo:(attack_at +. 10.) ~hi:duration;
-    t2_after = Meter.mean_kbps m_t2 ~lo:(attack_at +. 10.) ~hi:duration;
+    f1_after = Meter.mean_kbps m_f1 ~lo:(attack_at +. settle) ~hi:duration;
+    f2_after = Meter.mean_kbps m_f2 ~lo:(attack_at +. settle) ~hi:duration;
+    t1_after = Meter.mean_kbps m_t1 ~lo:(attack_at +. settle) ~hi:duration;
+    t2_after = Meter.mean_kbps m_t2 ~lo:(attack_at +. settle) ~hi:duration;
   }
 
 (* --- Figures 8a-8d ----------------------------------------------------- *)
@@ -59,48 +61,37 @@ type sweep_point = {
   average_kbps : float;
 }
 
-let throughput_vs_sessions ?(seed = 11) ?(duration = 200.)
-    ?(cross_traffic = false) ~mode ~counts () =
-  List.map
-    (fun sessions ->
-      let bottleneck =
-        Defaults.fair_share_bps
-        *. float_of_int (if cross_traffic then 2 * sessions else sessions)
-      in
-      let t =
-        Scenario.create ~seed:(seed + sessions) ~bottleneck_rate_bps:bottleneck
-          ()
-      in
-      let multicast =
-        List.init sessions (fun _ ->
-            Scenario.add_multicast t ~mode
-              ~receivers:[ Scenario.receiver () ] ())
-      in
-      if cross_traffic then begin
-        for _ = 1 to sessions do
-          ignore (Scenario.add_tcp t)
-        done;
-        ignore
-          (Scenario.add_onoff_cbr t ~rate_bps:(0.1 *. bottleneck)
-             ~on_period:5. ~off_period:5.)
-      end;
-      Scenario.run t ~seconds:duration;
-      let rates =
-        List.map
-          (fun session ->
-            let meter =
-              Flid.receiver_meter (List.hd session.Scenario.receivers)
-            in
-            (* Skip the first quarter: start-up transient. *)
-            Meter.mean_kbps meter ~lo:(duration /. 4.) ~hi:duration)
-          multicast
-      in
-      {
-        sessions;
-        individual_kbps = rates;
-        average_kbps = Mcc_util.Stats.mean rates;
-      })
-    counts
+let run_sweep (p : Spec.sweep_params) =
+  let { Spec.seed; duration; sessions; cross_traffic; mode } = p in
+  let bottleneck =
+    Defaults.fair_share_bps
+    *. float_of_int (if cross_traffic then 2 * sessions else sessions)
+  in
+  let t = Scenario.create ~seed ~bottleneck_rate_bps:bottleneck () in
+  let multicast =
+    List.init sessions (fun _ ->
+        Scenario.add_multicast t ~mode ~receivers:[ Scenario.receiver () ] ())
+  in
+  if cross_traffic then begin
+    for _ = 1 to sessions do
+      ignore (Scenario.add_tcp t)
+    done;
+    ignore
+      (Scenario.add_onoff_cbr t ~rate_bps:(0.1 *. bottleneck) ~on_period:5.
+         ~off_period:5.)
+  end;
+  Scenario.run t ~seconds:duration;
+  let rates =
+    List.map
+      (fun session ->
+        let meter =
+          Flid.receiver_meter (List.hd session.Scenario.receivers)
+        in
+        (* Skip the first quarter: start-up transient. *)
+        Meter.mean_kbps meter ~lo:(duration /. 4.) ~hi:duration)
+      multicast
+  in
+  { sessions; individual_kbps = rates; average_kbps = Mcc_util.Stats.mean rates }
 
 (* --- Figure 8e --------------------------------------------------------- *)
 
@@ -113,30 +104,37 @@ type responsiveness_result = {
   after_kbps : float;
 }
 
-let responsiveness ?(seed = 19) ?(duration = 100.) ~mode () =
-  let burst_start = 45. and burst_stop = 75. in
+let run_responsiveness (p : Spec.responsiveness_params) =
+  let { Spec.seed; duration; burst_start; burst_stop; burst_rate_bps; mode } =
+    p
+  in
   let t = Scenario.create ~seed ~bottleneck_rate_bps:1_000_000. () in
   let session =
     Scenario.add_multicast t ~mode ~receivers:[ Scenario.receiver () ] ()
   in
   ignore
     (Scenario.add_onoff_cbr t ~at:burst_start ~until:burst_stop
-       ~rate_bps:800_000. ~on_period:(burst_stop -. burst_start)
+       ~rate_bps:burst_rate_bps ~on_period:(burst_stop -. burst_start)
        ~off_period:1.);
   Scenario.run t ~seconds:duration;
   let meter = Flid.receiver_meter (List.hd session.Scenario.receivers) in
+  (* Settling margins scale with the burst window so abbreviated specs
+     still measure inside it. *)
+  let margin = Float.min 5. (0.25 *. (burst_stop -. burst_start)) in
+  let tail = Float.min 10. (0.4 *. (duration -. burst_stop)) in
   {
     multicast = smooth meter;
     burst_start;
     burst_stop;
-    before_kbps = Meter.mean_kbps meter ~lo:30. ~hi:burst_start;
-    during_kbps = Meter.mean_kbps meter ~lo:(burst_start +. 5.) ~hi:burst_stop;
-    after_kbps = Meter.mean_kbps meter ~lo:(burst_stop +. 10.) ~hi:duration;
+    before_kbps = Meter.mean_kbps meter ~lo:(burst_start *. 2. /. 3.) ~hi:burst_start;
+    during_kbps = Meter.mean_kbps meter ~lo:(burst_start +. margin) ~hi:burst_stop;
+    after_kbps = Meter.mean_kbps meter ~lo:(burst_stop +. tail) ~hi:duration;
   }
 
 (* --- Figure 8f --------------------------------------------------------- *)
 
-let rtt_fairness ?(seed = 23) ?(duration = 200.) ?(receivers = 20) ~mode () =
+let run_rtt (p : Spec.rtt_params) =
+  let { Spec.seed; duration; receivers; mode } = p in
   (* RTT = 2 * (access + bottleneck(5 ms) + sender access(10 ms)); the
      receiver access delay spreads RTTs over [30 ms, 220 ms]. *)
   let bottleneck_delay_s = 0.005 in
@@ -167,8 +165,8 @@ let rtt_fairness ?(seed = 23) ?(duration = 200.) ?(receivers = 20) ~mode () =
 
 (* --- Figures 8g / 8h --------------------------------------------------- *)
 
-let convergence ?(seed = 29) ?(duration = 40.) ?(join_times = [ 0.; 10.; 20.; 30. ])
-    ~mode () =
+let run_convergence (p : Spec.convergence_params) =
+  let { Spec.seed; duration; join_times; mode } = p in
   let t =
     Scenario.create ~seed ~bottleneck_rate_bps:Defaults.fair_share_bps ()
   in
@@ -191,7 +189,8 @@ type partial_result = {
   honest_kbps : float;
 }
 
-let partial_deployment ?(seed = 37) ?(duration = 120.) ?(attack_at = 40.) () =
+let run_partial (p : Spec.partial_params) =
+  let { Spec.seed; duration; attack_at } = p in
   let module Sim = Mcc_engine.Sim in
   let module Topology = Mcc_net.Topology in
   let module Node = Mcc_net.Node in
@@ -259,8 +258,9 @@ let partial_deployment ?(seed = 37) ?(duration = 120.) ?(attack_at = 40.) () =
   in
   Topology.compute_routes topo;
   Sim.run_until sim duration;
+  let settle = Float.min 10. (0.25 *. (duration -. attack_at)) in
   let after r =
-    Meter.mean_kbps (Flid.receiver_meter r) ~lo:(attack_at +. 10.) ~hi:duration
+    Meter.mean_kbps (Flid.receiver_meter r) ~lo:(attack_at +. settle) ~hi:duration
   in
   {
     protected_attacker_kbps = after protected_attacker;
@@ -281,7 +281,8 @@ type overhead_point = {
 (* The paper's overhead experiment: cumulative rate R = 4 Mbps, minimal
    group 100 Kbps, 500-byte (s = 4000 bits) packets, 16-bit keys, 8-bit
    slot numbers, FEC overcoming 50% loss. *)
-let overhead_run ?(seed = 31) ?(duration = 30.) ~groups ~slot () =
+let run_overhead (p : Spec.overhead_params) =
+  let { Spec.seed; duration; groups; slot; axis } = p in
   let r = 100_000. and cumulative = 4_000_000. in
   let factor =
     if groups = 1 then 2.
@@ -295,7 +296,8 @@ let overhead_run ?(seed = 31) ?(duration = 30.) ~groups ~slot () =
   let packet_size = 500 in
   let session =
     Scenario.add_multicast t ~mode:Flid.Robust ~slot ~layering ~packet_size
-      ~receivers:[ Scenario.receiver () ] ()
+      ~receivers:[ Scenario.receiver () ]
+      ()
   in
   Scenario.run t ~seconds:duration;
   let stats = Flid.sender_stats session.Scenario.sender in
@@ -330,25 +332,75 @@ let overhead_run ?(seed = 31) ?(duration = 30.) ~groups ~slot () =
       /. float_of_int stats.Flid.data_bits
   in
   {
-    x = 0.;
+    x = (match axis with Spec.Groups -> float_of_int groups | Spec.Slot -> slot);
     delta_analytic = 100. *. Overhead.delta_overhead params;
     sigma_analytic = 100. *. Overhead.sigma_overhead params;
     delta_measured = 100. *. measured_delta;
     sigma_measured = 100. *. measured_sigma;
   }
 
-let overhead_vs_groups ?seed ?duration
+(* --- Spec dispatch ------------------------------------------------------ *)
+
+type result =
+  | Attack of attack_result
+  | Sweep_point of sweep_point
+  | Responsiveness of responsiveness_result
+  | Rtt of (float * float) list
+  | Convergence of series list
+  | Overhead of overhead_point
+  | Partial of partial_result
+
+let run = function
+  | Spec.Attack p -> Attack (run_attack p)
+  | Spec.Sweep p -> Sweep_point (run_sweep p)
+  | Spec.Responsiveness p -> Responsiveness (run_responsiveness p)
+  | Spec.Rtt p -> Rtt (run_rtt p)
+  | Spec.Convergence p -> Convergence (run_convergence p)
+  | Spec.Overhead p -> Overhead (run_overhead p)
+  | Spec.Partial p -> Partial (run_partial p)
+
+(* --- Deprecated optional-argument wrappers ------------------------------ *)
+
+let attack ?(seed = 7) ?(duration = 200.) ?(attack_at = 100.) ~mode () =
+  run_attack { Spec.seed; duration; attack_at; mode }
+
+let throughput_vs_sessions ?(seed = 11) ?(duration = 200.)
+    ?(cross_traffic = false) ~mode ~counts () =
+  List.map
+    (fun sessions ->
+      (* The legacy API offset the scenario seed by the session count so
+         sweep points would not share traffic phases; each point's spec
+         carries the combined seed directly. *)
+      run_sweep
+        { Spec.seed = seed + sessions; duration; sessions; cross_traffic; mode })
+    counts
+
+let responsiveness ?(seed = 19) ?(duration = 100.) ~mode () =
+  run_responsiveness
+    { Spec.default_responsiveness with Spec.seed; duration; mode }
+
+let rtt_fairness ?(seed = 23) ?(duration = 200.) ?(receivers = 20) ~mode () =
+  run_rtt { Spec.seed; duration; receivers; mode }
+
+let convergence ?(seed = 29) ?(duration = 40.)
+    ?(join_times = [ 0.; 10.; 20.; 30. ]) ~mode () =
+  run_convergence { Spec.seed; duration; join_times; mode }
+
+let partial_deployment ?(seed = 37) ?(duration = 120.) ?(attack_at = 40.) () =
+  run_partial { Spec.seed; duration; attack_at }
+
+let overhead_vs_groups ?(seed = 31) ?(duration = 30.)
     ?(groups_list = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]) () =
   List.map
     (fun groups ->
-      let point = overhead_run ?seed ?duration ~groups ~slot:0.25 () in
-      { point with x = float_of_int groups })
+      run_overhead
+        { Spec.seed; duration; groups; slot = 0.25; axis = Spec.Groups })
     groups_list
 
-let overhead_vs_slot ?seed ?duration
+let overhead_vs_slot ?(seed = 31) ?(duration = 30.)
     ?(slots = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
   List.map
     (fun slot ->
-      let point = overhead_run ?seed ?duration ~groups:10 ~slot () in
-      { point with x = slot })
+      run_overhead
+        { Spec.seed; duration; groups = 10; slot; axis = Spec.Slot })
     slots

@@ -1,8 +1,17 @@
-(** One entry point per experiment figure of the paper (Figures 1, 7,
-    8a-8h, 9a, 9b).  Each function builds the paper's Section 5.1
-    setting, runs it, and returns the series/rows the figure plots.
-    Durations are parameters so tests can run abbreviated versions; the
-    defaults are the paper's. *)
+(** The paper's experiments (Figures 1, 7, 8a–8h, 9a, 9b and the
+    Section 3.2.3 deployment study) as pure functions of {!Spec}
+    parameter records.
+
+    Each [run_*] function builds the paper's Section 5.1 setting from
+    its record, runs it to the record's horizon, and returns the
+    series/rows the figure plots.  [run] dispatches a {!Spec.t} to the
+    matching experiment and wraps the outcome in {!result}; it is the
+    single entry point the {!Runner} executes — one call, one isolated
+    simulation, no shared mutable state between calls.
+
+    The legacy optional-argument entry points are kept as thin
+    deprecated wrappers for one release; new code should build a spec
+    record (start from the [Spec.default_*] values) instead. *)
 
 type series = (float * float) list
 
@@ -20,15 +29,9 @@ type attack_result = {
   t2_after : float;
 }
 
-val attack :
-  ?seed:int ->
-  ?duration:float ->
-  ?attack_at:float ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  attack_result
+val run_attack : Spec.attack_params -> attack_result
 (** Two multicast + two TCP sessions over a 1 Mbps bottleneck; receiver
-    F1 inflates its subscription from [attack_at] (default 100 s) on. *)
+    F1 inflates its subscription from [attack_at] on. *)
 
 (** {1 Figures 8a-8d: throughput vs number of sessions} *)
 
@@ -38,16 +41,11 @@ type sweep_point = {
   average_kbps : float;
 }
 
-val throughput_vs_sessions :
-  ?seed:int ->
-  ?duration:float ->
-  ?cross_traffic:bool ->
-  mode:Mcc_mcast.Flid.mode ->
-  counts:int list ->
-  unit ->
-  sweep_point list
-(** [cross_traffic] adds one TCP flow per multicast session plus an
-    on-off CBR at 10% of the bottleneck (5 s periods) — Figure 8d. *)
+val run_sweep : Spec.sweep_params -> sweep_point
+(** One point of the figure's sweep: [sessions] concurrent multicast
+    sessions on a proportionally provisioned bottleneck;
+    [cross_traffic] adds one TCP flow per session plus an on-off CBR at
+    10% of the bottleneck (5 s periods) — Figure 8d. *)
 
 (** {1 Figure 8e: responsiveness} *)
 
@@ -60,37 +58,22 @@ type responsiveness_result = {
   after_kbps : float;
 }
 
-val responsiveness :
-  ?seed:int -> ?duration:float -> mode:Mcc_mcast.Flid.mode -> unit ->
-  responsiveness_result
-(** One multicast session and an 800 Kbps on-off CBR active during
-    [45 s, 75 s] over a 1 Mbps bottleneck. *)
+val run_responsiveness : Spec.responsiveness_params -> responsiveness_result
+(** One multicast session and an on-off CBR burst active during
+    [burst_start, burst_stop] over a 1 Mbps bottleneck. *)
 
 (** {1 Figure 8f: heterogeneous round-trip times} *)
 
-val rtt_fairness :
-  ?seed:int ->
-  ?duration:float ->
-  ?receivers:int ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  (float * float) list
-(** One session, [receivers] (default 20) receivers whose RTTs spread
-    uniformly over [30 ms, 220 ms] (bottleneck delay 5 ms).  Returns
-    (rtt_ms, average Kbps) rows. *)
+val run_rtt : Spec.rtt_params -> (float * float) list
+(** One session, [receivers] receivers whose RTTs spread uniformly over
+    [30 ms, 220 ms] (bottleneck delay 5 ms).  Returns (rtt_ms,
+    average Kbps) rows. *)
 
 (** {1 Figures 8g and 8h: subscription convergence} *)
 
-val convergence :
-  ?seed:int ->
-  ?duration:float ->
-  ?join_times:float list ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  series list
-(** One 250 Kbps-bottleneck session; receivers join at [join_times]
-    (default 0/10/20/30 s).  Returns one smoothed throughput series per
-    receiver. *)
+val run_convergence : Spec.convergence_params -> series list
+(** One 250 Kbps-bottleneck session; receivers join at [join_times].
+    Returns one smoothed throughput series per receiver. *)
 
 (** {1 Incremental deployment (paper Section 3.2.3)} *)
 
@@ -102,8 +85,7 @@ type partial_result = {
   honest_kbps : float;  (** a well-behaved receiver behind the SIGMA edge *)
 }
 
-val partial_deployment :
-  ?seed:int -> ?duration:float -> ?attack_at:float -> unit -> partial_result
+val run_partial : Spec.partial_params -> partial_result
 (** Three FLID-DS sessions share a 750 kbps bottleneck; two receivers
     inflate at [attack_at], one behind each kind of edge router.  Even a
     partial SIGMA deployment protects its own receivers (the protected
@@ -120,14 +102,85 @@ type overhead_point = {
   sigma_measured : float;
 }
 
+val run_overhead : Spec.overhead_params -> overhead_point
+(** FLID-DS session at cumulative rate 4 Mbps, 500-byte packets, 16-bit
+    keys; the spec's [axis] picks which parameter lands in [x]. *)
+
+(** {1 Spec dispatch} *)
+
+type result =
+  | Attack of attack_result
+  | Sweep_point of sweep_point
+  | Responsiveness of responsiveness_result
+  | Rtt of (float * float) list
+  | Convergence of series list
+  | Overhead of overhead_point
+  | Partial of partial_result
+
+val run : Spec.t -> result
+(** Runs the experiment a spec describes.  Deterministic: the result is
+    a pure function of the spec.  Each call owns its simulator and PRNG
+    state, so concurrent calls from different domains do not interact. *)
+
+(** {1 Deprecated wrappers (pre-spec API)}
+
+    Thin shims over the [run_*] functions above, preserved for one
+    release so external callers keep compiling.  Defaults are the
+    paper's. *)
+
+val attack :
+  ?seed:int ->
+  ?duration:float ->
+  ?attack_at:float ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  attack_result
+[@@deprecated "Use run_attack with a Spec.attack_params record."]
+
+val throughput_vs_sessions :
+  ?seed:int ->
+  ?duration:float ->
+  ?cross_traffic:bool ->
+  mode:Mcc_mcast.Flid.mode ->
+  counts:int list ->
+  unit ->
+  sweep_point list
+[@@deprecated
+  "Use run_sweep with one Spec.sweep_params record per session count."]
+
+val responsiveness :
+  ?seed:int -> ?duration:float -> mode:Mcc_mcast.Flid.mode -> unit ->
+  responsiveness_result
+[@@deprecated "Use run_responsiveness with a Spec.responsiveness_params record."]
+
+val rtt_fairness :
+  ?seed:int ->
+  ?duration:float ->
+  ?receivers:int ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  (float * float) list
+[@@deprecated "Use run_rtt with a Spec.rtt_params record."]
+
+val convergence :
+  ?seed:int ->
+  ?duration:float ->
+  ?join_times:float list ->
+  mode:Mcc_mcast.Flid.mode ->
+  unit ->
+  series list
+[@@deprecated "Use run_convergence with a Spec.convergence_params record."]
+
+val partial_deployment :
+  ?seed:int -> ?duration:float -> ?attack_at:float -> unit -> partial_result
+[@@deprecated "Use run_partial with a Spec.partial_params record."]
+
 val overhead_vs_groups :
   ?seed:int -> ?duration:float -> ?groups_list:int list -> unit ->
   overhead_point list
-(** FLID-DS session at cumulative rate 4 Mbps, 500-byte packets,
-    16-bit keys, t = 250 ms; N varies (default 2..20). *)
+[@@deprecated "Use run_overhead with one Spec.overhead_params record per point."]
 
 val overhead_vs_slot :
   ?seed:int -> ?duration:float -> ?slots:float list -> unit ->
   overhead_point list
-(** Same session with N = 10 and the slot duration varying (default
-    0.2..1.0 s). *)
+[@@deprecated "Use run_overhead with one Spec.overhead_params record per point."]

@@ -1,3 +1,5 @@
+type series = (float * float) list
+
 let series fmt ~label points =
   Format.fprintf fmt "# %s@." label;
   List.iter (fun (x, y) -> Format.fprintf fmt "%.2f %.1f@." x y) points;
@@ -10,6 +12,8 @@ let row fmt label pairs =
 
 let heading fmt title =
   Format.fprintf fmt "@.=== %s ===@." title
+
+(* --- human-readable printers ------------------------------------------- *)
 
 let attack fmt (r : Experiments.attack_result) =
   row fmt "F1 (misbehaving)"
@@ -61,3 +65,159 @@ let overhead fmt ~x_label points =
         p.Experiments.delta_measured p.Experiments.sigma_measured)
     points;
   Format.fprintf fmt "@."
+
+let partial fmt (r : Experiments.partial_result) =
+  row fmt "attacker behind SIGMA edge"
+    [ ("kbps", r.Experiments.protected_attacker_kbps) ];
+  row fmt "attacker behind legacy edge"
+    [ ("kbps", r.Experiments.unprotected_attacker_kbps) ];
+  row fmt "honest receiver" [ ("kbps", r.Experiments.honest_kbps) ]
+
+let result fmt = function
+  | Experiments.Attack r -> attack fmt r
+  | Experiments.Sweep_point p -> sweep fmt [ p ]
+  | Experiments.Responsiveness r -> responsiveness fmt r
+  | Experiments.Rtt rows -> rtt fmt rows
+  | Experiments.Convergence receivers -> convergence fmt receivers
+  | Experiments.Overhead p -> overhead fmt ~x_label:"x" [ p ]
+  | Experiments.Partial r -> partial fmt r
+
+(* --- machine-readable twins -------------------------------------------- *)
+
+let attack_json (r : Experiments.attack_result) =
+  Json.Obj
+    [
+      ("f1_before", Json.Float r.Experiments.f1_before);
+      ("f1_after", Json.Float r.Experiments.f1_after);
+      ("f2_after", Json.Float r.Experiments.f2_after);
+      ("t1_after", Json.Float r.Experiments.t1_after);
+      ("t2_after", Json.Float r.Experiments.t2_after);
+      ("f1", Json.of_series r.Experiments.f1);
+      ("f2", Json.of_series r.Experiments.f2);
+      ("t1", Json.of_series r.Experiments.t1);
+      ("t2", Json.of_series r.Experiments.t2);
+    ]
+
+let sweep_point_json (p : Experiments.sweep_point) =
+  Json.Obj
+    [
+      ("sessions", Json.Int p.Experiments.sessions);
+      ( "individual_kbps",
+        Json.List
+          (List.map (fun v -> Json.Float v) p.Experiments.individual_kbps) );
+      ("average_kbps", Json.Float p.Experiments.average_kbps);
+    ]
+
+let responsiveness_json (r : Experiments.responsiveness_result) =
+  Json.Obj
+    [
+      ("burst_start", Json.Float r.Experiments.burst_start);
+      ("burst_stop", Json.Float r.Experiments.burst_stop);
+      ("before_kbps", Json.Float r.Experiments.before_kbps);
+      ("during_kbps", Json.Float r.Experiments.during_kbps);
+      ("after_kbps", Json.Float r.Experiments.after_kbps);
+      ("multicast", Json.of_series r.Experiments.multicast);
+    ]
+
+let rtt_json rows =
+  Json.Obj [ ("rows", Json.of_series rows) ]
+
+let convergence_json receivers =
+  Json.Obj
+    [ ("receivers", Json.List (List.map Json.of_series receivers)) ]
+
+let overhead_json (p : Experiments.overhead_point) =
+  Json.Obj
+    [
+      ("x", Json.Float p.Experiments.x);
+      ("delta_analytic", Json.Float p.Experiments.delta_analytic);
+      ("sigma_analytic", Json.Float p.Experiments.sigma_analytic);
+      ("delta_measured", Json.Float p.Experiments.delta_measured);
+      ("sigma_measured", Json.Float p.Experiments.sigma_measured);
+    ]
+
+let partial_json (r : Experiments.partial_result) =
+  Json.Obj
+    [
+      ("protected_attacker_kbps", Json.Float r.Experiments.protected_attacker_kbps);
+      ( "unprotected_attacker_kbps",
+        Json.Float r.Experiments.unprotected_attacker_kbps );
+      ("honest_kbps", Json.Float r.Experiments.honest_kbps);
+    ]
+
+let result_json = function
+  | Experiments.Attack r -> attack_json r
+  | Experiments.Sweep_point p -> sweep_point_json p
+  | Experiments.Responsiveness r -> responsiveness_json r
+  | Experiments.Rtt rows -> rtt_json rows
+  | Experiments.Convergence receivers -> convergence_json receivers
+  | Experiments.Overhead p -> overhead_json p
+  | Experiments.Partial r -> partial_json r
+
+let attack_to_json r = Json.to_string (attack_json r)
+let sweep_point_to_json p = Json.to_string (sweep_point_json p)
+let responsiveness_to_json r = Json.to_string (responsiveness_json r)
+let rtt_to_json rows = Json.to_string (rtt_json rows)
+let convergence_to_json receivers = Json.to_string (convergence_json receivers)
+let overhead_to_json p = Json.to_string (overhead_json p)
+let partial_to_json r = Json.to_string (partial_json r)
+let result_to_json r = Json.to_string (result_json r)
+
+(* --- scalar summaries --------------------------------------------------- *)
+
+let final_of = function [] -> 0. | s -> snd (List.nth s (List.length s - 1))
+
+let summary = function
+  | Experiments.Attack r ->
+      [
+        ("f1_before_kbps", r.Experiments.f1_before);
+        ("f1_after_kbps", r.Experiments.f1_after);
+        ("f2_after_kbps", r.Experiments.f2_after);
+        ("t1_after_kbps", r.Experiments.t1_after);
+        ("t2_after_kbps", r.Experiments.t2_after);
+      ]
+  | Experiments.Sweep_point p ->
+      let rates = p.Experiments.individual_kbps in
+      let lo = List.fold_left Float.min infinity rates in
+      let hi = List.fold_left Float.max neg_infinity rates in
+      [
+        ("sessions", float_of_int p.Experiments.sessions);
+        ("average_kbps", p.Experiments.average_kbps);
+        ("min_kbps", (if rates = [] then 0. else lo));
+        ("max_kbps", (if rates = [] then 0. else hi));
+      ]
+  | Experiments.Responsiveness r ->
+      [
+        ("before_kbps", r.Experiments.before_kbps);
+        ("during_kbps", r.Experiments.during_kbps);
+        ("after_kbps", r.Experiments.after_kbps);
+      ]
+  | Experiments.Rtt rows ->
+      let rates = List.map snd rows in
+      let lo = List.fold_left Float.min infinity rates in
+      let hi = List.fold_left Float.max neg_infinity rates in
+      [
+        ("receivers", float_of_int (List.length rows));
+        ("mean_kbps", Mcc_util.Stats.mean rates);
+        ("min_kbps", (if rates = [] then 0. else lo));
+        ("max_kbps", (if rates = [] then 0. else hi));
+      ]
+  | Experiments.Convergence receivers ->
+      ("receivers", float_of_int (List.length receivers))
+      :: List.mapi
+           (fun i s -> (Printf.sprintf "final_kbps_%d" (i + 1), final_of s))
+           receivers
+  | Experiments.Overhead p ->
+      [
+        ("x", p.Experiments.x);
+        ("delta_analytic_pct", p.Experiments.delta_analytic);
+        ("sigma_analytic_pct", p.Experiments.sigma_analytic);
+        ("delta_measured_pct", p.Experiments.delta_measured);
+        ("sigma_measured_pct", p.Experiments.sigma_measured);
+      ]
+  | Experiments.Partial r ->
+      [
+        ("protected_attacker_kbps", r.Experiments.protected_attacker_kbps);
+        ("unprotected_attacker_kbps", r.Experiments.unprotected_attacker_kbps);
+        ("honest_kbps", r.Experiments.honest_kbps);
+      ]

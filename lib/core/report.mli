@@ -1,5 +1,11 @@
-(** Uniform printing of experiment results: gnuplot-style series blocks
-    and aligned summary rows, matching what the paper's figures plot. *)
+(** Uniform presentation of experiment results.
+
+    Every printer has two renderings: the human-readable
+    gnuplot-style blocks the figures plot, and a machine-readable JSON
+    twin ([*_to_json]) used by the {!Sink} writers — so this module,
+    not the CLI, is the one place result fields are enumerated. *)
+
+type series = (float * float) list
 
 val series :
   Format.formatter -> label:string -> (float * float) list -> unit
@@ -10,9 +16,39 @@ val row : Format.formatter -> string -> (string * float) list -> unit
 
 val heading : Format.formatter -> string -> unit
 
+(** {1 Per-experiment printers} *)
+
 val attack : Format.formatter -> Experiments.attack_result -> unit
 val sweep : Format.formatter -> Experiments.sweep_point list -> unit
 val responsiveness : Format.formatter -> Experiments.responsiveness_result -> unit
 val rtt : Format.formatter -> (float * float) list -> unit
 val convergence : Format.formatter -> Experiments.series list -> unit
 val overhead : Format.formatter -> x_label:string -> Experiments.overhead_point list -> unit
+val partial : Format.formatter -> Experiments.partial_result -> unit
+
+val result : Format.formatter -> Experiments.result -> unit
+(** Dispatches to the matching printer above. *)
+
+(** {1 Machine-readable twins}
+
+    Each returns a compact JSON object enumerating every field of the
+    result, series included. *)
+
+val attack_to_json : Experiments.attack_result -> string
+val sweep_point_to_json : Experiments.sweep_point -> string
+val responsiveness_to_json : Experiments.responsiveness_result -> string
+val rtt_to_json : (float * float) list -> string
+val convergence_to_json : Experiments.series list -> string
+val overhead_to_json : Experiments.overhead_point -> string
+val partial_to_json : Experiments.partial_result -> string
+
+val result_to_json : Experiments.result -> string
+(** Dispatches to the matching [*_to_json] above. *)
+
+val result_json : Experiments.result -> Json.t
+(** The same object as a {!Json.t}, for embedding in larger documents
+    (the JSONL sink nests it next to the spec). *)
+
+val summary : Experiments.result -> (string * float) list
+(** The result's scalar metrics as (metric, value) rows — what the CSV
+    sink writes and what [row] prints. *)

@@ -1,0 +1,214 @@
+module Flid = Mcc_mcast.Flid
+
+type entry = {
+  name : string;
+  group : string;
+  doc : string;
+  spec : Spec.t;
+}
+
+(* --- the registry ------------------------------------------------------- *)
+
+let sweep_counts = [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+let overhead_groups = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+let overhead_slots = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+
+let sweep_entries ~group ~doc ~cross_traffic ~mode =
+  List.map
+    (fun sessions ->
+      {
+        name = Printf.sprintf "%s-n%02d" group sessions;
+        group;
+        doc = Printf.sprintf "%s, %d sessions" doc sessions;
+        spec =
+          Spec.Sweep
+            {
+              Spec.default_sweep with
+              (* The pre-spec API seeded each point with 11 + sessions so
+                 sweep points don't share traffic phases; kept for
+                 bit-compatible figures. *)
+              Spec.seed = 11 + sessions;
+              sessions;
+              cross_traffic;
+              mode;
+            };
+      })
+    sweep_counts
+
+let registry =
+  [
+    {
+      name = "fig1";
+      group = "fig1";
+      doc = "Figure 1: inflated subscription under FLID-DL";
+      spec = Spec.Attack { Spec.default_attack with Spec.mode = Flid.Plain };
+    };
+    {
+      name = "fig7";
+      group = "fig7";
+      doc = "Figure 7: the same attack under FLID-DS (DELTA + SIGMA)";
+      spec = Spec.Attack Spec.default_attack;
+    };
+  ]
+  @ sweep_entries ~group:"fig8a" ~cross_traffic:false ~mode:Flid.Plain
+      ~doc:"Figure 8a: FLID-DL throughput vs sessions"
+  @ sweep_entries ~group:"fig8b" ~cross_traffic:false ~mode:Flid.Robust
+      ~doc:"Figure 8b: FLID-DS throughput vs sessions"
+  @ sweep_entries ~group:"fig8d-dl" ~cross_traffic:true ~mode:Flid.Plain
+      ~doc:"Figure 8d: FLID-DL with TCP and on-off CBR cross traffic"
+  @ sweep_entries ~group:"fig8d-ds" ~cross_traffic:true ~mode:Flid.Robust
+      ~doc:"Figure 8d: FLID-DS with TCP and on-off CBR cross traffic"
+  @ [
+      {
+        name = "fig8e-dl";
+        group = "fig8e";
+        doc = "Figure 8e: FLID-DL responsiveness to an 800 Kbps burst";
+        spec =
+          Spec.Responsiveness
+            { Spec.default_responsiveness with Spec.mode = Flid.Plain };
+      };
+      {
+        name = "fig8e-ds";
+        group = "fig8e";
+        doc = "Figure 8e: FLID-DS responsiveness to an 800 Kbps burst";
+        spec = Spec.Responsiveness Spec.default_responsiveness;
+      };
+      {
+        name = "fig8f-dl";
+        group = "fig8f";
+        doc = "Figure 8f: FLID-DL throughput vs heterogeneous RTTs";
+        spec = Spec.Rtt { Spec.default_rtt with Spec.mode = Flid.Plain };
+      };
+      {
+        name = "fig8f-ds";
+        group = "fig8f";
+        doc = "Figure 8f: FLID-DS throughput vs heterogeneous RTTs";
+        spec = Spec.Rtt Spec.default_rtt;
+      };
+      {
+        name = "fig8g";
+        group = "fig8g";
+        doc = "Figure 8g: FLID-DL subscription convergence";
+        spec =
+          Spec.Convergence
+            { Spec.default_convergence with Spec.mode = Flid.Plain };
+      };
+      {
+        name = "fig8h";
+        group = "fig8h";
+        doc = "Figure 8h: FLID-DS subscription convergence";
+        spec = Spec.Convergence Spec.default_convergence;
+      };
+    ]
+  @ List.map
+      (fun groups ->
+        {
+          name = Printf.sprintf "fig9a-g%02d" groups;
+          group = "fig9a";
+          doc =
+            Printf.sprintf
+              "Figure 9a: DELTA/SIGMA overhead with %d groups" groups;
+          spec =
+            Spec.Overhead
+              { Spec.default_overhead with Spec.groups = groups; axis = Spec.Groups };
+        })
+      overhead_groups
+  @ List.map
+      (fun slot ->
+        {
+          name = Printf.sprintf "fig9b-s%.1f" slot;
+          group = "fig9b";
+          doc =
+            Printf.sprintf
+              "Figure 9b: DELTA/SIGMA overhead with %.1f s slots" slot;
+          spec =
+            Spec.Overhead
+              { Spec.default_overhead with Spec.slot = slot; axis = Spec.Slot };
+        })
+      overhead_slots
+  @ [
+      {
+        name = "partial";
+        group = "partial";
+        doc =
+          "Section 3.2.3: incremental deployment, SIGMA vs legacy edge router";
+        spec = Spec.Partial Spec.default_partial;
+      };
+    ]
+
+let () =
+  (* A duplicate name would make --only ambiguous; fail at first use. *)
+  let seen = Hashtbl.create 97 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.name then
+        invalid_arg (Printf.sprintf "Runner: duplicate entry %S" e.name);
+      Hashtbl.add seen e.name ())
+    registry
+
+let all () = registry
+
+let groups () =
+  List.fold_left
+    (fun acc e -> if List.mem e.group acc then acc else e.group :: acc)
+    [] registry
+  |> List.rev
+
+let find key =
+  match List.filter (fun e -> e.name = key) registry with
+  | [] -> List.filter (fun e -> e.group = key) registry
+  | exact -> exact
+
+let lookup name = List.find_opt (fun e -> e.name = name) registry
+
+(* --- multicore execution ------------------------------------------------ *)
+
+let run_spec = Experiments.run
+
+(* Work-stealing over an atomic cursor: each domain claims the next
+   unclaimed index and writes its result into that slot, so the merged
+   order is the input order no matter how the jobs interleave.  Every
+   simulation is confined to the claiming domain — Sim.t, PRNG, meters
+   and topology are all allocated inside [f]. *)
+let parallel_map ~jobs f inputs =
+  let arr = Array.of_list inputs in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f inputs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (try Ok (f arr.(i)) with exn -> Error exn));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error exn) -> raise exn
+         | None -> assert false)
+  end
+
+let run_specs ?(jobs = 1) specs = parallel_map ~jobs Experiments.run specs
+
+let run_batch ?(jobs = 1) ?(sinks = []) entries =
+  let results = run_specs ~jobs (List.map (fun e -> e.spec) entries) in
+  let paired = List.combine entries results in
+  List.iter
+    (fun (e, result) ->
+      let record =
+        { Sink.name = e.name; group = e.group; spec = e.spec; result }
+      in
+      List.iter (fun sink -> Sink.emit sink record) sinks)
+    paired;
+  paired

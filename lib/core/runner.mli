@@ -1,0 +1,49 @@
+(** Experiment registry and multicore batch runner.
+
+    Every figure of the paper's evaluation is registered here as one or
+    more named {!Spec.t} values — sweeps (Figures 8a–8d, 9a, 9b) are
+    split into one spec per point, so a batch parallelises across its
+    whole surface.  [run_batch] executes a batch across OCaml 5 domains:
+    each run is fully isolated (its own [Sim.t], PRNG, meters — the
+    simulator keeps no cross-run mutable globals), results land in a
+    slot per entry, and sinks are fed strictly in entry order after the
+    batch completes.  Serial and parallel executions of the same batch
+    therefore produce byte-identical sink output. *)
+
+type entry = {
+  name : string;  (** unique, e.g. "fig8a-n04" *)
+  group : string;  (** the figure it belongs to, e.g. "fig8a" *)
+  doc : string;
+  spec : Spec.t;
+}
+
+val all : unit -> entry list
+(** Every registered experiment, in figure order. *)
+
+val groups : unit -> string list
+(** The distinct group names, in figure order. *)
+
+val find : string -> entry list
+(** Entries whose [name] or [group] equals the argument ([] if none). *)
+
+val lookup : string -> entry option
+(** Exact-name lookup. *)
+
+val run_spec : Spec.t -> Experiments.result
+(** Alias of {!Experiments.run}: one isolated simulation. *)
+
+val run_specs : ?jobs:int -> Spec.t list -> Experiments.result list
+(** Executes the specs on up to [jobs] domains (default 1; capped at
+    the spec count).  Results are returned in input order regardless of
+    completion order.  If a run raises, the exception is re-raised
+    after the batch drains. *)
+
+val run_batch :
+  ?jobs:int ->
+  ?sinks:Sink.t list ->
+  entry list ->
+  (entry * Experiments.result) list
+(** [run_specs] over a batch of registry entries; after all runs
+    complete, each (entry, result) record is emitted to every sink in
+    entry order.  The caller retains ownership of the sinks (they are
+    not closed). *)

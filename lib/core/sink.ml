@@ -1,0 +1,83 @@
+type record = {
+  name : string;
+  group : string;
+  spec : Spec.t;
+  result : Experiments.result;
+}
+
+type t = { emit : record -> unit; close : unit -> unit }
+
+let emit t record = t.emit record
+let close t = t.close ()
+
+let jsonl write =
+  let emit r =
+    let line =
+      Json.to_string
+        (Json.Obj
+           [
+             ("name", Json.String r.name);
+             ("group", Json.String r.group);
+             ("kind", Json.String (Spec.kind r.spec));
+             ("spec", Spec.to_json r.spec);
+             ("result", Report.result_json r.result);
+           ])
+    in
+    write (line ^ "\n")
+  in
+  { emit; close = (fun () -> ()) }
+
+(* RFC 4180: quote a field when it contains a comma, a quote, or a line
+   break; double embedded quotes. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv write =
+  write "name,group,metric,value\n";
+  let emit r =
+    List.iter
+      (fun (metric, value) ->
+        write
+          (Printf.sprintf "%s,%s,%s,%.12g\n" (csv_field r.name)
+             (csv_field r.group) (csv_field metric) value))
+      (Report.summary r.result)
+  in
+  { emit; close = (fun () -> ()) }
+
+let to_file make path =
+  let oc = open_out path in
+  let sink = make (output_string oc) in
+  {
+    emit = sink.emit;
+    close =
+      (fun () ->
+        sink.close ();
+        close_out oc);
+  }
+
+let jsonl_file path = to_file jsonl path
+let csv_file path = to_file csv path
+
+let pretty fmt =
+  let emit r =
+    Report.heading fmt (Printf.sprintf "%s (%s)" r.name (Spec.kind r.spec));
+    Format.fprintf fmt "spec: %a@." Spec.pp r.spec;
+    Report.result fmt r.result
+  in
+  { emit; close = (fun () -> Format.pp_print_flush fmt ()) }
+
+let multi sinks =
+  {
+    emit = (fun r -> List.iter (fun s -> s.emit r) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }

@@ -1,0 +1,43 @@
+(** Pluggable result sinks for the experiment runner.
+
+    A sink consumes one {!record} per completed run.  The runner always
+    feeds records in registry order (independent of how many domains
+    executed the batch), so file sinks produce byte-identical output
+    for [--jobs 1] and [--jobs N]. *)
+
+type record = {
+  name : string;  (** registry name, e.g. "fig8a-n04" *)
+  group : string;  (** figure the run belongs to, e.g. "fig8a" *)
+  spec : Spec.t;
+  result : Experiments.result;
+}
+
+type t
+
+val emit : t -> record -> unit
+val close : t -> unit
+(** Flushes and releases whatever the sink holds (a no-op for
+    writer-backed sinks). *)
+
+val jsonl : (string -> unit) -> t
+(** One JSON object per record, newline-terminated:
+    [{"name":..., "group":..., "kind":..., "spec":{...}, "result":{...}}].
+    The writer receives complete lines. *)
+
+val csv : (string -> unit) -> t
+(** Long-format CSV: a ["name,group,metric,value"] header (written
+    immediately), then one row per scalar metric of each record
+    ({!Report.summary}).  Fields are RFC-4180 quoted when needed. *)
+
+val jsonl_file : string -> t
+(** [jsonl] writing to a file (truncated); [close] closes it. *)
+
+val csv_file : string -> t
+(** [csv] writing to a file (truncated); [close] closes it. *)
+
+val pretty : Format.formatter -> t
+(** Human-readable rendering: a heading per record followed by the
+    {!Report.result} printer — what the CLI shows on stdout. *)
+
+val multi : t list -> t
+(** Fans every record out to each sink in order. *)

@@ -1,0 +1,234 @@
+module Flid = Mcc_mcast.Flid
+
+type mode = Flid.mode
+
+type attack_params = {
+  seed : int;
+  duration : float;
+  attack_at : float;
+  mode : mode;
+}
+
+type sweep_params = {
+  seed : int;
+  duration : float;
+  sessions : int;
+  cross_traffic : bool;
+  mode : mode;
+}
+
+type responsiveness_params = {
+  seed : int;
+  duration : float;
+  burst_start : float;
+  burst_stop : float;
+  burst_rate_bps : float;
+  mode : mode;
+}
+
+type rtt_params = {
+  seed : int;
+  duration : float;
+  receivers : int;
+  mode : mode;
+}
+
+type convergence_params = {
+  seed : int;
+  duration : float;
+  join_times : float list;
+  mode : mode;
+}
+
+type overhead_axis = Groups | Slot
+
+type overhead_params = {
+  seed : int;
+  duration : float;
+  groups : int;
+  slot : float;
+  axis : overhead_axis;
+}
+
+type partial_params = {
+  seed : int;
+  duration : float;
+  attack_at : float;
+}
+
+type t =
+  | Attack of attack_params
+  | Sweep of sweep_params
+  | Responsiveness of responsiveness_params
+  | Rtt of rtt_params
+  | Convergence of convergence_params
+  | Overhead of overhead_params
+  | Partial of partial_params
+
+(* The defaults are the paper's Section 5.1 settings; seeds match the
+   fixed seeds the pre-spec API used, so regenerated figures are
+   bit-compatible with EXPERIMENTS.md. *)
+
+let default_attack =
+  { seed = 7; duration = 200.; attack_at = 100.; mode = Flid.Robust }
+
+let default_sweep =
+  { seed = 12; duration = 200.; sessions = 1; cross_traffic = false;
+    mode = Flid.Robust }
+
+let default_responsiveness =
+  { seed = 19; duration = 100.; burst_start = 45.; burst_stop = 75.;
+    burst_rate_bps = 800_000.; mode = Flid.Robust }
+
+let default_rtt = { seed = 23; duration = 200.; receivers = 20; mode = Flid.Robust }
+
+let default_convergence =
+  { seed = 29; duration = 40.; join_times = [ 0.; 10.; 20.; 30. ];
+    mode = Flid.Robust }
+
+let default_overhead =
+  { seed = 31; duration = 30.; groups = 10; slot = 0.25; axis = Groups }
+
+let default_partial = { seed = 37; duration = 120.; attack_at = 40. }
+
+let kind = function
+  | Attack _ -> "attack"
+  | Sweep _ -> "sweep"
+  | Responsiveness _ -> "responsiveness"
+  | Rtt _ -> "rtt"
+  | Convergence _ -> "convergence"
+  | Overhead _ -> "overhead"
+  | Partial _ -> "partial"
+
+let seed = function
+  | Attack p -> p.seed
+  | Sweep p -> p.seed
+  | Responsiveness p -> p.seed
+  | Rtt p -> p.seed
+  | Convergence p -> p.seed
+  | Overhead p -> p.seed
+  | Partial p -> p.seed
+
+let duration = function
+  | Attack p -> p.duration
+  | Sweep p -> p.duration
+  | Responsiveness p -> p.duration
+  | Rtt p -> p.duration
+  | Convergence p -> p.duration
+  | Overhead p -> p.duration
+  | Partial p -> p.duration
+
+let scale_time t ~factor =
+  match t with
+  | Attack p ->
+      Attack
+        { p with duration = p.duration *. factor;
+          attack_at = p.attack_at *. factor }
+  | Sweep p -> Sweep { p with duration = p.duration *. factor }
+  | Responsiveness p ->
+      Responsiveness
+        { p with duration = p.duration *. factor;
+          burst_start = p.burst_start *. factor;
+          burst_stop = p.burst_stop *. factor }
+  | Rtt p -> Rtt { p with duration = p.duration *. factor }
+  | Convergence p ->
+      Convergence
+        { p with duration = p.duration *. factor;
+          join_times = List.map (fun j -> j *. factor) p.join_times }
+  | Overhead p -> Overhead { p with duration = p.duration *. factor }
+  | Partial p ->
+      Partial
+        { p with duration = p.duration *. factor;
+          attack_at = p.attack_at *. factor }
+
+let mode_str = function Flid.Plain -> "plain" | Flid.Robust -> "robust"
+
+let to_json t =
+  let base = [ ("kind", Json.String (kind t)) ] in
+  let fields =
+    match t with
+    | Attack p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("attack_at", Json.Float p.attack_at);
+          ("mode", Json.String (mode_str p.mode));
+        ]
+    | Sweep p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("sessions", Json.Int p.sessions);
+          ("cross_traffic", Json.Bool p.cross_traffic);
+          ("mode", Json.String (mode_str p.mode));
+        ]
+    | Responsiveness p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("burst_start", Json.Float p.burst_start);
+          ("burst_stop", Json.Float p.burst_stop);
+          ("burst_rate_bps", Json.Float p.burst_rate_bps);
+          ("mode", Json.String (mode_str p.mode));
+        ]
+    | Rtt p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("receivers", Json.Int p.receivers);
+          ("mode", Json.String (mode_str p.mode));
+        ]
+    | Convergence p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("join_times", Json.List (List.map (fun j -> Json.Float j) p.join_times));
+          ("mode", Json.String (mode_str p.mode));
+        ]
+    | Overhead p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("groups", Json.Int p.groups);
+          ("slot", Json.Float p.slot);
+          ( "axis",
+            Json.String (match p.axis with Groups -> "groups" | Slot -> "slot")
+          );
+        ]
+    | Partial p ->
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("attack_at", Json.Float p.attack_at);
+        ]
+  in
+  Json.Obj (base @ fields)
+
+let pp fmt t =
+  match t with
+  | Attack p ->
+      Format.fprintf fmt "attack seed=%d duration=%gs attack_at=%gs mode=%s"
+        p.seed p.duration p.attack_at (mode_str p.mode)
+  | Sweep p ->
+      Format.fprintf fmt "sweep seed=%d duration=%gs sessions=%d cross=%b mode=%s"
+        p.seed p.duration p.sessions p.cross_traffic (mode_str p.mode)
+  | Responsiveness p ->
+      Format.fprintf fmt
+        "responsiveness seed=%d duration=%gs burst=[%g,%g]s @@%gbps mode=%s"
+        p.seed p.duration p.burst_start p.burst_stop p.burst_rate_bps
+        (mode_str p.mode)
+  | Rtt p ->
+      Format.fprintf fmt "rtt seed=%d duration=%gs receivers=%d mode=%s" p.seed
+        p.duration p.receivers (mode_str p.mode)
+  | Convergence p ->
+      Format.fprintf fmt "convergence seed=%d duration=%gs joins=[%s] mode=%s"
+        p.seed p.duration
+        (String.concat ";" (List.map (Printf.sprintf "%g") p.join_times))
+        (mode_str p.mode)
+  | Overhead p ->
+      Format.fprintf fmt "overhead seed=%d duration=%gs groups=%d slot=%gs by=%s"
+        p.seed p.duration p.groups p.slot
+        (match p.axis with Groups -> "groups" | Slot -> "slot")
+  | Partial p ->
+      Format.fprintf fmt "partial seed=%d duration=%gs attack_at=%gs" p.seed
+        p.duration p.attack_at

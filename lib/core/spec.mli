@@ -1,0 +1,137 @@
+(** First-class experiment specifications.
+
+    Every experiment of the paper's evaluation (Figures 1, 7, 8a–8h,
+    9a, 9b, plus the Section 3.2.3 incremental-deployment study) is
+    described by a parameter record; [t] is the sum of those records.
+    A spec is pure data: the same spec always produces the same result
+    ({!Experiments.run} is a pure function of it), which is what lets
+    {!Runner} farm batches of specs out to domains and still merge
+    byte-identical outputs.
+
+    Each record has a [default_*] value carrying the paper's settings;
+    build variants with record update syntax:
+    [{ Spec.default_attack with mode = Flid.Plain; duration = 60. }]. *)
+
+type mode = Mcc_mcast.Flid.mode
+
+type attack_params = {
+  seed : int;
+  duration : float;  (** simulated seconds *)
+  attack_at : float;  (** when receiver F1 starts inflating *)
+  mode : mode;
+}
+(** Figures 1 / 7: two multicast + two TCP sessions over a 1 Mbps
+    bottleneck; receiver F1 inflates its subscription at [attack_at]. *)
+
+type sweep_params = {
+  seed : int;
+  duration : float;
+  sessions : int;  (** number of concurrent multicast sessions *)
+  cross_traffic : bool;
+      (** one TCP flow per session plus an on-off CBR (Figure 8d) *)
+  mode : mode;
+}
+(** One point of Figures 8a–8d.  The figure's sweep is a batch of these
+    specs, one per session count — independent runs, so they
+    parallelise. *)
+
+type responsiveness_params = {
+  seed : int;
+  duration : float;
+  burst_start : float;
+  burst_stop : float;
+  burst_rate_bps : float;
+  mode : mode;
+}
+(** Figure 8e: one session plus a CBR burst on a 1 Mbps bottleneck. *)
+
+type rtt_params = {
+  seed : int;
+  duration : float;
+  receivers : int;  (** RTTs spread uniformly over 30–220 ms *)
+  mode : mode;
+}
+(** Figure 8f. *)
+
+type convergence_params = {
+  seed : int;
+  duration : float;
+  join_times : float list;  (** one receiver joins at each time *)
+  mode : mode;
+}
+(** Figures 8g / 8h. *)
+
+type overhead_axis = Groups | Slot
+
+type overhead_params = {
+  seed : int;
+  duration : float;
+  groups : int;
+  slot : float;  (** slot duration in seconds *)
+  axis : overhead_axis;
+      (** which parameter the containing figure varies; selects the
+          x coordinate of the resulting point (9a: groups, 9b: slot) *)
+}
+(** One point of Figures 9a / 9b: DELTA and SIGMA communication
+    overhead, analytic and measured. *)
+
+type partial_params = {
+  seed : int;
+  duration : float;
+  attack_at : float;
+}
+(** Incremental deployment (paper Section 3.2.3): the same inflation
+    attack behind a SIGMA edge router and behind a legacy IGMP one. *)
+
+type t =
+  | Attack of attack_params
+  | Sweep of sweep_params
+  | Responsiveness of responsiveness_params
+  | Rtt of rtt_params
+  | Convergence of convergence_params
+  | Overhead of overhead_params
+  | Partial of partial_params
+
+val default_attack : attack_params
+(** seed 7, 200 s, attack at 100 s, FLID-DS. *)
+
+val default_sweep : sweep_params
+(** seed 12 (the legacy API's seed 11 + sessions), 200 s, 1 session, no
+    cross traffic, FLID-DS. *)
+
+val default_responsiveness : responsiveness_params
+(** seed 19, 100 s, 800 Kbps burst during [45 s, 75 s], FLID-DS. *)
+
+val default_rtt : rtt_params
+(** seed 23, 200 s, 20 receivers, FLID-DS. *)
+
+val default_convergence : convergence_params
+(** seed 29, 40 s, joins at 0/10/20/30 s, FLID-DS. *)
+
+val default_overhead : overhead_params
+(** seed 31, 30 s, 10 groups, 250 ms slots, [Groups] axis. *)
+
+val default_partial : partial_params
+(** seed 37, 120 s, attack at 40 s. *)
+
+val kind : t -> string
+(** "attack", "sweep", "responsiveness", "rtt", "convergence",
+    "overhead" or "partial". *)
+
+val seed : t -> int
+
+val duration : t -> float
+
+val scale_time : t -> factor:float -> t
+(** Multiplies every temporal parameter (duration and the instants
+    within it: attack onset, burst window, join times) by [factor],
+    preserving the scenario's shape.  Protocol timing (slot durations)
+    is not touched.  Used for abbreviated "--quick" batches. *)
+
+val to_json : t -> Json.t
+(** The spec as a JSON object, [kind] field included; every parameter
+    appears so a result file documents exactly what produced it. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human summary, e.g. "attack seed=7 duration=200s
+    attack_at=100s mode=robust". *)

@@ -6,7 +6,9 @@ type 'a t = {
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 64 None; len = 0; next_seq = 0 }
+let initial_capacity = 64
+
+let create () = { heap = Array.make initial_capacity None; len = 0; next_seq = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
@@ -63,6 +65,13 @@ let pop t =
     Some (e.time, e.value)
   end
 
+let capacity t = Array.length t.heap
+
+(* A cleared queue is as good as new: sequence numbers restart (a queue
+   reused across thousands of batch runs never overflows them) and the
+   heap drops back to its initial allocation instead of keeping the
+   high-water mark of the busiest run alive. *)
 let clear t =
-  Array.fill t.heap 0 (Array.length t.heap) None;
-  t.len <- 0
+  t.heap <- Array.make initial_capacity None;
+  t.len <- 0;
+  t.next_seq <- 0

@@ -22,3 +22,11 @@ val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest event. *)
 
 val clear : 'a t -> unit
+(** Empties the queue and restores it to its freshly-created state:
+    tie-break sequence numbers restart from zero and the heap storage
+    shrinks back to its initial capacity, so a queue reused across many
+    batch runs carries neither unbounded sequence numbers nor the
+    high-water-mark allocation. *)
+
+val capacity : 'a t -> int
+(** Current heap allocation in slots (observability / tests). *)

@@ -10,12 +10,18 @@ type t = {
   mutable payload : Payload.t;
 }
 
-let next_uid = ref 0
+(* Domain-local so concurrent simulations (the batch runner farms runs
+   out to domains) never contend on — or non-deterministically
+   interleave — the counter.  Uids stay unique and reproducible within
+   a domain, which is as strong a guarantee as the previous global
+   counter gave a single-threaded process. *)
+let next_uid = Domain.DLS.new_key (fun () -> ref 0)
 
 let make ?(router_alert = false) ~src ~dst ~size payload =
   if size <= 0 then invalid_arg "Packet.make: size <= 0";
-  incr next_uid;
-  { uid = !next_uid; src; dst; size; ecn = false; router_alert; payload }
+  let counter = Domain.DLS.get next_uid in
+  incr counter;
+  { uid = !counter; src; dst; size; ecn = false; router_alert; payload }
 
 let copy t = { t with uid = t.uid }
 let is_multicast t = match t.dst with Multicast _ -> true | Unicast _ -> false

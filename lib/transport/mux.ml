@@ -3,10 +3,15 @@ module Node = Mcc_net.Node
 type t = { mutable handlers : (Mcc_net.Packet.t -> bool) list }
 
 (* Keyed by physical node identity: node ids restart from 0 in every
-   topology, and one process (the benchmark harness) builds many. *)
-let registry : (Node.t * t) list ref = ref []
+   topology, and one process (the benchmark harness) builds many.
+   Domain-local so concurrent simulations on separate domains (the
+   batch runner) cannot race on the list or clobber each other's
+   unicast handlers; a node and all its traffic live on one domain. *)
+let registry_key : (Node.t * t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let of_node (node : Node.t) =
+  let registry = Domain.DLS.get registry_key in
   match List.find_opt (fun (n, _) -> n == node) !registry with
   | Some (_, t) -> t
   | None ->

@@ -3,6 +3,7 @@ module Defaults = Mcc_core.Defaults
 module Dumbbell = Mcc_core.Dumbbell
 module Scenario = Mcc_core.Scenario
 module E = Mcc_core.Experiments
+module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
 module Node = Mcc_net.Node
 module Link = Mcc_net.Link
@@ -90,7 +91,11 @@ let test_scenario_unique_sessions () =
   Alcotest.(check bool) "disjoint group ranges" true (a_hi < b_lo || b_hi < a_lo)
 
 let test_experiment_attack_quick () =
-  let result = E.attack ~duration:60. ~attack_at:30. ~mode:Flid.Plain () in
+  let result =
+    E.run_attack
+      { Spec.default_attack with
+        Spec.duration = 60.; attack_at = 30.; mode = Flid.Plain }
+  in
   Alcotest.(check bool)
     (Printf.sprintf "inflation pays off (%.0f -> %.0f)"
        result.E.f1_before result.E.f1_after)
@@ -99,7 +104,11 @@ let test_experiment_attack_quick () =
   Alcotest.(check bool) "series non-empty" true (List.length result.E.f1 > 10)
 
 let test_experiment_attack_robust_quick () =
-  let result = E.attack ~duration:60. ~attack_at:30. ~mode:Flid.Robust () in
+  let result =
+    E.run_attack
+      { Spec.default_attack with
+        Spec.duration = 60.; attack_at = 30.; mode = Flid.Robust }
+  in
   Alcotest.(check bool)
     (Printf.sprintf "protected (%.0f -> %.0f)" result.E.f1_before
        result.E.f1_after)
@@ -110,7 +119,13 @@ let test_experiment_attack_robust_quick () =
 
 let test_experiment_sweep_quick () =
   let points =
-    E.throughput_vs_sessions ~duration:40. ~mode:Flid.Plain ~counts:[ 1; 3 ] ()
+    List.map
+      (fun sessions ->
+        E.run_sweep
+          { Spec.default_sweep with
+            Spec.seed = 11 + sessions; duration = 40.; sessions;
+            mode = Flid.Plain })
+      [ 1; 3 ]
   in
   Alcotest.(check int) "two points" 2 (List.length points);
   List.iter
@@ -124,7 +139,10 @@ let test_experiment_sweep_quick () =
     points
 
 let test_experiment_convergence_quick () =
-  let series = E.convergence ~duration:40. ~mode:Flid.Plain () in
+  let series =
+    E.run_convergence
+      { Spec.default_convergence with Spec.duration = 40.; mode = Flid.Plain }
+  in
   Alcotest.(check int) "four receivers" 4 (List.length series);
   (* All receivers end up within a factor of ~2 of each other. *)
   let finals =
@@ -143,7 +161,14 @@ let test_experiment_convergence_quick () =
     (lo > 0. && hi /. (Float.max lo 1.) < 3.)
 
 let test_experiment_overhead_quick () =
-  let points = E.overhead_vs_groups ~duration:10. ~groups_list:[ 2; 10 ] () in
+  let points =
+    List.map
+      (fun groups ->
+        E.run_overhead
+          { Spec.default_overhead with
+            Spec.duration = 10.; groups; axis = Spec.Groups })
+      [ 2; 10 ]
+  in
   Alcotest.(check int) "two points" 2 (List.length points);
   List.iter
     (fun (p : E.overhead_point) ->
@@ -160,7 +185,11 @@ let test_experiment_overhead_quick () =
     points
 
 let test_experiment_rtt_quick () =
-  let rows = E.rtt_fairness ~duration:60. ~receivers:5 ~mode:Flid.Plain () in
+  let rows =
+    E.run_rtt
+      { Spec.default_rtt with
+        Spec.duration = 60.; receivers = 5; mode = Flid.Plain }
+  in
   Alcotest.(check int) "five rows" 5 (List.length rows);
   let rates = List.map snd rows in
   let lo = List.fold_left min (List.hd rates) rates in
@@ -171,7 +200,10 @@ let test_experiment_rtt_quick () =
     (lo > 0.7 *. hi)
 
 let test_experiment_responsiveness_quick () =
-  let r = E.responsiveness ~duration:100. ~mode:Flid.Plain () in
+  let r =
+    E.run_responsiveness
+      { Spec.default_responsiveness with Spec.duration = 100.; mode = Flid.Plain }
+  in
   Alcotest.(check bool)
     (Printf.sprintf "backs off during burst (%.0f -> %.0f)" r.E.before_kbps
        r.E.during_kbps)
@@ -183,7 +215,7 @@ let test_experiment_responsiveness_quick () =
     (r.E.after_kbps > 0.7 *. r.E.before_kbps)
 
 let test_partial_deployment () =
-  let r = E.partial_deployment ~duration:90. () in
+  let r = E.run_partial { Spec.default_partial with Spec.duration = 90. } in
   let fair = Defaults.fair_share_bps /. 1000. in
   Alcotest.(check bool)
     (Printf.sprintf "SIGMA edge caps local inflation (%.0f kbps)"

@@ -101,12 +101,41 @@ let test_sim_nested_schedule () =
   Sim.run sim;
   Alcotest.(check (list int)) "nested" [ 1; 2 ] (List.rev !log)
 
+let test_queue_clear_resets () =
+  let q = Event_queue.create () in
+  (* Grow past the initial 64 slots, then clear: the heap must shrink
+     back and the FIFO tie-break sequence must restart from zero. *)
+  for i = 0 to 199 do
+    Event_queue.push q ~time:(float_of_int (i mod 7)) i
+  done;
+  Alcotest.(check bool) "heap grew" true (Event_queue.capacity q > 64);
+  Event_queue.clear q;
+  Alcotest.(check int) "empty after clear" 0 (Event_queue.size q);
+  Alcotest.(check int) "capacity back to initial" 64 (Event_queue.capacity q);
+  (* Same-time pushes after clear drain in insertion order, exactly as
+     they would in a fresh queue (next_seq restarted). *)
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1. i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo restarts" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
 let suite =
   ( "engine",
     [
       Alcotest.test_case "queue order" `Quick test_queue_order;
       Alcotest.test_case "queue fifo ties" `Quick test_queue_fifo_ties;
       Alcotest.test_case "queue nan" `Quick test_queue_nan;
+      Alcotest.test_case "queue clear resets" `Quick test_queue_clear_resets;
       QCheck_alcotest.to_alcotest prop_queue_sorted;
       Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
       Alcotest.test_case "sim cancel" `Quick test_sim_cancel;

@@ -1,0 +1,74 @@
+(* The deprecated optional-argument entry points must stay equivalent to
+   the spec-record API for the release they are kept.  This file is the
+   only place allowed to call them. *)
+
+[@@@warning "-3"]
+
+module E = Mcc_core.Experiments
+module Spec = Mcc_core.Spec
+module Flid = Mcc_mcast.Flid
+
+let test_attack_wrapper () =
+  let a = E.attack ~duration:30. ~attack_at:15. ~mode:Flid.Plain () in
+  let b =
+    E.run_attack
+      { Spec.default_attack with
+        Spec.duration = 30.; attack_at = 15.; mode = Flid.Plain }
+  in
+  Alcotest.(check (float 1e-9)) "f1_before" b.E.f1_before a.E.f1_before;
+  Alcotest.(check (float 1e-9)) "f1_after" b.E.f1_after a.E.f1_after;
+  Alcotest.(check int) "series length" (List.length b.E.f1) (List.length a.E.f1)
+
+let test_sweep_wrapper () =
+  let a =
+    E.throughput_vs_sessions ~duration:20. ~mode:Flid.Plain ~counts:[ 1; 2 ] ()
+  in
+  let b =
+    List.map
+      (fun sessions ->
+        E.run_sweep
+          { Spec.default_sweep with
+            Spec.seed = 11 + sessions; duration = 20.; sessions;
+            mode = Flid.Plain })
+      [ 1; 2 ]
+  in
+  List.iter2
+    (fun (x : E.sweep_point) (y : E.sweep_point) ->
+      Alcotest.(check int) "sessions" y.E.sessions x.E.sessions;
+      Alcotest.(check (float 1e-9)) "average" y.E.average_kbps x.E.average_kbps)
+    a b
+
+let test_partial_wrapper () =
+  let a = E.partial_deployment ~duration:60. ~attack_at:20. () in
+  let b =
+    E.run_partial { Spec.default_partial with Spec.duration = 60.; attack_at = 20. }
+  in
+  Alcotest.(check (float 1e-9)) "protected" b.E.protected_attacker_kbps
+    a.E.protected_attacker_kbps;
+  Alcotest.(check (float 1e-9)) "unprotected" b.E.unprotected_attacker_kbps
+    a.E.unprotected_attacker_kbps
+
+let test_overhead_wrapper () =
+  let a = E.overhead_vs_slot ~duration:10. ~slots:[ 0.25 ] () in
+  let b =
+    [ E.run_overhead
+        { Spec.default_overhead with
+          Spec.duration = 10.; slot = 0.25; axis = Spec.Slot } ]
+  in
+  List.iter2
+    (fun (x : E.overhead_point) (y : E.overhead_point) ->
+      Alcotest.(check (float 1e-9)) "x" y.E.x x.E.x;
+      Alcotest.(check (float 1e-9)) "delta measured" y.E.delta_measured
+        x.E.delta_measured;
+      Alcotest.(check (float 1e-9)) "sigma measured" y.E.sigma_measured
+        x.E.sigma_measured)
+    a b
+
+let suite =
+  ( "deprecated-wrappers",
+    [
+      Alcotest.test_case "attack" `Slow test_attack_wrapper;
+      Alcotest.test_case "sweep" `Slow test_sweep_wrapper;
+      Alcotest.test_case "partial" `Slow test_partial_wrapper;
+      Alcotest.test_case "overhead" `Quick test_overhead_wrapper;
+    ] )
