@@ -14,6 +14,8 @@ module Report = Mcc_core.Report
 module Runner = Mcc_core.Runner
 module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
+module Metrics = Mcc_obs.Metrics
+module Profile = Mcc_obs.Profile
 
 let fmt = Format.std_formatter
 
@@ -23,11 +25,22 @@ let requested : string list ref = ref []
 
 let duration full = if !quick then full /. 4. else full
 
+(* Event-loop throughput per figure: batch runs report through their
+   profiles (summed here), while direct Scenario runs land in the main
+   domain's "engine.events" counter; the driver reads both. *)
+let events_total = ref 0
+
 (* --quick scales a whole spec (attack times, burst windows, joins)
    rather than just the duration, so abbreviated runs keep their
    measurement windows inside the simulated horizon. *)
 let q spec = if !quick then Spec.scale_time spec ~factor:0.25 else spec
-let run_specs specs = Runner.run_specs ~jobs:!jobs (List.map q specs)
+
+let run_specs specs =
+  Runner.run_specs_profiled ~jobs:!jobs (List.map q specs)
+  |> List.map (fun (result, _metrics, profile) ->
+         events_total := !events_total + profile.Profile.events;
+         result)
+
 let run_spec spec = List.hd (run_specs [ spec ])
 
 let attack mode =
@@ -662,8 +675,18 @@ let () =
   else
     List.iter
       (fun (name, f) ->
+        Metrics.reset ();
+        events_total := 0;
         let t0 = Unix.gettimeofday () in
         f ();
-        Format.fprintf fmt "[%s done in %.1fs]@." name
-          (Unix.gettimeofday () -. t0))
+        let wall = Unix.gettimeofday () -. t0 in
+        let events =
+          !events_total + Metrics.counter_value (Metrics.counter "engine.events")
+        in
+        Metrics.reset ();
+        if events > 0 then
+          Format.fprintf fmt "[%s done in %.1fs, %d events, %.0f events/s]@."
+            name wall events
+            (float_of_int events /. Float.max wall 1e-9)
+        else Format.fprintf fmt "[%s done in %.1fs]@." name wall)
       selected

@@ -9,6 +9,8 @@
      mcc list
      mcc run --all --jobs 4 --json results.jsonl --csv results.csv
      mcc run --only fig8a,fig9a --quick --jobs 2
+     mcc run --only fig1 --quick --metrics=-
+     mcc trace --only fig1 --quick --filter sigma,link --out trace.jsonl
      mcc attack --mode robust --duration 200
      mcc sweep --mode plain --sessions 1,2,4,8
      mcc responsiveness --mode robust
@@ -24,6 +26,10 @@ module Runner = Mcc_core.Runner
 module Sink = Mcc_core.Sink
 module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
+module Json = Mcc_core.Json
+module Metrics = Mcc_obs.Metrics
+module Profile = Mcc_obs.Profile
+module Tracer = Mcc_obs.Tracer
 
 let fmt = Format.std_formatter
 
@@ -255,35 +261,64 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List every registered experiment spec.")
     Term.(const run $ const ())
 
+(* Shared by `run` and `trace`: resolve --all/--only into registry
+   entries and apply --quick. *)
+let resolve_entries ~cmd ~all ~only ~quick =
+  let entries =
+    if all then Runner.all ()
+    else
+      match only with
+      | [] ->
+          Printf.eprintf "mcc %s: select experiments with %s--only NAME,...\n"
+            cmd
+            (if cmd = "run" then "--all or " else "");
+          exit 2
+      | names ->
+          List.concat_map
+            (fun name ->
+              match Runner.find name with
+              | [] ->
+                  Printf.eprintf
+                    "mcc %s: unknown experiment %S (try `mcc list`)\n" cmd name;
+                  exit 2
+              | entries -> entries)
+            names
+  in
+  if quick then
+    List.map
+      (fun (e : Runner.entry) ->
+        { e with Runner.spec = Spec.scale_time e.Runner.spec ~factor:0.25 })
+      entries
+  else entries
+
+let only_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "only" ] ~docv:"NAME,..."
+        ~doc:
+          "Run the named experiments; a figure/group name (e.g. \
+           $(b,fig8a)) selects all of its points.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Scale every duration by 1/4 for an abbreviated pass.")
+
+(* "-" means stdout; anything else is a file truncated at open. *)
+let output_writer ~cmd path =
+  if path = "-" then ((fun s -> print_string s), fun () -> flush stdout)
+  else
+    match open_out path with
+    | oc -> (output_string oc, fun () -> close_out oc)
+    | exception Sys_error msg ->
+        Printf.eprintf "mcc %s: cannot open %s: %s\n" cmd path msg;
+        exit 2
+
 let run_cmd =
-  let run all only jobs quick json csv quiet =
-    let entries =
-      if all then Runner.all ()
-      else
-        match only with
-        | [] ->
-            prerr_endline
-              "mcc run: select experiments with --all or --only NAME,...";
-            exit 2
-        | names ->
-            List.concat_map
-              (fun name ->
-                match Runner.find name with
-                | [] ->
-                    Printf.eprintf
-                      "mcc run: unknown experiment %S (try `mcc list`)\n" name;
-                    exit 2
-                | entries -> entries)
-              names
-    in
-    let entries =
-      if quick then
-        List.map
-          (fun (e : Runner.entry) ->
-            { e with Runner.spec = Spec.scale_time e.Runner.spec ~factor:0.25 })
-          entries
-      else entries
-    in
+  let run all only jobs quick json csv metrics quiet =
+    let entries = resolve_entries ~cmd:"run" ~all ~only ~quick in
     let file_sinks =
       try
         (match json with None -> [] | Some path -> [ Sink.jsonl_file path ])
@@ -296,30 +331,43 @@ let run_cmd =
       (if quiet then [] else [ Sink.pretty fmt ]) @ file_sinks
     in
     let t0 = Unix.gettimeofday () in
-    let results = Runner.run_batch ~jobs ~sinks entries in
+    let rows = Runner.run_batch ~jobs ~sinks entries in
     List.iter Sink.close sinks;
-    Format.fprintf fmt "@.[%d experiments in %.1fs, jobs=%d]@."
-      (List.length results)
-      (Unix.gettimeofday () -. t0)
-      jobs
+    (match metrics with
+    | None -> ()
+    | Some path ->
+        let write, close = output_writer ~cmd:"run" path in
+        List.iter
+          (fun (row : Runner.row) ->
+            write
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("name", Json.String row.Runner.entry.Runner.name);
+                      ("metrics", Metrics.values_json row.Runner.metrics);
+                      (* wall-clock fields stay last on the line *)
+                      ("profile", Profile.to_json row.Runner.profile);
+                    ])
+              ^ "\n"))
+          rows;
+        close ());
+    if not quiet then
+      Format.fprintf fmt "@.[%d experiments in %.1fs, jobs=%d]@."
+        (List.length rows)
+        (Unix.gettimeofday () -. t0)
+        jobs
   in
   let all =
     Arg.(value & flag & info [ "all" ] ~doc:"Run every registered experiment.")
   in
-  let only =
+  let metrics =
     Arg.(
       value
-      & opt (list string) []
-      & info [ "only" ] ~docv:"NAME,..."
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
           ~doc:
-            "Run the named experiments; a figure/group name (e.g. \
-             $(b,fig8a)) selects all of its points.")
-  in
-  let quick =
-    Arg.(
-      value & flag
-      & info [ "quick" ]
-          ~doc:"Scale every duration by 1/4 for an abbreviated pass.")
+            "Write one JSON line per run with its full metric snapshot \
+             and event-loop profile; $(docv) defaults to $(b,-) (stdout).")
   in
   let json =
     Arg.(
@@ -342,9 +390,64 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Run a batch of registered experiments across domains, with JSONL \
-          and CSV sinks.")
-    Term.(const run $ all $ only $ jobs $ quick $ json $ csv $ quiet)
+         "Run a batch of registered experiments across domains, with JSONL, \
+          CSV and metrics sinks.")
+    Term.(
+      const run $ all $ only_arg $ jobs $ quick_arg $ json $ csv $ metrics
+      $ quiet)
+
+let trace_cmd =
+  let run only out filters level quick =
+    let entries = resolve_entries ~cmd:"trace" ~all:false ~only ~quick in
+    let write, close = output_writer ~cmd:"trace" out in
+    let components = if filters = [] then None else Some filters in
+    (* Tracer sinks are domain-local, so the batch is forced onto this
+       domain: jobs > 1 would silently lose every helper domain's
+       stream. *)
+    let sink = Tracer.jsonl ~min_level:level ?components write in
+    let rows = Runner.run_batch ~jobs:1 entries in
+    Tracer.remove sink;
+    close ();
+    Printf.eprintf "[traced %d experiment%s to %s]\n" (List.length rows)
+      (if List.length rows = 1 then "" else "s")
+      (if out = "-" then "stdout" else out)
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Trace destination; $(b,-) (default) writes to stdout.")
+  in
+  let filters =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "filter" ] ~docv:"COMPONENT,..."
+          ~doc:
+            "Keep only these components and their dotted descendants \
+             (e.g. $(b,sigma) matches $(b,sigma.router)).")
+  in
+  let level =
+    let parse = function
+      | "debug" -> Ok Tracer.Debug
+      | "info" -> Ok Tracer.Info
+      | "warn" -> Ok Tracer.Warn
+      | s -> Error (`Msg (Printf.sprintf "unknown level %S (debug|info|warn)" s))
+    in
+    let print ppf l = Format.pp_print_string ppf (Tracer.level_name l) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Tracer.Debug
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Minimum severity: $(b,debug) (default), $(b,info), $(b,warn).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run experiments with structured event tracing enabled, writing \
+          one JSON record per event.")
+    Term.(const run $ only_arg $ out $ filters $ level $ quick_arg)
 
 let main =
   Cmd.group
@@ -354,6 +457,7 @@ let main =
           (Gorinsky et al.)")
     [
       run_cmd;
+      trace_cmd;
       list_cmd;
       attack_cmd;
       sweep_cmd;

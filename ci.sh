@@ -7,3 +7,28 @@ dune build
 dune runtest
 dune exec bin/mcc.exe -- run --all --quick --jobs 2 --json /tmp/out.jsonl --quiet
 test -s /tmp/out.jsonl
+
+# Telemetry smoke: a metrics-enabled run must emit parseable JSONL with
+# a busy bottleneck (nonzero link.drops on fig1's congested link).
+dune exec bin/mcc.exe -- run --only fig1 --quick --json /tmp/out2.jsonl \
+  --metrics=/tmp/m.jsonl --quiet
+test -s /tmp/out2.jsonl
+test -s /tmp/m.jsonl
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+for path in ("/tmp/out.jsonl", "/tmp/out2.jsonl", "/tmp/m.jsonl"):
+    with open(path) as f:
+        rows = [json.loads(line) for line in f if line.strip()]
+    assert rows, f"{path}: empty"
+
+with open("/tmp/m.jsonl") as f:
+    row = json.loads(f.readline())
+assert row["name"] == "fig1", row
+assert row["metrics"]["link.drops"] > 0, "fig1 bottleneck never dropped"
+assert row["metrics"]["engine.events"] > 0
+assert row["profile"]["events"] == row["metrics"]["engine.events"]
+print("telemetry smoke ok")
+EOF
+fi

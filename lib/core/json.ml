@@ -1,69 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let float_str f =
-  if not (Float.is_finite f) then "null"
-  else
-    let s = Printf.sprintf "%.12g" f in
-    (* "1." is not valid JSON; "%.12g" never produces it, but a plain
-       integer mantissa like "3" is fine as a JSON number. *)
-    s
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_str f)
-  | String s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf item)
-        items;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (name, value) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape name);
-          Buffer.add_string buf "\":";
-          write buf value)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string t =
-  let buf = Buffer.create 256 in
-  write buf t;
-  Buffer.contents buf
-
-let of_series points =
-  List (List.map (fun (x, y) -> List [ Float x; Float y ]) points)
+(* The implementation lives in Mcc_obs so the telemetry layer (which
+   every library depends on) can render JSON without depending on the
+   experiment layer.  Re-exported here for the core API's callers. *)
+include Mcc_obs.Json

@@ -1,23 +1,7 @@
-(** Minimal JSON emission (no parsing, no external dependency): just
-    enough structure for the machine-readable experiment sinks.  Values
-    render deterministically — same tree, same bytes — which is what
-    lets the runner's serial and parallel outputs be byte-compared. *)
+(** Re-export of {!Mcc_obs.Json}, where the implementation moved when
+    the telemetry layer ([mcc_obs]) gained JSON rendering; the types are
+    equal, so values flow freely between the two names. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float  (** non-finite floats render as [null] *)
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact rendering, no whitespace. *)
-
-val escape : string -> string
-(** The body of a JSON string literal for the argument (no surrounding
-    quotes): backslash, quote, and control characters escaped. *)
-
-val of_series : (float * float) list -> t
-(** A series as a list of [[x, y]] pairs. *)
+include module type of struct
+  include Mcc_obs.Json
+end

@@ -1,4 +1,6 @@
 module Flid = Mcc_mcast.Flid
+module Metrics = Mcc_obs.Metrics
+module Profile = Mcc_obs.Profile
 
 type entry = {
   name : string;
@@ -201,14 +203,98 @@ let parallel_map ~jobs f inputs =
 
 let run_specs ?(jobs = 1) specs = parallel_map ~jobs Experiments.run specs
 
+(* --- profiled execution ------------------------------------------------- *)
+
+(* Every metric any experiment can touch, registered up front so each
+   run's snapshot has the same schema whatever the spec exercises: a
+   fig1 (Plain mode) row still carries the sigma.* counters, at zero. *)
+let counter_catalog =
+  [
+    "engine.events";
+    "link.tx_packets"; "link.tx_bytes";
+    "link.enqueues"; "link.enqueue_bytes";
+    "link.drops"; "link.drop_bytes";
+    "link.marks"; "link.mark_bytes";
+    "red.marks";
+    "sigma.subscriptions"; "sigma.keys_accepted"; "sigma.keys_rejected";
+    "sigma.acks"; "sigma.upgrade_graces"; "sigma.grace_admissions";
+    "sigma.suppressed_duplicates"; "sigma.unsubscribes"; "sigma.lockouts";
+    "sigma.specials"; "sigma.guesses";
+    "sigma.fec.chunks"; "sigma.fec.duplicates";
+    "flid.slots"; "flid.inferred_losses";
+    "flid.joins"; "flid.leaves"; "flid.level_changes";
+    "rlm.slots"; "rlm.inferred_losses";
+    "rlm.joins"; "rlm.leaves"; "rlm.level_changes";
+    "rep.slots"; "rep.switches"; "rep.inferred_losses";
+    "tcp.retransmits"; "tcp.rto_fires";
+  ]
+
+let gauge_catalog = [ "engine.queue_capacity"; "sigma.fec.expansion" ]
+
+(* Bounds must match the instrumentation sites or registration raises. *)
+let preregister () =
+  List.iter (fun name -> ignore (Metrics.counter name)) counter_catalog;
+  List.iter (fun name -> ignore (Metrics.gauge name)) gauge_catalog;
+  ignore
+    (Metrics.histogram "sigma.subscribe_pairs" ~bounds:[ 1.; 2.; 4.; 8.; 16. ]);
+  ignore
+    (Metrics.histogram "tcp.rtt_ms"
+       ~bounds:[ 10.; 30.; 60.; 100.; 150.; 250.; 500.; 1000. ])
+
+(* The registry is reset on both sides of the run: entering clean keeps
+   the snapshot to this one spec, and leaving clean keeps a later run in
+   the same domain (or the caller's own metrics) from inheriting stale
+   handles. *)
+let run_spec_profiled spec =
+  Metrics.reset ();
+  preregister ();
+  let t0 = Unix.gettimeofday () in
+  let result = Experiments.run spec in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let metrics = Metrics.snapshot () in
+  Metrics.reset ();
+  let events =
+    match List.assoc_opt "engine.events" metrics with
+    | Some (Metrics.Counter n) -> n
+    | Some _ | None -> 0
+  in
+  let queue_capacity =
+    match List.assoc_opt "engine.queue_capacity" metrics with
+    | Some (Metrics.Gauge v) -> int_of_float v
+    | Some _ | None -> 0
+  in
+  (result, metrics, Profile.make ~events ~queue_capacity ~wall_s)
+
+let run_specs_profiled ?(jobs = 1) specs =
+  parallel_map ~jobs run_spec_profiled specs
+
+type row = {
+  entry : entry;
+  result : Experiments.result;
+  metrics : (string * Metrics.value) list;
+  profile : Profile.t;
+}
+
 let run_batch ?(jobs = 1) ?(sinks = []) entries =
-  let results = run_specs ~jobs (List.map (fun e -> e.spec) entries) in
-  let paired = List.combine entries results in
+  let outs = run_specs_profiled ~jobs (List.map (fun e -> e.spec) entries) in
+  let rows =
+    List.map2
+      (fun entry (result, metrics, profile) ->
+        { entry; result; metrics; profile })
+      entries outs
+  in
   List.iter
-    (fun (e, result) ->
+    (fun { entry = e; result; metrics; profile } ->
       let record =
-        { Sink.name = e.name; group = e.group; spec = e.spec; result }
+        {
+          Sink.name = e.name;
+          group = e.group;
+          spec = e.spec;
+          result;
+          metrics;
+          profile = Some profile;
+        }
       in
       List.iter (fun sink -> Sink.emit sink record) sinks)
-    paired;
-  paired
+    rows;
+  rows

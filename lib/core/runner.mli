@@ -38,12 +38,36 @@ val run_specs : ?jobs:int -> Spec.t list -> Experiments.result list
     completion order.  If a run raises, the exception is re-raised
     after the batch drains. *)
 
-val run_batch :
+val run_spec_profiled :
+  Spec.t -> Experiments.result * (string * Mcc_obs.Metrics.value) list
+            * Mcc_obs.Profile.t
+(** One isolated run bracketed by the per-run metrics protocol: the
+    domain's registry is reset, a catalog of every metric the simulator
+    can emit is preregistered (so snapshots share one schema across
+    specs — a Plain-mode run still lists the sigma.* counters, at
+    zero), the spec runs, and the snapshot plus an event-loop profile
+    are returned with the registry reset again.  Snapshots are fully
+    deterministic; only the profile's wall-clock fields vary between
+    executions. *)
+
+val run_specs_profiled :
   ?jobs:int ->
-  ?sinks:Sink.t list ->
-  entry list ->
-  (entry * Experiments.result) list
-(** [run_specs] over a batch of registry entries; after all runs
-    complete, each (entry, result) record is emitted to every sink in
-    entry order.  The caller retains ownership of the sinks (they are
-    not closed). *)
+  Spec.t list ->
+  (Experiments.result * (string * Mcc_obs.Metrics.value) list
+   * Mcc_obs.Profile.t)
+  list
+(** {!run_spec_profiled} with the scheduling of {!run_specs}.  Each
+    domain's metrics registry is domain-local, so parallel runs cannot
+    bleed counts into each other. *)
+
+type row = {
+  entry : entry;
+  result : Experiments.result;
+  metrics : (string * Mcc_obs.Metrics.value) list;
+  profile : Mcc_obs.Profile.t;
+}
+
+val run_batch : ?jobs:int -> ?sinks:Sink.t list -> entry list -> row list
+(** {!run_specs_profiled} over a batch of registry entries; after all
+    runs complete, each row is emitted to every sink in entry order.
+    The caller retains ownership of the sinks (they are not closed). *)

@@ -1,8 +1,13 @@
+module Metrics = Mcc_obs.Metrics
+module Profile = Mcc_obs.Profile
+
 type record = {
   name : string;
   group : string;
   spec : Spec.t;
   result : Experiments.result;
+  metrics : (string * Metrics.value) list;
+  profile : Profile.t option;
 }
 
 type t = { emit : record -> unit; close : unit -> unit }
@@ -12,18 +17,24 @@ let close t = t.close ()
 
 let jsonl write =
   let emit r =
-    let line =
-      Json.to_string
-        (Json.Obj
-           [
-             ("name", Json.String r.name);
-             ("group", Json.String r.group);
-             ("kind", Json.String (Spec.kind r.spec));
-             ("spec", Spec.to_json r.spec);
-             ("result", Report.result_json r.result);
-           ])
+    let fields =
+      [
+        ("name", Json.String r.name);
+        ("group", Json.String r.group);
+        ("kind", Json.String (Spec.kind r.spec));
+        ("spec", Spec.to_json r.spec);
+        ("result", Report.result_json r.result);
+      ]
+      @ (if r.metrics = [] then []
+         else [ ("metrics", Metrics.values_json r.metrics) ])
+      (* The profile carries the only nondeterministic fields (wall
+         clock); keeping it last lets consumers compare lines up to
+         "wall_s" across job counts. *)
+      @ match r.profile with
+        | Some p -> [ ("profile", Profile.to_json p) ]
+        | None -> []
     in
-    write (line ^ "\n")
+    write (Json.to_string (Json.Obj fields) ^ "\n")
   in
   { emit; close = (fun () -> ()) }
 
@@ -45,12 +56,21 @@ let csv_field s =
 let csv write =
   write "name,group,metric,value\n";
   let emit r =
+    let row metric value =
+      write
+        (Printf.sprintf "%s,%s,%s,%.12g\n" (csv_field r.name)
+           (csv_field r.group) (csv_field metric) value)
+    in
+    List.iter (fun (metric, value) -> row metric value) (Report.summary r.result);
+    (* Counters and gauges are deterministic; histograms and the wall
+       clock profile don't fit the long format and are jsonl-only. *)
     List.iter
-      (fun (metric, value) ->
-        write
-          (Printf.sprintf "%s,%s,%s,%.12g\n" (csv_field r.name)
-             (csv_field r.group) (csv_field metric) value))
-      (Report.summary r.result)
+      (fun (name, value) ->
+        match value with
+        | Metrics.Counter n -> row name (float_of_int n)
+        | Metrics.Gauge v -> row name v
+        | Metrics.Histogram _ -> ())
+      r.metrics
   in
   { emit; close = (fun () -> ()) }
 
@@ -72,7 +92,10 @@ let pretty fmt =
   let emit r =
     Report.heading fmt (Printf.sprintf "%s (%s)" r.name (Spec.kind r.spec));
     Format.fprintf fmt "spec: %a@." Spec.pp r.spec;
-    Report.result fmt r.result
+    Report.result fmt r.result;
+    match r.profile with
+    | Some p -> Format.fprintf fmt "profile: %a@." Profile.pp p
+    | None -> ()
   in
   { emit; close = (fun () -> Format.pp_print_flush fmt ()) }
 

@@ -10,6 +10,12 @@ type record = {
   group : string;  (** figure the run belongs to, e.g. "fig8a" *)
   spec : Spec.t;
   result : Experiments.result;
+  metrics : (string * Mcc_obs.Metrics.value) list;
+      (** the run's metric snapshot, sorted by name ([] when the caller
+          did not capture one) *)
+  profile : Mcc_obs.Profile.t option;
+      (** event-loop profile; its wall-clock fields are the only
+          nondeterministic content of a record *)
 }
 
 type t
@@ -21,13 +27,17 @@ val close : t -> unit
 
 val jsonl : (string -> unit) -> t
 (** One JSON object per record, newline-terminated:
-    [{"name":..., "group":..., "kind":..., "spec":{...}, "result":{...}}].
-    The writer receives complete lines. *)
+    [{"name":..., "group":..., "kind":..., "spec":{...}, "result":{...},
+    "metrics":{...}?, "profile":{...}?}] — the last two only when
+    present, with the profile (and so every wall-clock field) last on
+    the line.  The writer receives complete lines. *)
 
 val csv : (string -> unit) -> t
 (** Long-format CSV: a ["name,group,metric,value"] header (written
     immediately), then one row per scalar metric of each record
-    ({!Report.summary}).  Fields are RFC-4180 quoted when needed. *)
+    ({!Report.summary}) and per counter/gauge of its metric snapshot
+    (histograms and the profile are jsonl-only).  Fields are RFC-4180
+    quoted when needed. *)
 
 val jsonl_file : string -> t
 (** [jsonl] writing to a file (truncated); [close] closes it. *)

@@ -1,12 +1,36 @@
+module Metrics = Mcc_obs.Metrics
+
 type handle = { mutable cancelled : bool; mutable fire : unit -> unit }
 
 type t = {
   queue : handle Event_queue.t;
   mutable clock : float;
   mutable executed : int;
+  (* Telemetry handles, fetched at creation so the hot loop never does a
+     registry lookup; [reported] makes the flush incremental, so several
+     sims in one domain sum into "engine.events". *)
+  events_metric : Metrics.counter;
+  queue_capacity_metric : Metrics.gauge;
+  mutable reported : int;
 }
 
-let create () = { queue = Event_queue.create (); clock = 0.; executed = 0 }
+let create () =
+  {
+    queue = Event_queue.create ();
+    clock = 0.;
+    executed = 0;
+    events_metric = Metrics.counter "engine.events";
+    queue_capacity_metric = Metrics.gauge "engine.queue_capacity";
+    reported = 0;
+  }
+
+(* Called when a run returns to its driver, not per event: the hot loop
+   carries zero instrumentation cost. *)
+let flush_metrics t =
+  Metrics.incr t.events_metric ~by:(t.executed - t.reported);
+  t.reported <- t.executed;
+  Metrics.set t.queue_capacity_metric
+    (float_of_int (Event_queue.capacity t.queue))
 let now t = t.clock
 
 let schedule t ~at f =
@@ -62,7 +86,14 @@ let run_until t horizon =
     | Some _ | None -> ()
   in
   loop ();
-  t.clock <- max t.clock horizon
+  t.clock <- max t.clock horizon;
+  flush_metrics t
 
-let run t = while step t do () done
+let run t =
+  while step t do
+    ()
+  done;
+  flush_metrics t
+
 let events_executed t = t.executed
+let queue_capacity t = Event_queue.capacity t.queue

@@ -39,3 +39,11 @@ val run : t -> unit
 
 val events_executed : t -> int
 (** Total callbacks fired so far (observability / benchmarks). *)
+
+val queue_capacity : t -> int
+(** Event-queue allocation high-water in slots ({!Event_queue.capacity});
+    the "max heap depth" figure of a run profile.
+
+    [run] and [run_until] also publish both counts to this domain's
+    {!Mcc_obs.Metrics} registry on return, as the "engine.events"
+    counter and "engine.queue_capacity" gauge. *)

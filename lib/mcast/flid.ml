@@ -13,6 +13,9 @@ module Layered = Mcc_delta.Layered
 module Tuple = Mcc_sigma.Tuple
 module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
+module Metrics = Mcc_obs.Metrics
+module Tracer = Mcc_obs.Tracer
+module Json = Mcc_obs.Json
 
 type mode = Plain | Robust
 
@@ -354,8 +357,16 @@ let slot_rec r slot =
       rec_
 
 let record_level r =
-  Series.add r.r_series ~time:(Sim.now (Topology.sim r.r_topo))
-    ~value:(float_of_int r.r_level)
+  let time = Sim.now (Topology.sim r.r_topo) in
+  Series.add r.r_series ~time ~value:(float_of_int r.r_level);
+  Metrics.tick "flid.level_changes";
+  if Tracer.enabled () then
+    Tracer.emit ~sim_time:time ~component:"flid.receiver" ~event:"level"
+      (fun () ->
+        [
+          ("host", Json.Int r.r_host.Node.id);
+          ("level", Json.Int r.r_level);
+        ])
 
 (* Largest level e <= r_level such that every group 1..e has been
    subscribed since before slot [slot]: partial slots of freshly joined
@@ -513,6 +524,8 @@ let collude r source =
 
 let eval_slot r slot =
   let rec_ = slot_rec r slot in
+  Metrics.tick "flid.slots";
+  let level_before = r.r_level in
   (match r.r_behavior with
   | Inflate_after t when Sim.now (Topology.sim r.r_topo) >= t ->
       r.r_misbehaving <- true
@@ -522,7 +535,10 @@ let eval_slot r slot =
   let congested =
     effective >= 1 && List.exists lost (List.init effective (fun i -> i + 1))
   in
-  if congested then r.r_congestions <- r.r_congestions + 1;
+  if congested then begin
+    r.r_congestions <- r.r_congestions + 1;
+    Metrics.tick "flid.inferred_losses"
+  end;
   (match r.r_config.mode with
   | Plain ->
       if r.r_misbehaving then plain_inflate r
@@ -532,6 +548,9 @@ let eval_slot r slot =
       match r.r_collude_source with
       | Some source -> collude r source
       | None -> ()));
+  let delta = r.r_level - level_before in
+  if delta > 0 then Metrics.tick "flid.joins" ~by:delta
+  else if delta < 0 then Metrics.tick "flid.leaves" ~by:(-delta);
   (* Drop bookkeeping for this and any older slot. *)
   let stale =
     Hashtbl.fold (fun s _ acc -> if s <= slot then s :: acc else acc) r.r_slots []

@@ -13,6 +13,9 @@ module Replicated = Mcc_delta.Replicated
 module Tuple = Mcc_sigma.Tuple
 module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
+module Metrics = Mcc_obs.Metrics
+module Tracer = Mcc_obs.Tracer
+module Json = Mcc_obs.Json
 
 type config = {
   id : int;
@@ -264,8 +267,16 @@ let slot_rec r slot =
       rec_
 
 let record_group r =
-  Series.add r.r_series ~time:(Sim.now (Topology.sim r.r_topo))
-    ~value:(float_of_int r.r_group)
+  let time = Sim.now (Topology.sim r.r_topo) in
+  Series.add r.r_series ~time ~value:(float_of_int r.r_group);
+  Metrics.tick "rep.switches";
+  if Tracer.enabled () then
+    Tracer.emit ~sim_time:time ~component:"rep.receiver" ~event:"switch"
+      (fun () ->
+        [
+          ("host", Json.Int r.r_host.Node.id);
+          ("group", Json.Int r.r_group);
+        ])
 
 let lost rec_ =
   rec_.count = 0
@@ -303,8 +314,10 @@ let eval_slot r slot =
   | Flid.Inflate_after t when Sim.now (Topology.sim r.r_topo) >= t ->
       r.r_misbehaving <- true
   | Flid.Inflate_after _ | Flid.Well_behaved -> ());
+  Metrics.tick "rep.slots";
   if r.r_group >= 1 && r.r_active_since <= slot then begin
     let congested = lost rec_ in
+    if congested then Metrics.tick "rep.inferred_losses";
     let g = r.r_group in
     match config.mode with
     | Flid.Plain ->

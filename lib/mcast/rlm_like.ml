@@ -12,6 +12,9 @@ module Mux = Mcc_transport.Mux
 module Tuple = Mcc_sigma.Tuple
 module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
+module Metrics = Mcc_obs.Metrics
+module Tracer = Mcc_obs.Tracer
+module Json = Mcc_obs.Json
 
 type policy = Ladder | Equation
 
@@ -431,11 +434,14 @@ let eval_slot r slot =
   let config = r.r_config in
   let n = config.layering.Layering.groups in
   let rec_ = slot_rec r slot in
+  Metrics.tick "rlm.slots";
+  let level_before = r.r_level in
   let g = effective_level r slot in
   if g >= 1 then begin
     let rate_g = loss_rate r rec_ ~upto:g in
     Tfrc.Loss_estimator.update r.r_loss_est ~loss_rate:rate_g;
     let congested = rate_g > threshold config ~level:g in
+    if congested then Metrics.tick "rlm.inferred_losses";
     let ladder_target () =
       if congested then begin
         (* Drop to the highest level whose tolerance covers its loss. *)
@@ -533,6 +539,18 @@ let eval_slot r slot =
             r.r_active_since.(l - 1) <- max_int
           done;
         r.r_level <- next)
+  end;
+  let delta = r.r_level - level_before in
+  if delta <> 0 then begin
+    Metrics.tick "rlm.level_changes";
+    Metrics.tick (if delta > 0 then "rlm.joins" else "rlm.leaves") ~by:(abs delta);
+    if Tracer.enabled () then
+      Tracer.emit ~sim_time:(Sim.now (Topology.sim r.r_topo))
+        ~component:"rlm.receiver" ~event:"level" (fun () ->
+          [
+            ("host", Json.Int r.r_host.Node.id);
+            ("level", Json.Int r.r_level);
+          ])
   end;
   let stale =
     Hashtbl.fold (fun s _ acc -> if s <= slot then s :: acc else acc) r.r_slots []

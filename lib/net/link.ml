@@ -1,8 +1,44 @@
 module Sim = Mcc_engine.Sim
+module Metrics = Mcc_obs.Metrics
+module Tracer = Mcc_obs.Tracer
+module Json = Mcc_obs.Json
 
 type dst_kind = To_host | To_router | To_lan
 
 type event = Tx_start | Enqueued | Dropped | Marked | Delivered
+
+let event_name = function
+  | Tx_start -> "tx"
+  | Enqueued -> "enq"
+  | Dropped -> "drop"
+  | Marked -> "mark"
+  | Delivered -> "rx"
+
+(* Domain-aggregate counters over every link; the per-link totals stay
+   in the record fields below.  Get-or-create makes all links of a
+   domain share one set of handles. *)
+type metrics = {
+  m_tx : Metrics.counter;
+  m_tx_bytes : Metrics.counter;
+  m_enqueues : Metrics.counter;
+  m_enqueue_bytes : Metrics.counter;
+  m_drops : Metrics.counter;
+  m_drop_bytes : Metrics.counter;
+  m_marks : Metrics.counter;
+  m_mark_bytes : Metrics.counter;
+}
+
+let link_metrics () =
+  {
+    m_tx = Metrics.counter "link.tx_packets";
+    m_tx_bytes = Metrics.counter "link.tx_bytes";
+    m_enqueues = Metrics.counter "link.enqueues";
+    m_enqueue_bytes = Metrics.counter "link.enqueue_bytes";
+    m_drops = Metrics.counter "link.drops";
+    m_drop_bytes = Metrics.counter "link.drop_bytes";
+    m_marks = Metrics.counter "link.marks";
+    m_mark_bytes = Metrics.counter "link.mark_bytes";
+  }
 
 type t = {
   id : int;
@@ -24,9 +60,13 @@ type t = {
   mutable on_event : (event -> Packet.t -> unit) option;
   mutable tx_packets : int;
   mutable tx_bytes : int;
+  mutable enqueues : int;
+  mutable enqueue_bytes : int;
   mutable drops : int;
   mutable drop_bytes : int;
   mutable marks : int;
+  mutable mark_bytes : int;
+  metrics : metrics;
 }
 
 let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
@@ -54,9 +94,13 @@ let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
     on_event = None;
     tx_packets = 0;
     tx_bytes = 0;
+    enqueues = 0;
+    enqueue_bytes = 0;
     drops = 0;
     drop_bytes = 0;
     marks = 0;
+    mark_bytes = 0;
+    metrics = link_metrics ();
   }
 
 let tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
@@ -64,18 +108,41 @@ let tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
 let emit t event pkt =
   match t.on_event with Some f -> f event pkt | None -> ()
 
+(* Hot path: [Tracer.enabled] first, so runs without a sink pay one
+   branch and allocate nothing. *)
+let trace t event pkt =
+  if Tracer.enabled () then
+    Tracer.emit
+      ~level:(match event with Dropped | Marked -> Tracer.Info | _ -> Tracer.Debug)
+      ~sim_time:(Sim.now t.sim) ~component:"link" ~event:(event_name event)
+      (fun () ->
+        [
+          ("link", Json.Int t.id);
+          ("src", Json.Int t.src);
+          ("dst", Json.Int t.dst);
+          ("uid", Json.Int pkt.Packet.uid);
+          ("size", Json.Int pkt.Packet.size);
+          ("mcast", Json.Bool (Packet.is_multicast pkt));
+        ])
+
+let note t event pkt =
+  emit t event pkt;
+  trace t event pkt
+
 let rec start_tx t pkt =
   t.busy <- true;
   t.tx_packets <- t.tx_packets + 1;
   t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
-  emit t Tx_start pkt;
+  Metrics.incr t.metrics.m_tx;
+  Metrics.incr t.metrics.m_tx_bytes ~by:pkt.Packet.size;
+  note t Tx_start pkt;
   ignore
     (Sim.schedule_after t.sim ~delay:(tx_time t pkt) (fun () ->
          (* Serialization finished: launch propagation, then service the
             next queued packet. *)
          ignore
            (Sim.schedule_after t.sim ~delay:t.delay_s (fun () ->
-                emit t Delivered pkt;
+                note t Delivered pkt;
                 t.deliver pkt));
          if Queue.is_empty t.queue then t.busy <- false
          else begin
@@ -83,6 +150,14 @@ let rec start_tx t pkt =
            t.queued_bytes <- t.queued_bytes - next.Packet.size;
            start_tx t next
          end))
+
+let mark t pkt =
+  pkt.Packet.ecn <- true;
+  t.marks <- t.marks + 1;
+  t.mark_bytes <- t.mark_bytes + pkt.Packet.size;
+  Metrics.incr t.metrics.m_marks;
+  Metrics.incr t.metrics.m_mark_bytes ~by:pkt.Packet.size;
+  note t Marked pkt
 
 let send t pkt =
   let packet_room =
@@ -95,26 +170,25 @@ let send t pkt =
   then begin
     (match t.red with
     | Some red ->
-        if Red.on_enqueue red ~queue_bytes:t.queued_bytes then begin
-          pkt.Packet.ecn <- true;
-          t.marks <- t.marks + 1;
-          emit t Marked pkt
-        end
+        if Red.on_enqueue red ~queue_bytes:t.queued_bytes then mark t pkt
     | None -> (
         match t.ecn_threshold_bytes with
-        | Some thr when t.queued_bytes >= thr ->
-            pkt.Packet.ecn <- true;
-            t.marks <- t.marks + 1;
-            emit t Marked pkt
+        | Some thr when t.queued_bytes >= thr -> mark t pkt
         | Some _ | None -> ()));
     Queue.push pkt t.queue;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
-    emit t Enqueued pkt
+    t.enqueues <- t.enqueues + 1;
+    t.enqueue_bytes <- t.enqueue_bytes + pkt.Packet.size;
+    Metrics.incr t.metrics.m_enqueues;
+    Metrics.incr t.metrics.m_enqueue_bytes ~by:pkt.Packet.size;
+    note t Enqueued pkt
   end
   else begin
     t.drops <- t.drops + 1;
     t.drop_bytes <- t.drop_bytes + pkt.Packet.size;
-    emit t Dropped pkt
+    Metrics.incr t.metrics.m_drops;
+    Metrics.incr t.metrics.m_drop_bytes ~by:pkt.Packet.size;
+    note t Dropped pkt
   end
 
 let occupancy_bytes t = t.queued_bytes

@@ -16,6 +16,15 @@ type event =
   | Marked
   | Delivered  (** handed to the receiving node after propagation *)
 
+val event_name : event -> string
+(** Short stable name ("tx", "enq", "drop", "mark", "rx") used by the
+    structured tracer and {!Trace.pp}. *)
+
+type metrics
+(** Domain-aggregate {!Mcc_obs.Metrics} counter handles
+    ("link.tx_packets", "link.drops", ...), shared by every link of the
+    domain; fetched once per link at creation. *)
+
 type t = {
   id : int;
   src : int;  (** node id of the transmitting end *)
@@ -41,12 +50,16 @@ type t = {
   mutable deliver : Packet.t -> unit;
   mutable on_event : (event -> Packet.t -> unit) option;
       (** observability tap (see {!Trace}); never affects forwarding *)
-  (* counters *)
+  (* per-link packet and byte counters *)
   mutable tx_packets : int;
   mutable tx_bytes : int;
+  mutable enqueues : int;
+  mutable enqueue_bytes : int;
   mutable drops : int;
   mutable drop_bytes : int;
   mutable marks : int;
+  mutable mark_bytes : int;
+  metrics : metrics;
 }
 
 val create :

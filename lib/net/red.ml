@@ -18,6 +18,7 @@ type t = {
   prng : Mcc_util.Prng.t;
   mutable avg : float;
   mutable mark_count : int;
+  metric : Mcc_obs.Metrics.counter;  (* domain aggregate "red.marks" *)
 }
 
 let create ?(seed = 12345) config =
@@ -27,7 +28,8 @@ let create ?(seed = 12345) config =
     invalid_arg "Red.create: max_probability";
   if config.weight <= 0. || config.weight > 1. then
     invalid_arg "Red.create: weight";
-  { config; prng = Mcc_util.Prng.create seed; avg = 0.; mark_count = 0 }
+  { config; prng = Mcc_util.Prng.create seed; avg = 0.; mark_count = 0;
+    metric = Mcc_obs.Metrics.counter "red.marks" }
 
 let average t = t.avg
 let marks t = t.mark_count
@@ -45,5 +47,8 @@ let on_enqueue t ~queue_bytes =
       in
       Mcc_util.Prng.float t.prng < p
   in
-  if mark then t.mark_count <- t.mark_count + 1;
+  if mark then begin
+    t.mark_count <- t.mark_count + 1;
+    Mcc_obs.Metrics.incr t.metric
+  end;
   mark

@@ -1,3 +1,5 @@
+module Ring = Mcc_obs.Ring
+
 type record = {
   time : float;
   event : Link.event;
@@ -7,8 +9,7 @@ type record = {
 }
 
 type t = {
-  capacity : int;
-  ring : record Queue.t;
+  ring : record Ring.t;
   mutable tx : int;
   mutable enqueued : int;
   mutable dropped : int;
@@ -33,8 +34,7 @@ let bump t = function
 let attach ?(capacity = 1024) (link : Link.t) =
   let t =
     {
-      capacity;
-      ring = Queue.create ();
+      ring = Ring.create ~capacity;
       tx = 0;
       enqueued = 0;
       dropped = 0;
@@ -48,32 +48,25 @@ let attach ?(capacity = 1024) (link : Link.t) =
       (fun event pkt ->
         (match previous with Some f -> f event pkt | None -> ());
         bump t event;
-        Queue.push
+        Ring.push t.ring
           {
             time = Mcc_engine.Sim.now link.Link.sim;
             event;
             uid = pkt.Packet.uid;
             size = pkt.Packet.size;
             multicast = Packet.is_multicast pkt;
-          }
-          t.ring;
-        if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring));
+          });
   t
 
-let records t = List.of_seq (Queue.to_seq t.ring)
-let clear t = Queue.clear t.ring
-
-let event_name = function
-  | Link.Tx_start -> "tx"
-  | Link.Enqueued -> "enq"
-  | Link.Dropped -> "drop"
-  | Link.Marked -> "mark"
-  | Link.Delivered -> "rx"
+let iter f t = Ring.iter f t.ring
+let fold f init t = Ring.fold f init t.ring
+let records t = Ring.to_list t.ring
+let clear t = Ring.clear t.ring
 
 let pp fmt t =
-  List.iter
+  iter
     (fun r ->
-      Format.fprintf fmt "%.6f %-5s #%d %dB%s@." r.time (event_name r.event)
-        r.uid r.size
+      Format.fprintf fmt "%.6f %-5s #%d %dB%s@." r.time
+        (Link.event_name r.event) r.uid r.size
         (if r.multicast then " mcast" else ""))
-    (records t)
+    t

@@ -1,10 +1,16 @@
-(** Packet-event tracing on links.
+(** Packet-event tracing on links: the typed, per-link view.
 
     Attach a trace to any link to record its events — transmissions,
     enqueues, drops, marks, deliveries — with timestamps and packet
-    summaries, bounded by a ring buffer.  Intended for debugging and for
-    tests that assert on event sequences; attaching a trace never
-    changes forwarding behaviour. *)
+    summaries, bounded by an {!Mcc_obs.Ring}.  Intended for debugging
+    and for tests that assert on event sequences; attaching a trace
+    never changes forwarding behaviour.
+
+    This is a thin client of the observability layer: the ring and its
+    eviction policy come from [Mcc_obs], and links independently emit
+    the same events to the structured {!Mcc_obs.Tracer} stream (component
+    "link") and to the domain's metrics registry, so nothing needs a
+    [Trace] attached to be observable. *)
 
 type record = {
   time : float;
@@ -21,6 +27,12 @@ val attach : ?capacity:int -> Link.t -> t
     most recent [capacity] records (default 1024). *)
 
 val records : t -> record list
+(** Oldest first. *)
+
+val iter : (record -> unit) -> t -> unit
+(** Oldest first, without materialising a list. *)
+
+val fold : ('acc -> record -> 'acc) -> 'acc -> t -> 'acc
 (** Oldest first. *)
 
 val count : t -> Link.event -> int

@@ -1,0 +1,134 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  bounds : float array;
+  buckets : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable observations : int;
+  mutable sum : float;
+}
+
+type metric =
+  | Counter_m of counter
+  | Gauge_m of gauge
+  | Histogram_m of histogram
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float list;
+      buckets : int list;
+      observations : int;
+      sum : float;
+    }
+
+(* Domain-local, like the packet-UID registry: every domain of a batch
+   run owns its own table, so concurrent simulations never contend on —
+   or non-deterministically interleave — the counters.  Handles fetched
+   before a [reset] keep mutating their detached records and simply stop
+   being visible in snapshots, which is exactly the isolation the
+   per-run reset in [Runner] relies on. *)
+let registry : (string, metric) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let table () = Domain.DLS.get registry
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+let counter name =
+  let tbl = table () in
+  match Hashtbl.find_opt tbl name with
+  | Some (Counter_m c) -> c
+  | Some _ -> kind_error name
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace tbl name (Counter_m c);
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+let tick ?by name = incr ?by (counter name)
+
+let gauge name =
+  let tbl = table () in
+  match Hashtbl.find_opt tbl name with
+  | Some (Gauge_m g) -> g
+  | Some _ -> kind_error name
+  | None ->
+      let g = { value = 0. } in
+      Hashtbl.replace tbl name (Gauge_m g);
+      g
+
+let set g v = g.value <- v
+let gauge_value g = g.value
+let set_gauge name v = set (gauge name) v
+
+let histogram name ~bounds =
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | [ _ ] | [] -> true
+  in
+  if bounds = [] || not (ascending bounds) then
+    invalid_arg "Metrics.histogram: bounds must be non-empty and ascending";
+  let tbl = table () in
+  match Hashtbl.find_opt tbl name with
+  | Some (Histogram_m h) -> h
+  | Some _ -> kind_error name
+  | None ->
+      let bounds = Array.of_list bounds in
+      let h =
+        {
+          bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          observations = 0;
+          sum = 0.;
+        }
+      in
+      Hashtbl.replace tbl name (Histogram_m h);
+      h
+
+let observe h v =
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum +. v;
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let freeze = function
+  | Counter_m c -> Counter c.count
+  | Gauge_m g -> Gauge g.value
+  | Histogram_m h ->
+      Histogram
+        {
+          bounds = Array.to_list h.bounds;
+          buckets = Array.to_list h.buckets;
+          observations = h.observations;
+          sum = h.sum;
+        }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, freeze m) :: acc) (table ()) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () = Hashtbl.reset (table ())
+
+let value_json = function
+  | Counter n -> Json.Int n
+  | Gauge v -> Json.Float v
+  | Histogram h ->
+      Json.Obj
+        [
+          ("bounds", Json.List (List.map (fun b -> Json.Float b) h.bounds));
+          ("buckets", Json.List (List.map (fun c -> Json.Int c) h.buckets));
+          ("observations", Json.Int h.observations);
+          ("sum", Json.Float h.sum);
+        ]
+
+let values_json values =
+  Json.Obj (List.map (fun (name, v) -> (name, value_json v)) values)
+
+let snapshot_json () = values_json (snapshot ())

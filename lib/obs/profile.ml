@@ -1,0 +1,29 @@
+type t = {
+  events : int;
+  queue_capacity : int;
+  wall_s : float;
+  events_per_sec : float;
+}
+
+let make ~events ~queue_capacity ~wall_s =
+  {
+    events;
+    queue_capacity;
+    wall_s;
+    events_per_sec = (if wall_s > 0. then float_of_int events /. wall_s else 0.);
+  }
+
+(* Wall-clock fields deliberately last: consumers comparing serial and
+   parallel renderings byte-for-byte can truncate at "wall_s". *)
+let to_json t =
+  Json.Obj
+    [
+      ("events", Json.Int t.events);
+      ("queue_capacity", Json.Int t.queue_capacity);
+      ("wall_s", Json.Float t.wall_s);
+      ("events_per_sec", Json.Float t.events_per_sec);
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "%d events in %.3f s (%.0f events/s, queue capacity %d)"
+    t.events t.wall_s t.events_per_sec t.queue_capacity

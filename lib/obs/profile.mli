@@ -1,0 +1,21 @@
+(** Run profile: how fast the event loop went.
+
+    [events] and [queue_capacity] come from the simulation (via the
+    "engine.events" counter and "engine.queue_capacity" gauge the engine
+    maintains) and are deterministic; [wall_s] and [events_per_sec] are
+    wall-clock measurements and vary run to run.  {!to_json} renders the
+    wall-clock fields last so deterministic prefixes can be compared
+    byte-for-byte. *)
+
+type t = {
+  events : int;  (** event-loop callbacks fired *)
+  queue_capacity : int;  (** event-queue allocation high-water, in slots *)
+  wall_s : float;
+  events_per_sec : float;
+}
+
+val make : events:int -> queue_capacity:int -> wall_s:float -> t
+(** Derives [events_per_sec] (0 when [wall_s] is 0). *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

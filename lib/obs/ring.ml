@@ -1,0 +1,42 @@
+type 'a t = {
+  capacity : int;
+  slots : 'a option array;
+  mutable start : int;  (* index of the oldest retained element *)
+  mutable length : int;
+  mutable pushed : int;  (* total ever pushed, evictions included *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity <= 0";
+  { capacity; slots = Array.make capacity None; start = 0; length = 0;
+    pushed = 0 }
+
+let capacity t = t.capacity
+let length t = t.length
+let pushed t = t.pushed
+
+let push t x =
+  let idx = (t.start + t.length) mod t.capacity in
+  t.slots.(idx) <- Some x;
+  if t.length = t.capacity then t.start <- (t.start + 1) mod t.capacity
+  else t.length <- t.length + 1;
+  t.pushed <- t.pushed + 1
+
+let iter f t =
+  for i = 0 to t.length - 1 do
+    match t.slots.((t.start + i) mod t.capacity) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  Array.fill t.slots 0 t.capacity None;
+  t.start <- 0;
+  t.length <- 0

@@ -1,0 +1,31 @@
+(** Bounded FIFO ring buffer: pushing beyond capacity evicts the
+    oldest element.  The memory bound behind every retained-record
+    telemetry surface ({!Tracer.ring}, [Net.Trace]). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently retained ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed, including evicted ones; unaffected by
+    {!clear}. *)
+
+val push : 'a t -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first, without materialising a list. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Drops the retained elements; {!pushed} keeps its count. *)

@@ -1,0 +1,86 @@
+type level = Debug | Info | Warn
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+type record = {
+  sim_time : float;
+  level : level;
+  component : string;
+  event : string;
+  attrs : (string * Json.t) list;
+}
+
+type sink = {
+  id : int;
+  min_level : level;
+  components : string list option;
+  push : record -> unit;
+  flush : unit -> unit;
+}
+
+(* Domain-local for the same reason the metrics registry is: a sink
+   installed in one domain observes exactly the simulations that domain
+   runs, and parallel batch domains never share (or lock) a sink. *)
+let sinks : sink list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let next_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let enabled () = !(Domain.DLS.get sinks) <> []
+
+(* A component filter matches exact names and dotted descendants:
+   "sigma" matches "sigma" and "sigma.router", not "sigmax". *)
+let component_matches ~filter component =
+  let lf = String.length filter and lc = String.length component in
+  lc >= lf
+  && String.sub component 0 lf = filter
+  && (lc = lf || component.[lf] = '.')
+
+let wants s ~level ~component =
+  level_rank level >= level_rank s.min_level
+  && (match s.components with
+     | None -> true
+     | Some filters ->
+         List.exists (fun filter -> component_matches ~filter component) filters)
+
+let emit ?(level = Info) ~sim_time ~component ~event attrs =
+  match !(Domain.DLS.get sinks) with
+  | [] -> ()
+  | all -> (
+      match List.filter (fun s -> wants s ~level ~component) all with
+      | [] -> ()
+      | interested ->
+          let r = { sim_time; level; component; event; attrs = attrs () } in
+          (* Install order = reverse list order; deliver oldest first. *)
+          List.iter (fun s -> s.push r) (List.rev interested))
+
+let install ?(min_level = Debug) ?components ?(flush = fun () -> ()) push =
+  let idr = Domain.DLS.get next_id in
+  incr idr;
+  let s = { id = !idr; min_level; components; push; flush } in
+  let r = Domain.DLS.get sinks in
+  r := s :: !r;
+  s
+
+let remove s =
+  let r = Domain.DLS.get sinks in
+  r := List.filter (fun s' -> s'.id <> s.id) !r;
+  s.flush ()
+
+let record_json r =
+  Json.Obj
+    ([
+       ("t", Json.Float r.sim_time);
+       ("level", Json.String (level_name r.level));
+       ("component", Json.String r.component);
+       ("event", Json.String r.event);
+     ]
+    @ match r.attrs with [] -> [] | attrs -> [ ("attrs", Json.Obj attrs) ])
+
+let jsonl ?min_level ?components write =
+  install ?min_level ?components
+    (fun r -> write (Json.to_string (record_json r) ^ "\n"))
+
+let ring ?(capacity = 4096) ?min_level ?components () =
+  let ring = Ring.create ~capacity in
+  let sink = install ?min_level ?components (fun r -> Ring.push ring r) in
+  (ring, sink)

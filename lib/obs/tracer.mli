@@ -1,0 +1,71 @@
+(** Structured event tracing: a domain-wide stream of
+    [{sim_time; component; event; attrs}] records.
+
+    Components call {!emit} unconditionally; with no sink installed the
+    call is a cheap no-op (hot paths may additionally guard attribute
+    construction behind {!enabled}).  Sinks filter by severity and by
+    component, and come in two memory shapes: a JSONL writer for full
+    streams ([mcc trace]) and a bounded {!Ring} for in-memory capture.
+
+    Sinks are domain-local — a sink observes exactly the simulations its
+    own domain runs — which is what keeps [--jobs N] batch runs
+    race-free without locks. *)
+
+type level = Debug | Info | Warn
+
+val level_name : level -> string
+
+type record = {
+  sim_time : float;  (** simulated seconds, not wall clock *)
+  level : level;
+  component : string;  (** dotted source name, e.g. "sigma.router" *)
+  event : string;  (** e.g. "drop", "grace_admit" *)
+  attrs : (string * Json.t) list;
+}
+
+type sink
+
+val enabled : unit -> bool
+(** Any sink installed in this domain?  Hot paths check this before
+    building attribute closures. *)
+
+val emit :
+  ?level:level ->
+  sim_time:float ->
+  component:string ->
+  event:string ->
+  (unit -> (string * Json.t) list) ->
+  unit
+(** Deliver a record to every interested sink (default level [Info]).
+    The attribute thunk runs only if at least one sink wants the
+    record. *)
+
+val install :
+  ?min_level:level ->
+  ?components:string list ->
+  ?flush:(unit -> unit) ->
+  (record -> unit) ->
+  sink
+(** Install a sink in this domain.  [min_level] defaults to [Debug]
+    (everything); [components] restricts to the named components and
+    their dotted descendants ("sigma" matches "sigma.router").  [flush]
+    runs on {!remove}. *)
+
+val remove : sink -> unit
+(** Uninstall (idempotent) and flush. *)
+
+val record_json : record -> Json.t
+(** [{"t":..., "level":..., "component":..., "event":..., "attrs":{...}}];
+    ["attrs"] is omitted when empty. *)
+
+val jsonl : ?min_level:level -> ?components:string list -> (string -> unit) -> sink
+(** A sink writing one {!record_json} line per record. *)
+
+val ring :
+  ?capacity:int ->
+  ?min_level:level ->
+  ?components:string list ->
+  unit ->
+  record Ring.t * sink
+(** Bounded-memory capture: the most recent [capacity] (default 4096)
+    matching records. *)

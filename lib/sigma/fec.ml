@@ -19,12 +19,22 @@ let chunked max_per_packet tuples =
   in
   split [] [] 0 tuples
 
+let expansion scheme ~total_chunks =
+  match scheme with
+  | Repetition n -> float_of_int n
+  | Xor_parity ->
+      let k = float_of_int (max 1 total_chunks) in
+      (k +. 1.) /. k
+
 let encode ~width scheme ~max_per_packet tuples =
   if max_per_packet <= 0 then invalid_arg "Fec.encode: max_per_packet";
   if tuples = [] then invalid_arg "Fec.encode: no tuples";
   let chunks = chunked max_per_packet tuples in
   let k = List.length chunks in
-  match scheme with
+  Mcc_obs.Metrics.set_gauge "sigma.fec.expansion"
+    (expansion scheme ~total_chunks:k);
+  let coded =
+    match scheme with
   | Repetition n ->
       if n < 1 then invalid_arg "Fec.encode: Repetition < 1";
       List.concat
@@ -73,23 +83,30 @@ let encode ~width scheme ~max_per_packet tuples =
             wire_bytes = widest;
           };
         ]
-
-let expansion scheme ~total_chunks =
-  match scheme with
-  | Repetition n -> float_of_int n
-  | Xor_parity ->
-      let k = float_of_int (max 1 total_chunks) in
-      (k +. 1.) /. k
+  in
+  Mcc_obs.Metrics.tick "sigma.fec.chunks" ~by:(List.length coded);
+  coded
 
 type decoder = {
   seen : (int, Tuple.t list) Hashtbl.t;  (* data chunk -> tuples *)
   mutable parity : Tuple.t list option;
   mutable total : int option;
   mutable done_ : bool;
+  mutable dups : int;
 }
 
 let decoder_create () =
-  { seen = Hashtbl.create 8; parity = None; total = None; done_ = false }
+  { seen = Hashtbl.create 8; parity = None; total = None; done_ = false;
+    dups = 0 }
+
+let duplicates d = d.dups
+
+(* A packet that adds no information — repeat copy, repeat chunk, or any
+   arrival after completion — is a suppressed duplicate: exactly the
+   redundancy the FEC scheme paid for. *)
+let note_duplicate d =
+  d.dups <- d.dups + 1;
+  Mcc_obs.Metrics.tick "sigma.fec.duplicates"
 
 let complete d = d.done_
 
@@ -115,12 +132,17 @@ let try_finish d =
       else None
 
 let feed d coded =
-  if d.done_ then None
+  if d.done_ then begin
+    note_duplicate d;
+    None
+  end
   else begin
     d.total <- Some coded.total_chunks;
-    if coded.chunk = coded.total_chunks then
+    if coded.chunk = coded.total_chunks then begin
+      if d.parity <> None then note_duplicate d;
       d.parity <- Some coded.recovery
-    else if not (Hashtbl.mem d.seen coded.chunk) then
-      Hashtbl.replace d.seen coded.chunk coded.tuples;
+    end
+    else if Hashtbl.mem d.seen coded.chunk then note_duplicate d
+    else Hashtbl.replace d.seen coded.chunk coded.tuples;
     try_finish d
   end

@@ -45,3 +45,11 @@ val feed : decoder -> coded -> Tuple.t list option
     completion. *)
 
 val complete : decoder -> bool
+
+val duplicates : decoder -> int
+(** Packets fed that added no information — repeat copies, repeat
+    chunks, arrivals after completion: the redundancy the scheme paid
+    for actually arriving.  Also aggregated into the domain metric
+    "sigma.fec.duplicates"; {!encode} likewise counts coded packets into
+    "sigma.fec.chunks" and reports the scheme's expansion factor as the
+    "sigma.fec.expansion" gauge. *)

@@ -6,6 +6,10 @@ module Topology = Mcc_net.Topology
 module Multicast = Mcc_net.Multicast
 module Key = Mcc_delta.Key
 
+module Metrics = Mcc_obs.Metrics
+module Tracer = Mcc_obs.Tracer
+module Json = Mcc_obs.Json
+
 let log_src = Logs.Src.create "mcc.sigma" ~doc:"SIGMA edge-router agent"
 
 module Log = (val Logs.src_log log_src)
@@ -57,6 +61,75 @@ type iface = {
   grants : (int, grant) Hashtbl.t;
 }
 
+type stats = {
+  subscriptions : int;
+  keys_accepted : int;
+  keys_rejected : int;
+  acks : int;
+  upgrade_graces : int;
+  grace_admissions : int;
+  suppressed_duplicates : int;
+  unsubscribes : int;
+  lockouts : int;
+  special_packets : int;
+  distinct_guesses : int;
+}
+
+(* Running tallies behind {!stats}; each bump also feeds the domain's
+   "sigma.*" metrics, whose handles live alongside. *)
+type tallies = {
+  mutable t_subscriptions : int;
+  mutable t_keys_accepted : int;
+  mutable t_keys_rejected : int;
+  mutable t_acks : int;
+  mutable t_upgrade_graces : int;
+  mutable t_grace_admissions : int;
+  mutable t_dup_joins : int;
+  mutable t_unsubscribes : int;
+  mutable t_lockouts : int;
+  mutable t_specials : int;
+  m_subscriptions : Metrics.counter;
+  m_keys_accepted : Metrics.counter;
+  m_keys_rejected : Metrics.counter;
+  m_acks : Metrics.counter;
+  m_upgrade_graces : Metrics.counter;
+  m_grace_admissions : Metrics.counter;
+  m_suppressed : Metrics.counter;
+  m_unsubscribes : Metrics.counter;
+  m_lockouts : Metrics.counter;
+  m_specials : Metrics.counter;
+  m_guesses : Metrics.counter;
+  h_subscribe_pairs : Metrics.histogram;
+}
+
+let tallies_create () =
+  {
+    t_subscriptions = 0;
+    t_keys_accepted = 0;
+    t_keys_rejected = 0;
+    t_acks = 0;
+    t_upgrade_graces = 0;
+    t_grace_admissions = 0;
+    t_dup_joins = 0;
+    t_unsubscribes = 0;
+    t_lockouts = 0;
+    t_specials = 0;
+    m_subscriptions = Metrics.counter "sigma.subscriptions";
+    m_keys_accepted = Metrics.counter "sigma.keys_accepted";
+    m_keys_rejected = Metrics.counter "sigma.keys_rejected";
+    m_acks = Metrics.counter "sigma.acks";
+    m_upgrade_graces = Metrics.counter "sigma.upgrade_graces";
+    m_grace_admissions = Metrics.counter "sigma.grace_admissions";
+    m_suppressed = Metrics.counter "sigma.suppressed_duplicates";
+    m_unsubscribes = Metrics.counter "sigma.unsubscribes";
+    m_lockouts = Metrics.counter "sigma.lockouts";
+    m_specials = Metrics.counter "sigma.specials";
+    m_guesses = Metrics.counter "sigma.guesses";
+    h_subscribe_pairs =
+      Metrics.histogram "sigma.subscribe_pairs"
+        ~bounds:[ 1.; 2.; 4.; 8.; 16. ];
+  }
+
 type t = {
   topo : Topology.t;
   node : Node.t;
@@ -77,9 +150,15 @@ type t = {
          sender's upper keys and the interface-specific lower keys
          (paper Section 4.2, collusion resistance) *)
   mutable scrubber : (Link.t -> Packet.t -> unit) option;
+  tallies : tallies;
 }
 
 let now t = Sim.now (Topology.sim t.topo)
+
+let trace t event attrs =
+  if Tracer.enabled () then
+    Tracer.emit ~sim_time:(now t) ~component:"sigma.router" ~event
+      (fun () -> ("router", Json.Int t.node.Node.id) :: attrs ())
 
 let group_info t group =
   match Hashtbl.find_opt t.groups group with
@@ -261,6 +340,10 @@ let store_tuples t ~slot ~slot_duration tuples =
                 grant.grace_until <- neg_infinity;
                 grant.lockout_until <-
                   time +. (t.config.lockout_slots *. slot_duration);
+                t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
+                Metrics.incr t.tallies.m_lockouts;
+                trace t "lockout" (fun () ->
+                    [ ("group", Json.Int tuple.Tuple.group) ]);
                 prune_iface t iface tuple.Tuple.group
             | Some _ | None -> ())
           t.ifaces)
@@ -290,9 +373,22 @@ let on_special t pkt =
           wire_bytes = pkt.Packet.size;
         }
       in
+      t.tallies.t_specials <- t.tallies.t_specials + 1;
+      Metrics.incr t.tallies.m_specials;
+      let dups_before = Fec.duplicates decoder in
       (match Fec.feed decoder coded with
-      | Some all -> store_tuples t ~slot ~slot_duration all
-      | None -> ())
+      | Some all ->
+          trace t "slot_decoded" (fun () ->
+              [
+                ("session", Json.Int session);
+                ("slot", Json.Int slot);
+                ("tuples", Json.Int (List.length all));
+              ]);
+          store_tuples t ~slot ~slot_duration all
+      | None -> ());
+      let dup_delta = Fec.duplicates decoder - dups_before in
+      if dup_delta > 0 then
+        Metrics.incr t.tallies.m_suppressed ~by:dup_delta
   | _ -> ()
 
 (* --- receiver messages ------------------------------------------------- *)
@@ -306,6 +402,7 @@ let tally_guess t ~group ~slot key =
         Hashtbl.replace t.guesses (group, slot) tbl;
         tbl
   in
+  if not (Hashtbl.mem tbl key) then Metrics.incr t.tallies.m_guesses;
   Hashtbl.replace tbl key ()
 
 let interface_keys_enabled t = t.config.interface_keys
@@ -357,6 +454,24 @@ let guess_count t ~group ~slot =
 let total_guesses t =
   Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.guesses 0
 
+let stats t =
+  let fec_dups =
+    Hashtbl.fold (fun _ d acc -> acc + Fec.duplicates d) t.decoders 0
+  in
+  {
+    subscriptions = t.tallies.t_subscriptions;
+    keys_accepted = t.tallies.t_keys_accepted;
+    keys_rejected = t.tallies.t_keys_rejected;
+    acks = t.tallies.t_acks;
+    upgrade_graces = t.tallies.t_upgrade_graces;
+    grace_admissions = t.tallies.t_grace_admissions;
+    suppressed_duplicates = t.tallies.t_dup_joins + fec_dups;
+    unsubscribes = t.tallies.t_unsubscribes;
+    lockouts = t.tallies.t_lockouts;
+    special_packets = t.tallies.t_specials;
+    distinct_guesses = total_guesses t;
+  }
+
 let send_ack t ~receiver ~slot ~pairs =
   let size = Messages.ack_bytes ~width:t.config.width pairs in
   let pkt =
@@ -370,6 +485,10 @@ let handle_subscribe t ~receiver ~slot ~pairs =
   | None -> ()
   | Some iface ->
       let time = now t in
+      t.tallies.t_subscriptions <- t.tallies.t_subscriptions + 1;
+      Metrics.incr t.tallies.m_subscriptions;
+      Metrics.observe t.tallies.h_subscribe_pairs
+        (float_of_int (List.length pairs));
       let accepted =
         List.filter
           (fun (group, key) ->
@@ -397,6 +516,18 @@ let handle_subscribe t ~receiver ~slot ~pairs =
           pairs
       in
       let denied = List.length pairs - List.length accepted in
+      t.tallies.t_keys_accepted <-
+        t.tallies.t_keys_accepted + List.length accepted;
+      Metrics.incr t.tallies.m_keys_accepted ~by:(List.length accepted);
+      t.tallies.t_keys_rejected <- t.tallies.t_keys_rejected + denied;
+      Metrics.incr t.tallies.m_keys_rejected ~by:denied;
+      trace t "subscribe" (fun () ->
+          [
+            ("receiver", Json.Int receiver);
+            ("slot", Json.Int slot);
+            ("accepted", Json.Int (List.length accepted));
+            ("rejected", Json.Int denied);
+          ]);
       if denied > 0 then
         Log.debug (fun m ->
             m "t=%.3f router %d: %d invalid key(s) from receiver %d for slot %d"
@@ -413,7 +544,7 @@ let handle_subscribe t ~receiver ~slot ~pairs =
           let newly_active = not (active_at grant time) in
           grant.granted_until <- Float.max grant.granted_until slot_end;
           grant.by_join <- false;
-          if newly_active then
+          if newly_active then begin
             (* Keyed (re)activation of an interface: unconditional
                forwarding long enough for the receiver's first complete
                slots to yield keys (paper Section 3.2.2). *)
@@ -421,9 +552,16 @@ let handle_subscribe t ~receiver ~slot ~pairs =
               Float.max grant.grace_until
                 (grant.granted_until
                 +. (t.config.upgrade_grace_slots *. entry.duration));
+            t.tallies.t_upgrade_graces <- t.tallies.t_upgrade_graces + 1;
+            Metrics.incr t.tallies.m_upgrade_graces
+          end;
           graft_iface t iface group)
         accepted;
-      if accepted <> [] then send_ack t ~receiver ~slot ~pairs:accepted
+      if accepted <> [] then begin
+        t.tallies.t_acks <- t.tallies.t_acks + 1;
+        Metrics.incr t.tallies.m_acks;
+        send_ack t ~receiver ~slot ~pairs:accepted
+      end
 
 let handle_unsubscribe t ~receiver ~groups =
   match iface_toward t receiver with
@@ -437,6 +575,11 @@ let handle_unsubscribe t ~receiver ~groups =
               grant.granted_until <- neg_infinity;
               grant.grace_until <- neg_infinity;
               grant.by_join <- false;
+              t.tallies.t_unsubscribes <- t.tallies.t_unsubscribes + 1;
+              Metrics.incr t.tallies.m_unsubscribes;
+              trace t "unsubscribe" (fun () ->
+                  [ ("receiver", Json.Int receiver);
+                    ("group", Json.Int group) ]);
               prune_iface t iface group)
         groups
 
@@ -464,7 +607,21 @@ let handle_session_join t ~receiver ~group =
           grant.grace_until <-
             time +. (t.config.join_grace_slots *. duration);
           grant.by_join <- true;
+          t.tallies.t_grace_admissions <- t.tallies.t_grace_admissions + 1;
+          Metrics.incr t.tallies.m_grace_admissions;
+          trace t "grace_admit" (fun () ->
+              [ ("receiver", Json.Int receiver);
+                ("group", Json.Int group) ]);
           graft_iface t iface group
+        end
+        else if active_at grant time then begin
+          (* The interface already forwards the group: the join adds
+             nothing and is suppressed rather than re-granted. *)
+          t.tallies.t_dup_joins <- t.tallies.t_dup_joins + 1;
+          Metrics.incr t.tallies.m_suppressed;
+          trace t "join_suppressed" (fun () ->
+              [ ("receiver", Json.Int receiver);
+                ("group", Json.Int group) ])
         end
       end
 
@@ -487,7 +644,10 @@ let sweep t =
               in
               grant.lockout_until <-
                 time +. (t.config.lockout_slots *. duration);
-              grant.by_join <- false
+              grant.by_join <- false;
+              t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
+              Metrics.incr t.tallies.m_lockouts;
+              trace t "lockout" (fun () -> [ ("group", Json.Int group) ])
             end;
             prune_iface t iface group
           end)
@@ -567,6 +727,7 @@ let attach ?(config = default_config) topo node =
       control_held = Hashtbl.create 8;
       pads = Hashtbl.create 256;
       scrubber = None;
+      tallies = tallies_create ();
     }
   in
   node.Node.intercept <- Some (on_special t);

@@ -75,6 +75,32 @@ val total_guesses : t -> int
     contribute only when the router's keystore has gaps (lost special
     packets), which makes this a sensitive FEC-quality metric. *)
 
+(** Lifetime activity of one agent, in one read.  The same quantities
+    are published continuously to the domain's metrics registry under
+    "sigma.*" names (subscriptions, keys_accepted, keys_rejected, acks,
+    upgrade_graces, grace_admissions, suppressed_duplicates,
+    unsubscribes, lockouts, specials, guesses, plus the
+    "sigma.subscribe_pairs" histogram), where they aggregate across all
+    agents of the domain's current run. *)
+type stats = {
+  subscriptions : int;  (** Subscribe messages processed *)
+  keys_accepted : int;  (** (group, key) pairs that validated *)
+  keys_rejected : int;  (** pairs that failed validation *)
+  acks : int;  (** Sub_ack messages sent *)
+  upgrade_graces : int;  (** grace windows opened by keyed activation *)
+  grace_admissions : int;  (** keyless session-join admissions *)
+  suppressed_duplicates : int;
+      (** redundant arrivals absorbed without effect: session-joins for
+          already-active interfaces plus FEC packets that added no
+          information (repeat copies/chunks, post-completion) *)
+  unsubscribes : int;  (** groups explicitly released by receivers *)
+  lockouts : int;  (** minimal-group pauses after keyless expiry *)
+  special_packets : int;  (** special packets intercepted *)
+  distinct_guesses : int;  (** = {!total_guesses} at the time of the call *)
+}
+
+val stats : t -> stats
+
 val known_groups : t -> int list
 (** Groups the agent has received tuples for. *)
 

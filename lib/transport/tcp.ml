@@ -3,6 +3,7 @@ module Node = Mcc_net.Node
 module Packet = Mcc_net.Packet
 module Payload = Mcc_net.Payload
 module Meter = Mcc_util.Meter
+module Metrics = Mcc_obs.Metrics
 
 type Payload.t +=
   | Tcp_data of { flow : int; seq : int }
@@ -64,6 +65,9 @@ type t = {
   (* receiver state *)
   mutable rcv_nxt : int;
   ooo : (int, unit) Hashtbl.t;  (* out-of-order segments buffered at sink *)
+  m_retransmits : Metrics.counter;
+  m_rto_fires : Metrics.counter;
+  h_rtt_ms : Metrics.histogram;
 }
 
 let delivered_meter t = t.meter
@@ -84,6 +88,7 @@ let cancel_rto t =
 let send_segment t ~seq ~retransmit =
   if retransmit then begin
     t.retransmissions <- t.retransmissions + 1;
+    Metrics.incr t.m_retransmits;
     (* Karn: never sample the RTT of a retransmitted segment. *)
     match t.timing with
     | Some (s, _) when s = seq -> t.timing <- None
@@ -107,6 +112,7 @@ and on_timeout t =
   t.rto_timer <- None;
   if flight t > 0 && t.running then begin
     t.timeouts <- t.timeouts + 1;
+    Metrics.incr t.m_rto_fires;
     t.ssthresh <- Float.max (float_of_int (flight t) /. 2.) 2.;
     t.cwnd <- 1.;
     t.dupacks <- 0;
@@ -129,6 +135,7 @@ let fill_window t =
   end
 
 let rtt_sample t r =
+  Metrics.observe t.h_rtt_ms (r *. 1000.);
   (match t.srtt with
   | None ->
       t.srtt <- Some r;
@@ -233,6 +240,11 @@ let start ?(config = default_config) ?(at = 0.) topo ~flow ~src ~dst () =
       running = false;
       rcv_nxt = 0;
       ooo = Hashtbl.create 64;
+      m_retransmits = Metrics.counter "tcp.retransmits";
+      m_rto_fires = Metrics.counter "tcp.rto_fires";
+      h_rtt_ms =
+        Metrics.histogram "tcp.rtt_ms"
+          ~bounds:[ 10.; 30.; 60.; 100.; 150.; 250.; 500.; 1000. ];
     }
   in
   Mux.add_handler (Mux.of_node dst) (fun pkt ->

@@ -38,16 +38,81 @@ let capture_sinks entries ~jobs =
        entries);
   (Buffer.contents jsonl, Buffer.contents csv)
 
+let contains ~needle haystack =
+  let n = String.length needle in
+  let rec find i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || find (i + 1))
+  in
+  find 0
+
+(* The profile is the last jsonl field and its wall-clock members come
+   after the deterministic ones, so cutting each line at "wall_s" leaves
+   exactly the bytes that must match across job counts. *)
+let scrub_wall_clock s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let marker = "\"wall_s\"" in
+         let m = String.length marker in
+         let rec find i =
+           if i + m > String.length line then line
+           else if String.sub line i m = marker then String.sub line 0 i
+           else find (i + 1)
+         in
+         find 0)
+  |> String.concat "\n"
+
 let test_parallel_determinism () =
   let entries = small_batch () in
   let j1, c1 = capture_sinks entries ~jobs:1 in
   let j4, c4 = capture_sinks entries ~jobs:4 in
   Alcotest.(check bool) "jsonl non-empty" true (String.length j1 > 0);
-  Alcotest.(check string) "jsonl byte-identical, jobs 1 vs 4" j1 j4;
+  Alcotest.(check string) "jsonl byte-identical, jobs 1 vs 4"
+    (scrub_wall_clock j1) (scrub_wall_clock j4);
   Alcotest.(check string) "csv byte-identical, jobs 1 vs 4" c1 c4;
   Alcotest.(check int) "one jsonl line per entry" (List.length entries)
     (List.length
-       (List.filter (fun l -> l <> "") (String.split_on_char '\n' j1)))
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' j1)));
+  Alcotest.(check bool) "metrics on every line" true
+    (List.for_all
+       (fun l -> l = "" || contains ~needle:{|"metrics":{|} l)
+       (String.split_on_char '\n' j1));
+  Alcotest.(check bool) "profile on every line" true
+    (List.for_all
+       (fun l -> l = "" || contains ~needle:{|"profile":{|} l)
+       (String.split_on_char '\n' j1))
+
+(* run_batch rows carry the full per-run snapshot: an attack run drops
+   packets at the bottleneck, executes events, and — Plain mode, no
+   SIGMA agent — still lists the sigma counters, at zero. *)
+let test_batch_metrics () =
+  let entries =
+    [ List.hd (small_batch ()) ]  (* the Plain-mode attack entry *)
+  in
+  match Runner.run_batch ~jobs:1 entries with
+  | [ row ] ->
+      let counter name =
+        match List.assoc_opt name row.Runner.metrics with
+        | Some (Mcc_obs.Metrics.Counter n) -> n
+        | Some _ -> Alcotest.fail (name ^ " is not a counter")
+        | None -> Alcotest.fail (name ^ " missing from snapshot")
+      in
+      Alcotest.(check bool) "events executed" true (counter "engine.events" > 0);
+      Alcotest.(check bool) "bottleneck dropped" true (counter "link.drops" > 0);
+      Alcotest.(check bool) "packets transmitted" true
+        (counter "link.tx_packets" > 0);
+      Alcotest.(check int) "no sigma traffic in Plain mode" 0
+        (counter "sigma.subscriptions");
+      Alcotest.(check bool) "profile counts the run" true
+        (row.Runner.profile.Mcc_obs.Profile.events = counter "engine.events");
+      Alcotest.(check bool) "queue capacity recorded" true
+        (row.Runner.profile.Mcc_obs.Profile.queue_capacity > 0);
+      (* The bracketing reset means none of the run's counts leak into
+         the caller's registry. *)
+      Alcotest.(check int) "registry left clean" 0
+        (Mcc_obs.Metrics.counter_value
+           (Mcc_obs.Metrics.counter "engine.events"))
+  | rows -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length rows))
 
 let test_run_specs_order () =
   (* Results come back in input order even when several domains race. *)
@@ -133,7 +198,8 @@ let test_jsonl_sink_shape () =
       result =
         E.Partial
           { E.protected_attacker_kbps = 1.; unprotected_attacker_kbps = 2.;
-            honest_kbps = Float.nan } }
+            honest_kbps = Float.nan };
+      metrics = []; profile = None }
   in
   Sink.emit sink record;
   Sink.close sink;
@@ -164,7 +230,8 @@ let test_csv_sink_shape () =
       result =
         E.Partial
           { E.protected_attacker_kbps = 1.25; unprotected_attacker_kbps = 2.;
-            honest_kbps = 3. } }
+            honest_kbps = 3. };
+      metrics = []; profile = None }
   in
   Sink.emit sink record;
   Sink.close sink;
@@ -193,6 +260,7 @@ let suite =
       Alcotest.test_case "jsonl sink shape" `Quick test_jsonl_sink_shape;
       Alcotest.test_case "csv sink shape" `Quick test_csv_sink_shape;
       Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+      Alcotest.test_case "batch metrics" `Slow test_batch_metrics;
       Alcotest.test_case "run_specs order" `Slow test_run_specs_order;
       Alcotest.test_case "registry round-trip" `Slow test_registry_roundtrip;
     ] )

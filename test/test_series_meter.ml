@@ -48,6 +48,26 @@ let test_meter_mean () =
   (* 1250 B/s = 10 kbps over [0, 10). *)
   Alcotest.(check (float 1e-6)) "mean kbps" 10. (Meter.mean_kbps m ~lo:0. ~hi:10.)
 
+(* Windows that do not align with bin boundaries: each bin contributes
+   proportionally to its overlap with [lo, hi). *)
+let test_meter_mean_partial_bins () =
+  let m = Meter.create ~bin:1.0 () in
+  Meter.record m ~time:0.5 ~bytes:1000;  (* bin [0,1): 8 kbps *)
+  Meter.record m ~time:1.5 ~bytes:2000;  (* bin [1,2): 16 kbps *)
+  (* Half of each bin: (500 + 1000) B over 1 s = 12 kbps. *)
+  Alcotest.(check (float 1e-9)) "straddles the boundary" 12.
+    (Meter.mean_kbps m ~lo:0.5 ~hi:1.5);
+  (* Entirely inside one bin: the bin's own rate, whatever the span. *)
+  Alcotest.(check (float 1e-9)) "interior of bin 0" 8.
+    (Meter.mean_kbps m ~lo:0.25 ~hi:0.75);
+  Alcotest.(check (float 1e-9)) "quarter of each bin" 12.
+    (Meter.mean_kbps m ~lo:0.75 ~hi:1.25);
+  (* Past the recorded data the window averages in silence. *)
+  Alcotest.(check (float 1e-9)) "trailing silence" 8.
+    (Meter.mean_kbps m ~lo:1.0 ~hi:3.0);
+  Alcotest.(check (float 0.)) "empty window" 0.
+    (Meter.mean_kbps m ~lo:2.0 ~hi:2.0)
+
 let test_meter_backwards () =
   let m = Meter.create () in
   Meter.record m ~time:5. ~bytes:1;
@@ -74,6 +94,8 @@ let suite =
         test_series_moving_average;
       Alcotest.test_case "meter bins" `Quick test_meter_bins;
       Alcotest.test_case "meter mean" `Quick test_meter_mean;
+      Alcotest.test_case "meter mean, partial bins" `Quick
+        test_meter_mean_partial_bins;
       Alcotest.test_case "meter backwards" `Quick test_meter_backwards;
       QCheck_alcotest.to_alcotest prop_meter_total;
     ] )

@@ -319,6 +319,76 @@ let test_interface_keys_block_collusion () =
   Alcotest.(check bool) "replayed keys tallied" true
     (Router_agent.guess_count agent ~group:minimal ~slot:2 > 0)
 
+(* --- Router_agent.stats -------------------------------------------------- *)
+
+(* The keyed subscribe path: every decision the handler takes must show
+   up in the aggregate stats record. *)
+let test_stats_subscribe_path () =
+  let env = make_env () in
+  distribute env ~slot:2
+    ~tuples:(tuples_for ~slot:2 ~minimal_key:0xAA ~upper_key:0xBB);
+  Sim.run_until env.sim 0.2;
+  let s0 = Router_agent.stats env.agent in
+  Alcotest.(check bool) "specials counted" true (s0.Router_agent.special_packets > 0);
+  Alcotest.(check int) "quiet before traffic" 0
+    (s0.Router_agent.subscriptions + s0.Router_agent.acks
+    + s0.Router_agent.distinct_guesses);
+  (* One valid key, one guess. *)
+  Router_agent.handle_subscribe env.agent ~receiver:env.d1.Node.id ~slot:2
+    ~pairs:[ (minimal, 0xAA); (upper, 0x11) ];
+  let s1 = Router_agent.stats env.agent in
+  Alcotest.(check int) "one subscription" 1 s1.Router_agent.subscriptions;
+  Alcotest.(check int) "one key accepted" 1 s1.Router_agent.keys_accepted;
+  Alcotest.(check int) "one key rejected" 1 s1.Router_agent.keys_rejected;
+  Alcotest.(check int) "acked the valid part" 1 s1.Router_agent.acks;
+  Alcotest.(check int) "newly active iface gets upgrade grace" 1
+    s1.Router_agent.upgrade_graces;
+  Alcotest.(check int) "the bad key is a guess" 1
+    s1.Router_agent.distinct_guesses;
+  (* Replaying the same wrong key is rejected again but is not a new
+     distinct guess; an all-invalid subscribe earns no ack. *)
+  Router_agent.handle_subscribe env.agent ~receiver:env.d1.Node.id ~slot:2
+    ~pairs:[ (upper, 0x11) ];
+  let s2 = Router_agent.stats env.agent in
+  Alcotest.(check int) "second subscription" 2 s2.Router_agent.subscriptions;
+  Alcotest.(check int) "rejected again" 2 s2.Router_agent.keys_rejected;
+  Alcotest.(check int) "still one distinct guess" 1
+    s2.Router_agent.distinct_guesses;
+  Alcotest.(check int) "no ack for an all-invalid subscribe" 1
+    s2.Router_agent.acks;
+  Router_agent.handle_unsubscribe env.agent ~receiver:env.d1.Node.id
+    ~groups:[ minimal ];
+  Alcotest.(check int) "unsubscribe counted" 1
+    (Router_agent.stats env.agent).Router_agent.unsubscribes
+
+(* The keyless session-join path: grace admission, duplicate
+   suppression while the interface is active, and the lockout when the
+   grace lapses without a key. *)
+let test_stats_join_suppression_and_lockout () =
+  let env = make_env () in
+  distribute env ~slot:2
+    ~tuples:(tuples_for ~slot:2 ~minimal_key:0xAA ~upper_key:0xBB);
+  Sim.run_until env.sim 0.2;
+  Router_agent.handle_session_join env.agent ~receiver:env.d1.Node.id
+    ~group:minimal;
+  let s1 = Router_agent.stats env.agent in
+  Alcotest.(check int) "grace admission" 1 s1.Router_agent.grace_admissions;
+  (* The interface already forwards the group: a repeat join must be
+     suppressed, not re-granted. *)
+  Router_agent.handle_session_join env.agent ~receiver:env.d1.Node.id
+    ~group:minimal;
+  let s2 = Router_agent.stats env.agent in
+  Alcotest.(check int) "duplicate join suppressed"
+    (s1.Router_agent.suppressed_duplicates + 1)
+    s2.Router_agent.suppressed_duplicates;
+  Alcotest.(check int) "no second admission" 1
+    s2.Router_agent.grace_admissions;
+  (* Never presents a key: when the sweep revokes the keyless grant it
+     starts a lockout, and that shows in the stats. *)
+  Sim.run_until env.sim 1.2;
+  let s3 = Router_agent.stats env.agent in
+  Alcotest.(check bool) "lockout counted" true (s3.Router_agent.lockouts >= 1)
+
 let test_tuple_wire_bytes () =
   let t = Tuple.make ~group:1 ~slot:1 ~keys:[ 1; 2; 3 ] ~minimal:false in
   (* 4 (addr) + 1 (flags) + 3 x 2 (16-bit keys). *)
@@ -348,5 +418,9 @@ let suite =
         test_suppression_between_receivers;
       Alcotest.test_case "interface keys block collusion" `Quick
         test_interface_keys_block_collusion;
+      Alcotest.test_case "stats: subscribe path" `Quick
+        test_stats_subscribe_path;
+      Alcotest.test_case "stats: join suppression & lockout" `Quick
+        test_stats_join_suppression_and_lockout;
       Alcotest.test_case "wire sizes" `Quick test_tuple_wire_bytes;
     ] )

@@ -62,6 +62,40 @@ let test_ring_capacity () =
   Trace.clear trace;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.records trace))
 
+(* Regression: counts are tallied outside the ring, so eviction of old
+   records must never roll a count back. *)
+let test_count_survives_eviction () =
+  let sim, a, b, ab = small_link () in
+  let trace = Trace.attach ~capacity:2 ab in
+  burst sim a b 10;
+  let tx = Trace.count trace Link.Tx_start in
+  Alcotest.(check bool) "more events than the ring holds" true
+    (tx > 2 && List.length (Trace.records trace) = 2);
+  Alcotest.(check int) "count matches the link, not the ring"
+    ab.Link.tx_packets tx;
+  (* clear drops the retained records but not the tallies *)
+  Trace.clear trace;
+  Alcotest.(check int) "count survives clear" tx
+    (Trace.count trace Link.Tx_start)
+
+let test_iter_fold_agree_with_records () =
+  let sim, a, b, ab = small_link () in
+  let trace = Trace.attach ab in
+  burst sim a b 5;
+  let records = Trace.records trace in
+  let via_iter = ref [] in
+  Trace.iter (fun r -> via_iter := r :: !via_iter) trace;
+  Alcotest.(check int) "iter visits every record" (List.length records)
+    (List.length !via_iter);
+  Alcotest.(check bool) "iter order oldest-first" true
+    (List.rev !via_iter = records);
+  let via_fold = Trace.fold (fun acc r -> r :: acc) [] trace in
+  Alcotest.(check bool) "fold order oldest-first" true
+    (List.rev via_fold = records);
+  Alcotest.(check int) "fold sums sizes"
+    (List.fold_left (fun acc (r : Trace.record) -> acc + r.Trace.size) 0 records)
+    (Trace.fold (fun acc r -> acc + r.Trace.size) 0 trace)
+
 let test_chaining_preserves_existing_tap () =
   let sim, a, b, ab = small_link () in
   let seen = ref 0 in
@@ -78,5 +112,8 @@ let suite =
       Alcotest.test_case "counts match link" `Quick test_counts_match_link;
       Alcotest.test_case "record order" `Quick test_record_order_and_times;
       Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+      Alcotest.test_case "count survives eviction" `Quick
+        test_count_survives_eviction;
+      Alcotest.test_case "iter/fold" `Quick test_iter_fold_agree_with_records;
       Alcotest.test_case "tap chaining" `Quick test_chaining_preserves_existing_tap;
     ] )
