@@ -7,7 +7,14 @@
      dune exec bench/main.exe -- --quick      # abbreviated durations
      dune exec bench/main.exe -- --jobs 4     # sweeps across 4 domains
      dune exec bench/main.exe -- fig1 fig7    # a subset
-     dune exec bench/main.exe -- micro        # microbenchmarks only *)
+     dune exec bench/main.exe -- micro        # microbenchmarks only
+
+   Regression gate: --save-baseline FILE writes each figure's events/s
+   to FILE as JSON; a later run with --baseline FILE (optionally
+   --threshold F, default 0.25) compares itself against that file and
+   exits nonzero if any common figure regressed by more than the
+   fraction F.  Compare like against like: same --quick/--jobs, same
+   machine. *)
 
 module E = Mcc_core.Experiments
 module Report = Mcc_core.Report
@@ -22,6 +29,9 @@ let fmt = Format.std_formatter
 let quick = ref false
 let jobs = ref 1
 let requested : string list ref = ref []
+let baseline_path : string option ref = ref None
+let save_baseline_path : string option ref = ref None
+let threshold = ref 0.25
 
 let duration full = if !quick then full /. 4. else full
 
@@ -37,7 +47,7 @@ let q spec = if !quick then Spec.scale_time spec ~factor:0.25 else spec
 
 let run_specs specs =
   Runner.run_specs_profiled ~jobs:!jobs (List.map q specs)
-  |> List.map (fun (result, _metrics, profile) ->
+  |> List.map (fun (result, _metrics, _series, profile) ->
          events_total := !events_total + profile.Profile.events;
          result)
 
@@ -649,6 +659,76 @@ let all_figs =
     ("micro", micro);
   ]
 
+(* --- events/s baseline gate -------------------------------------------- *)
+
+module Json = Mcc_core.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_baseline path rates =
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string (Json.Obj (List.map (fun (n, r) -> (n, Json.Float r)) rates)));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "baseline saved to %s (%d figures)@." path
+    (List.length rates)
+
+(* Compare this run's events/s against a saved baseline; any common
+   figure more than [threshold] below its baseline is a regression and
+   fails the run.  Figures present on only one side are reported but
+   never fail — registries evolve. *)
+let compare_baseline path rates =
+  let baseline =
+    match Json.of_string (read_file path) with
+    | Ok (Json.Obj fields) ->
+        List.filter_map
+          (fun (n, v) ->
+            Option.map (fun r -> (n, r)) (Json.to_float_opt v))
+          fields
+    | Ok _ ->
+        Format.eprintf "%s: baseline is not a JSON object@." path;
+        exit 2
+    | Error e ->
+        Format.eprintf "%s: cannot parse baseline: %s@." path e;
+        exit 2
+  in
+  Format.fprintf fmt "@.baseline comparison against %s (threshold -%.0f%%):@."
+    path (100. *. !threshold);
+  Format.fprintf fmt "# figure          baseline ev/s   current ev/s   delta@.";
+  let regressions = ref [] in
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline with
+      | None -> Format.fprintf fmt "%-16s %14s %14.0f   (new)@." name "-" cur
+      | Some base ->
+          let delta = if base > 0. then (cur -. base) /. base else 0. in
+          let flag =
+            if delta < -. !threshold then begin
+              regressions := name :: !regressions;
+              "  REGRESSION"
+            end
+            else ""
+          in
+          Format.fprintf fmt "%-16s %14.0f %14.0f %+6.1f%%%s@." name base cur
+            (100. *. delta) flag)
+    rates;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name rates) then
+        Format.fprintf fmt "%-16s (in baseline only)@." name)
+    baseline;
+  if !regressions <> [] then begin
+    Format.eprintf "events/s regression beyond %.0f%%: %s@."
+      (100. *. !threshold)
+      (String.concat ", " (List.rev !regressions));
+    exit 1
+  end
+
 let () =
   let rec parse = function
     | [] -> ()
@@ -657,6 +737,15 @@ let () =
         parse rest
     | "--jobs" :: n :: rest ->
         jobs := max 1 (int_of_string n);
+        parse rest
+    | "--baseline" :: path :: rest ->
+        baseline_path := Some path;
+        parse rest
+    | "--save-baseline" :: path :: rest ->
+        save_baseline_path := Some path;
+        parse rest
+    | "--threshold" :: f :: rest ->
+        threshold := float_of_string f;
         parse rest
     | name :: rest ->
         requested := name :: !requested;
@@ -672,7 +761,8 @@ let () =
     Format.fprintf fmt "unknown selection; available:@.";
     List.iter (fun (name, _) -> Format.fprintf fmt "  %s@." name) all_figs
   end
-  else
+  else begin
+    let rates = ref [] in
     List.iter
       (fun (name, f) ->
         Metrics.reset ();
@@ -684,9 +774,19 @@ let () =
           !events_total + Metrics.counter_value (Metrics.counter "engine.events")
         in
         Metrics.reset ();
-        if events > 0 then
+        if events > 0 then begin
+          let rate = float_of_int events /. Float.max wall 1e-9 in
+          rates := (name, rate) :: !rates;
           Format.fprintf fmt "[%s done in %.1fs, %d events, %.0f events/s]@."
-            name wall events
-            (float_of_int events /. Float.max wall 1e-9)
+            name wall events rate
+        end
         else Format.fprintf fmt "[%s done in %.1fs]@." name wall)
-      selected
+      selected;
+    let rates = List.rev !rates in
+    (match !save_baseline_path with
+    | Some path -> save_baseline path rates
+    | None -> ());
+    match !baseline_path with
+    | Some path -> compare_baseline path rates
+    | None -> ()
+  end

@@ -10,7 +10,9 @@
      mcc run --all --jobs 4 --json results.jsonl --csv results.csv
      mcc run --only fig8a,fig9a --quick --jobs 2
      mcc run --only fig1 --quick --metrics=-
+     mcc run --only fig1 --series=fig1.jsonl --sample-dt 0.5 --quiet
      mcc trace --only fig1 --quick --filter sigma,link --out trace.jsonl
+     mcc report --series fig1.jsonl --trace trace.jsonl
      mcc attack --mode robust --duration 200
      mcc sweep --mode plain --sessions 1,2,4,8
      mcc responsiveness --mode robust
@@ -26,6 +28,7 @@ module Runner = Mcc_core.Runner
 module Sink = Mcc_core.Sink
 module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
+module Forensics = Mcc_core.Forensics
 module Json = Mcc_core.Json
 module Metrics = Mcc_obs.Metrics
 module Profile = Mcc_obs.Profile
@@ -317,12 +320,22 @@ let output_writer ~cmd path =
         exit 2
 
 let run_cmd =
-  let run all only jobs quick json csv metrics quiet =
+  let run all only jobs quick json csv metrics series sample_dt quiet =
+    if sample_dt <= 0. then begin
+      Printf.eprintf "mcc run: --sample-dt must be positive\n";
+      exit 2
+    end;
     let entries = resolve_entries ~cmd:"run" ~all ~only ~quick in
+    let series_writer =
+      Option.map (fun path -> output_writer ~cmd:"run" path) series
+    in
     let file_sinks =
       try
         (match json with None -> [] | Some path -> [ Sink.jsonl_file path ])
-        @ match csv with None -> [] | Some path -> [ Sink.csv_file path ]
+        @ (match csv with None -> [] | Some path -> [ Sink.csv_file path ])
+        @ match series_writer with
+          | Some (write, _) -> [ Sink.series_jsonl write ]
+          | None -> []
       with Sys_error msg ->
         Printf.eprintf "mcc run: cannot open sink: %s\n" msg;
         exit 2
@@ -331,8 +344,10 @@ let run_cmd =
       (if quiet then [] else [ Sink.pretty fmt ]) @ file_sinks
     in
     let t0 = Unix.gettimeofday () in
-    let rows = Runner.run_batch ~jobs ~sinks entries in
+    let sample_dt = Option.map (fun _ -> sample_dt) series in
+    let rows = Runner.run_batch ~jobs ?sample_dt ~sinks entries in
     List.iter Sink.close sinks;
+    (match series_writer with Some (_, close) -> close () | None -> ());
     (match metrics with
     | None -> ()
     | Some path ->
@@ -382,6 +397,22 @@ let run_cmd =
       & info [ "csv" ] ~docv:"PATH"
           ~doc:"Write summary metrics as name,group,metric,value rows.")
   in
+  let series =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "series" ] ~docv:"PATH"
+          ~doc:
+            "Sample time series during each run and write one JSON line \
+             per run (the $(b,mcc report) input format); $(docv) defaults \
+             to $(b,-) (stdout).")
+  in
+  let sample_dt =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sample-dt" ] ~docv:"SECONDS"
+          ~doc:"Sampling period for $(b,--series) (default 1.0).")
+  in
   let quiet =
     Arg.(
       value & flag
@@ -391,13 +422,18 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:
          "Run a batch of registered experiments across domains, with JSONL, \
-          CSV and metrics sinks.")
+          CSV, metrics and time-series sinks.")
     Term.(
       const run $ all $ only_arg $ jobs $ quick_arg $ json $ csv $ metrics
-      $ quiet)
+      $ series $ sample_dt $ quiet)
 
 let trace_cmd =
   let run only out filters level quick =
+    (match Tracer.check_components filters with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "mcc trace: %s\n" msg;
+        exit 2);
     let entries = resolve_entries ~cmd:"trace" ~all:false ~only ~quick in
     let write, close = output_writer ~cmd:"trace" out in
     let components = if filters = [] then None else Some filters in
@@ -449,6 +485,92 @@ let trace_cmd =
           one JSON record per event.")
     Term.(const run $ only_arg $ out $ filters $ level $ quick_arg)
 
+let report_cmd =
+  let read_lines path =
+    match open_in path with
+    | ic ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        go []
+    | exception Sys_error msg ->
+        Printf.eprintf "mcc report: cannot open %s: %s\n" path msg;
+        exit 2
+  in
+  let run series trace only width =
+    let runs =
+      match Forensics.parse_series_lines (read_lines series) with
+      | Ok runs -> runs
+      | Error msg ->
+          Printf.eprintf "mcc report: %s: %s\n" series msg;
+          exit 2
+    in
+    let trace_events =
+      match trace with
+      | None -> []
+      | Some path -> (
+          match Forensics.parse_trace_lines (read_lines path) with
+          | Ok events -> events
+          | Error msg ->
+              Printf.eprintf "mcc report: %s: %s\n" path msg;
+              exit 2)
+    in
+    let runs =
+      match only with
+      | [] -> runs
+      | names ->
+          List.filter
+            (fun (r : Forensics.run) ->
+              List.mem r.Forensics.name names
+              || List.mem r.Forensics.group names)
+            runs
+    in
+    if runs = [] then begin
+      Printf.eprintf "mcc report: no sampled runs in %s%s\n" series
+        (if only = [] then "" else " matching --only");
+      exit 2
+    end;
+    List.iteri
+      (fun i run ->
+        if i > 0 then Format.fprintf fmt "@.---@.@.";
+        Forensics.render ~width ~trace:trace_events fmt run)
+      runs;
+    Format.fprintf fmt "@."
+  in
+  let series =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "series" ] ~docv:"PATH"
+          ~doc:"Series JSONL written by $(b,mcc run --series).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Trace JSONL written by $(b,mcc trace); adds the key-failure \
+             spans to the SIGMA timeline.")
+  in
+  let width =
+    Arg.(
+      value & opt int 60
+      & info [ "width" ] ~docv:"COLS"
+          ~doc:"Sparkline width in characters (default 60).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render an attack-forensics report (sparklines, SIGMA timeline, \
+          throughput recovery) from saved series and trace files, without \
+          rerunning anything.")
+    Term.(const run $ series $ trace $ only_arg $ width)
+
 let main =
   Cmd.group
     (Cmd.info "mcc" ~version:Version.version
@@ -458,6 +580,7 @@ let main =
     [
       run_cmd;
       trace_cmd;
+      report_cmd;
       list_cmd;
       attack_cmd;
       sweep_cmd;

@@ -32,3 +32,37 @@ assert row["profile"]["events"] == row["metrics"]["engine.events"]
 print("telemetry smoke ok")
 EOF
 fi
+
+# Time-series + forensics smoke: a sampled run, a warn-level trace, and
+# an offline report over both (no rerun).
+dune exec bin/mcc.exe -- run --only fig7 --quick --series=/tmp/series.jsonl \
+  --sample-dt 0.5 --quiet
+test -s /tmp/series.jsonl
+dune exec bin/mcc.exe -- trace --only fig7 --quick --filter sigma \
+  --level warn --out /tmp/trace.jsonl
+dune exec bin/mcc.exe -- report --series /tmp/series.jsonl \
+  --trace /tmp/trace.jsonl > /tmp/report.md
+test -s /tmp/report.md
+grep -q "SIGMA forensics timeline" /tmp/report.md
+grep -q "Throughput recovery" /tmp/report.md
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("/tmp/series.jsonl") as f:
+    row = json.loads(f.readline())
+assert row["name"] == "fig7", row
+assert row["series"], "no series sampled"
+assert any(k.endswith(".goodput_kbps") for k in row["series"]), row["series"].keys()
+assert all(
+    all(len(p) == 2 for p in pts) for pts in row["series"].values()
+), "series points are not [t, v] pairs"
+print("series smoke ok")
+EOF
+fi
+
+# Bench regression gate: a baseline saved by the same run must compare
+# clean against itself.
+dune exec bench/main.exe -- --quick fig9b --save-baseline /tmp/bench-baseline.json
+dune exec bench/main.exe -- --quick fig9b --baseline /tmp/bench-baseline.json \
+  --threshold 0.5

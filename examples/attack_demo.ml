@@ -7,15 +7,20 @@
    Run with:  dune exec examples/attack_demo.exe *)
 
 module Scenario = Mcc_core.Scenario
+module Forensics = Mcc_core.Forensics
 module Flid = Mcc_mcast.Flid
 module Tcp = Mcc_transport.Tcp
 module Meter = Mcc_util.Meter
 module Router_agent = Mcc_sigma.Router_agent
+module Timeseries = Mcc_obs.Timeseries
 
 let attack_at = 100.
 let horizon = 200.
 
 let run ~mode =
+  (* Enable sampling before the scenario builds its Sim: the event loop
+     installs the periodic sampler at creation time. *)
+  Timeseries.enable ~dt:1.0 ();
   let t = Scenario.create ~seed:7 ~bottleneck_rate_bps:1_000_000. () in
   let f1 =
     Scenario.add_multicast t ~mode
@@ -26,9 +31,11 @@ let run ~mode =
   let t1 = Scenario.add_tcp t in
   let t2 = Scenario.add_tcp t in
   Scenario.run t ~seconds:horizon;
-  (t, List.hd f1.Scenario.receivers, List.hd f2.Scenario.receivers, t1, t2)
+  let series = Timeseries.snapshot () in
+  Timeseries.disable ();
+  (t, List.hd f1.Scenario.receivers, List.hd f2.Scenario.receivers, t1, t2, series)
 
-let report ~label (t, r1, r2, t1, t2) =
+let report ~label (t, r1, r2, t1, t2, series) =
   let before m = Meter.mean_kbps m ~lo:50. ~hi:attack_at in
   let after m = Meter.mean_kbps m ~lo:(attack_at +. 10.) ~hi:horizon in
   Printf.printf "%s\n" label;
@@ -40,23 +47,46 @@ let report ~label (t, r1, r2, t1, t2) =
   row "F2" (Flid.receiver_meter r2);
   row "T1 (TCP Reno)" (Tcp.delivered_meter t1);
   row "T2 (TCP Reno)" (Tcp.delivered_meter t2);
+  (* Sampled goodput over the whole run: the attack (and, under SIGMA,
+     the recovery) is visible in the shape. *)
+  List.iter
+    (fun (name, points) ->
+      let suffix = ".goodput_kbps" in
+      let ls = String.length suffix and ln = String.length name in
+      if ln >= ls && String.sub name (ln - ls) ls = suffix then
+        Printf.printf "  %-22s [%s] 0..%.0fs\n" name
+          (Forensics.sparkline ~width:50 points)
+          horizon)
+    series;
   (match Scenario.agent t with
   | Some agent ->
-      let guesses =
-        List.fold_left
-          (fun acc group ->
-            let rec sum slot acc =
-              if slot > int_of_float (horizon /. 0.25) + 4 then acc
-              else
-                sum (slot + 1) (acc + Router_agent.guess_count agent ~group ~slot)
-            in
-            sum 0 acc)
-          0
-          (Router_agent.known_groups agent)
-      in
+      let stats = Router_agent.stats agent in
       Printf.printf
-        "  edge router tallied %d distinct invalid keys (the attack's trail)\n"
-        guesses
+        "  edge router: %d keys rejected, %d distinct invalid keys, %d \
+         grace admissions, %d lockouts\n"
+        stats.Router_agent.keys_rejected stats.Router_agent.distinct_guesses
+        stats.Router_agent.grace_admissions stats.Router_agent.lockouts;
+      (match Router_agent.failure_audit agent with
+      | [] -> Printf.printf "  no key-failure spans: every submitted key validated\n"
+      | spans ->
+          Printf.printf "  key-failure forensics timeline:\n";
+          List.iter
+            (fun (f : Router_agent.key_failure) ->
+              match f.Router_agent.kf_ended with
+              | Some ended ->
+                  Printf.printf
+                    "    t=%6.1fs receiver %d starts failing validation; %d \
+                     rejects until t=%.1fs, then back to valid keys\n"
+                    f.Router_agent.kf_first f.Router_agent.kf_receiver
+                    f.Router_agent.kf_rejects ended
+              | None ->
+                  Printf.printf
+                    "    t=%6.1fs receiver %d starts failing validation; %d \
+                     rejects through t=%.1fs, never recovers (inflated \
+                     subscription held)\n"
+                    f.Router_agent.kf_first f.Router_agent.kf_receiver
+                    f.Router_agent.kf_rejects f.Router_agent.kf_last)
+            spans)
   | None -> ());
   print_newline ()
 

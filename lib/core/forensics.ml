@@ -1,0 +1,297 @@
+(* Attack-forensics reports: render the series a sampled run recorded
+   (and optionally its trace) into a Markdown narrative — who inflated
+   their subscription, when SIGMA evicted them, how long throughput took
+   to recover — without rerunning the simulation.
+
+   The input is what [Sink.series_jsonl] and [Tracer.jsonl] wrote; both
+   parse with [Json.of_string], so [mcc report] works on any saved run. *)
+
+module Tracer = Mcc_obs.Tracer
+
+type run = {
+  name : string;
+  group : string;
+  kind : string;
+  spec : Json.t;
+  series : (string * (float * float) list) list;
+}
+
+type trace_event = {
+  time : float;
+  level : string;
+  component : string;
+  event : string;
+  attrs : (string * Json.t) list;
+}
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let parse_series_line line =
+  match Json.of_string line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok json -> (
+      let str field = Option.bind (Json.member field json) Json.to_string_opt in
+      match (str "name", str "group", str "kind", Json.member "series" json) with
+      | Some name, Some group, Some kind, Some (Json.Obj fields) -> (
+          let parsed =
+            List.map
+              (fun (sname, v) ->
+                match Json.to_series v with
+                | Some points -> Ok (sname, points)
+                | None -> Error sname)
+              fields
+          in
+          match
+            List.find_map
+              (function Error sname -> Some sname | Ok _ -> None)
+              parsed
+          with
+          | Some sname -> Error (Printf.sprintf "series %S is not [[t,v],...]" sname)
+          | None ->
+              let series =
+                List.filter_map (function Ok s -> Some s | Error _ -> None)
+                  parsed
+              in
+              Ok
+                { name; group; kind;
+                  spec = Option.value (Json.member "spec" json) ~default:Json.Null;
+                  series })
+      | _ -> Error "missing name/group/kind/series fields")
+
+let parse_trace_line line =
+  match Json.of_string line with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok json -> (
+      let str field = Option.bind (Json.member field json) Json.to_string_opt in
+      let time = Option.bind (Json.member "t" json) Json.to_float_opt in
+      match (time, str "level", str "component", str "event") with
+      | Some time, Some level, Some component, Some event ->
+          let attrs =
+            match Json.member "attrs" json with
+            | Some (Json.Obj fields) -> fields
+            | _ -> []
+          in
+          Ok { time; level; component; event; attrs }
+      | _ -> Error "missing t/level/component/event fields")
+
+let parse_lines parse lines =
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest when String.trim line = "" -> go (n + 1) acc rest
+    | line :: rest -> (
+        match parse line with
+        | Ok v -> go (n + 1) (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  go 1 [] lines
+
+let parse_series_lines lines = parse_lines parse_series_line lines
+let parse_trace_lines lines = parse_lines parse_trace_line lines
+
+(* --- sparklines -------------------------------------------------------- *)
+
+(* Pure-ASCII value ramp, low to high; renders anywhere (terminals,
+   Markdown code spans) without font support for block glyphs. *)
+let ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let sparkline ?(width = 60) points =
+  match points with
+  | [] -> String.make width ' '
+  | points ->
+      let times = List.map fst points in
+      let lo_t = List.fold_left min (List.hd times) times in
+      let hi_t = List.fold_left max (List.hd times) times in
+      let vals = List.map snd points in
+      let lo_v = List.fold_left min (List.hd vals) vals in
+      let hi_v = List.fold_left max (List.hd vals) vals in
+      (* Bin by time, average within a bin, leave empty bins blank. *)
+      let sums = Array.make width 0. and counts = Array.make width 0 in
+      let span_t = hi_t -. lo_t in
+      List.iter
+        (fun (t, v) ->
+          let i =
+            if span_t <= 0. then 0
+            else
+              min (width - 1)
+                (int_of_float ((t -. lo_t) /. span_t *. float_of_int width))
+          in
+          sums.(i) <- sums.(i) +. v;
+          counts.(i) <- counts.(i) + 1)
+        points;
+      let span_v = hi_v -. lo_v in
+      String.init width (fun i ->
+          if counts.(i) = 0 then ' '
+          else
+            let v = sums.(i) /. float_of_int counts.(i) in
+            let r =
+              if span_v <= 0. then if hi_v > 0. then Array.length ramp - 1 else 1
+              else
+                1
+                + int_of_float
+                    ((v -. lo_v) /. span_v
+                    *. float_of_int (Array.length ramp - 2))
+            in
+            ramp.(min (Array.length ramp - 1) (max 1 r)))
+
+(* --- series statistics ------------------------------------------------- *)
+
+let values_in points ~lo ~hi =
+  List.filter_map
+    (fun (t, v) -> if t >= lo && t < hi then Some v else None)
+    points
+
+let mean = function
+  | [] -> 0.
+  | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+
+let minmax points =
+  match List.map snd points with
+  | [] -> (0., 0.)
+  | v :: vs -> (List.fold_left min v vs, List.fold_left max v vs)
+
+(* First sample at or after [from] whose value sustains >= threshold:
+   the "throughput recovery" instant of the attack narrative. *)
+let recovery_time points ~from ~threshold =
+  List.find_map
+    (fun (t, v) -> if t >= from && v >= threshold then Some t else None)
+    points
+
+(* --- report ------------------------------------------------------------ *)
+
+let spec_float field run = Option.bind (Json.member field run.spec) Json.to_float_opt
+
+let has_suffix ~suffix name =
+  let ls = String.length suffix and ln = String.length name in
+  ln >= ls && String.sub name (ln - ls) ls = suffix
+
+let goodput_series run =
+  List.filter (fun (name, _) -> has_suffix ~suffix:".goodput_kbps" name)
+    run.series
+
+let render ?(width = 60) ?(trace = []) fmt run =
+  let pf f = Format.fprintf fmt f in
+  pf "# Attack forensics: %s (%s)@." run.name run.kind;
+  pf "@.spec: `%s`@." (Json.to_string run.spec);
+  let attack_at = spec_float "attack_at" run in
+  let duration = spec_float "duration" run in
+  (match (attack_at, duration) with
+  | Some a, Some d -> pf "attack at t=%g of a %g s run@." a d
+  | _ -> ());
+  (* Every series, grouped by first dotted component, as sparklines. *)
+  let prefix name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let groups =
+    List.sort_uniq compare (List.map (fun (n, _) -> prefix n) run.series)
+  in
+  List.iter
+    (fun g ->
+      pf "@.## %s series@.@." g;
+      List.iter
+        (fun (name, points) ->
+          if prefix name = g then begin
+            let lo, hi = minmax points in
+            pf "- `%-34s` `%s` min %.6g max %.6g (%d pts)@." name
+              (sparkline ~width points) lo hi (List.length points)
+          end)
+        run.series)
+    groups;
+  (* The attack narrative proper: rejected-key spans name the inflater,
+     the eviction series dates the lockouts, and goodput recovery is
+     measured against each receiver's own pre-attack mean. *)
+  let warn_spans =
+    List.filter
+      (fun e ->
+        Tracer.component_matches ~filter:"sigma" e.component
+        && (e.event = "key_failure_start" || e.event = "key_failure_end"))
+      trace
+  in
+  let evictions =
+    match List.assoc_opt "sigma.evictions" run.series with
+    | Some points -> points
+    | None -> []
+  in
+  if warn_spans <> [] || evictions <> [] || attack_at <> None then begin
+    pf "@.## SIGMA forensics timeline@.@.";
+    (match attack_at with
+    | Some a -> pf "- t=%-9.6g attack begins (spec)@." a
+    | None -> ());
+    let attr name e =
+      match List.assoc_opt name e.attrs with
+      | Some v -> Json.to_string v
+      | None -> "?"
+    in
+    let span_lines =
+      List.map
+        (fun e ->
+          ( e.time,
+            if e.event = "key_failure_start" then
+              Printf.sprintf
+                "t=%-9.6g receiver %s starts submitting invalid keys \
+                 (inflated subscription)"
+                e.time (attr "receiver" e)
+            else
+              Printf.sprintf
+                "t=%-9.6g receiver %s back to valid keys after %s rejects"
+                e.time (attr "receiver" e) (attr "rejected" e) ))
+        warn_spans
+    and evict_lines =
+      List.map
+        (fun (t, g) ->
+          (t, Printf.sprintf "t=%-9.6g SIGMA evicts group %g (lockout)" t g))
+        evictions
+    in
+    let timeline =
+      List.sort (fun (a, _) (b, _) -> compare a b) (span_lines @ evict_lines)
+    in
+    let shown, hidden =
+      let rec split n = function
+        | [] -> ([], [])
+        | l when n = 0 -> ([], l)
+        | x :: rest ->
+            let s, h = split (n - 1) rest in
+            (x :: s, h)
+      in
+      split 40 timeline
+    in
+    List.iter (fun (_, line) -> pf "- %s@." line) shown;
+    if hidden <> [] then pf "- ... %d more events@." (List.length hidden)
+  end;
+  (match attack_at with
+  | None -> ()
+  | Some a ->
+      let receivers = goodput_series run in
+      if receivers <> [] then begin
+        pf "@.## Throughput recovery@.@.";
+        pf "| receiver series | pre-attack mean | post-attack mean | \
+            recovered (>=90%% of pre) |@.";
+        pf "|---|---|---|---|@.";
+        List.iter
+          (fun (name, points) ->
+            let horizon =
+              match duration with
+              | Some d -> d
+              | None -> List.fold_left (fun acc (t, _) -> max acc t) a points
+            in
+            let pre = mean (values_in points ~lo:0. ~hi:a) in
+            let post =
+              mean
+                (values_in points
+                   ~lo:(horizon -. ((horizon -. a) /. 4.))
+                   ~hi:(horizon +. 1.))
+            in
+            let recovered =
+              if pre <= 0. then "n/a"
+              else
+                match
+                  recovery_time points ~from:a ~threshold:(0.9 *. pre)
+                with
+                | Some t -> Printf.sprintf "t=%g" t
+                | None -> "never"
+            in
+            pf "| `%s` | %.6g kbit/s | %.6g kbit/s | %s |@." name pre post
+              recovered)
+          receivers
+      end)

@@ -1,0 +1,48 @@
+(** Attack-forensics reports: turn a saved run's sampled series (the
+    [Sink.series_jsonl] format) and optionally its trace (the
+    [Tracer.jsonl] format) into a Markdown report with ASCII sparklines
+    — who inflated their subscription, when SIGMA evicted them, and how
+    long receiver throughput took to recover — without rerunning the
+    simulation.  This is the engine behind [mcc report]. *)
+
+(** One sampled run, as read back from a series JSONL line. *)
+type run = {
+  name : string;  (** registry name, e.g. "fig1" *)
+  group : string;
+  kind : string;  (** spec kind, e.g. "attack" *)
+  spec : Json.t;  (** the spec as written by the sink; [Null] if absent *)
+  series : (string * (float * float) list) list;
+}
+
+(** One trace record, as read back from a trace JSONL line. *)
+type trace_event = {
+  time : float;
+  level : string;
+  component : string;
+  event : string;
+  attrs : (string * Json.t) list;
+}
+
+val parse_series_line : string -> (run, string) result
+val parse_trace_line : string -> (trace_event, string) result
+
+val parse_series_lines : string list -> (run list, string) result
+(** Parse a whole file's lines (blank lines skipped); the error names
+    the offending 1-based line. *)
+
+val parse_trace_lines : string list -> (trace_event list, string) result
+
+val sparkline : ?width:int -> (float * float) list -> string
+(** An ASCII sparkline of the series, [width] characters wide (default
+    60): points are binned by time, bins averaged, and values mapped
+    onto the ramp [' ' .. '@']; empty bins stay blank.  A constant
+    positive series renders at full height, a constant zero one at the
+    lowest mark. *)
+
+val render :
+  ?width:int -> ?trace:trace_event list -> Format.formatter -> run -> unit
+(** The Markdown report: a sparkline block per dotted series family, a
+    SIGMA timeline merging key-failure trace spans with the
+    "sigma.evictions" series, and — when the spec has an [attack_at] —
+    a per-receiver throughput-recovery table (pre-attack mean,
+    post-attack mean, first time back at 90% of the pre-attack mean). *)

@@ -1,6 +1,7 @@
 module Flid = Mcc_mcast.Flid
 module Metrics = Mcc_obs.Metrics
 module Profile = Mcc_obs.Profile
+module Timeseries = Mcc_obs.Timeseries
 
 type entry = {
   name : string;
@@ -236,22 +237,33 @@ let preregister () =
   List.iter (fun name -> ignore (Metrics.counter name)) counter_catalog;
   List.iter (fun name -> ignore (Metrics.gauge name)) gauge_catalog;
   ignore
-    (Metrics.histogram "sigma.subscribe_pairs" ~bounds:[ 1.; 2.; 4.; 8.; 16. ]);
+    (Metrics.histogram "sigma.subscribe_pairs"
+       ~bounds:(Metrics.exponential_bounds ~base:1. ~count:5));
   ignore
     (Metrics.histogram "tcp.rtt_ms"
-       ~bounds:[ 10.; 30.; 60.; 100.; 150.; 250.; 500.; 1000. ])
+       ~bounds:(Metrics.exponential_bounds ~base:10. ~count:8))
 
 (* The registry is reset on both sides of the run: entering clean keeps
    the snapshot to this one spec, and leaving clean keeps a later run in
    the same domain (or the caller's own metrics) from inheriting stale
    handles. *)
-let run_spec_profiled spec =
+let run_spec_profiled ?sample_dt spec =
   Metrics.reset ();
   preregister ();
+  (* Sampling is configured inside the (possibly worker-domain) call, so
+     a parallel batch samples exactly like a serial one; [disable] also
+     clears the series, bracketing like the metrics reset. *)
+  (match sample_dt with
+  | Some dt -> Timeseries.enable ~dt ()
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   let result = Experiments.run spec in
   let wall_s = Unix.gettimeofday () -. t0 in
   let metrics = Metrics.snapshot () in
+  let series =
+    match sample_dt with Some _ -> Timeseries.snapshot () | None -> []
+  in
+  Timeseries.disable ();
   Metrics.reset ();
   let events =
     match List.assoc_opt "engine.events" metrics with
@@ -263,28 +275,31 @@ let run_spec_profiled spec =
     | Some (Metrics.Gauge v) -> int_of_float v
     | Some _ | None -> 0
   in
-  (result, metrics, Profile.make ~events ~queue_capacity ~wall_s)
+  (result, metrics, series, Profile.make ~events ~queue_capacity ~wall_s)
 
-let run_specs_profiled ?(jobs = 1) specs =
-  parallel_map ~jobs run_spec_profiled specs
+let run_specs_profiled ?(jobs = 1) ?sample_dt specs =
+  parallel_map ~jobs (run_spec_profiled ?sample_dt) specs
 
 type row = {
   entry : entry;
   result : Experiments.result;
   metrics : (string * Metrics.value) list;
+  series : (string * (float * float) list) list;
   profile : Profile.t;
 }
 
-let run_batch ?(jobs = 1) ?(sinks = []) entries =
-  let outs = run_specs_profiled ~jobs (List.map (fun e -> e.spec) entries) in
+let run_batch ?(jobs = 1) ?sample_dt ?(sinks = []) entries =
+  let outs =
+    run_specs_profiled ~jobs ?sample_dt (List.map (fun e -> e.spec) entries)
+  in
   let rows =
     List.map2
-      (fun entry (result, metrics, profile) ->
-        { entry; result; metrics; profile })
+      (fun entry (result, metrics, series, profile) ->
+        { entry; result; metrics; series; profile })
       entries outs
   in
   List.iter
-    (fun { entry = e; result; metrics; profile } ->
+    (fun { entry = e; result; metrics; series; profile } ->
       let record =
         {
           Sink.name = e.name;
@@ -292,6 +307,7 @@ let run_batch ?(jobs = 1) ?(sinks = []) entries =
           spec = e.spec;
           result;
           metrics;
+          series;
           profile = Some profile;
         }
       in

@@ -39,35 +39,48 @@ val run_specs : ?jobs:int -> Spec.t list -> Experiments.result list
     after the batch drains. *)
 
 val run_spec_profiled :
-  Spec.t -> Experiments.result * (string * Mcc_obs.Metrics.value) list
-            * Mcc_obs.Profile.t
+  ?sample_dt:float ->
+  Spec.t ->
+  Experiments.result * (string * Mcc_obs.Metrics.value) list
+  * (string * (float * float) list) list
+  * Mcc_obs.Profile.t
 (** One isolated run bracketed by the per-run metrics protocol: the
     domain's registry is reset, a catalog of every metric the simulator
     can emit is preregistered (so snapshots share one schema across
     specs — a Plain-mode run still lists the sigma.* counters, at
     zero), the spec runs, and the snapshot plus an event-loop profile
-    are returned with the registry reset again.  Snapshots are fully
+    are returned with the registry reset again.  With [sample_dt],
+    time-series sampling ({!Mcc_obs.Timeseries}) is enabled at that
+    period for the duration of the run and the recorded series (sorted
+    by name) are the third component; without it the series list is
+    empty and sampling costs nothing.  Snapshots and series are fully
     deterministic; only the profile's wall-clock fields vary between
     executions. *)
 
 val run_specs_profiled :
   ?jobs:int ->
+  ?sample_dt:float ->
   Spec.t list ->
   (Experiments.result * (string * Mcc_obs.Metrics.value) list
+   * (string * (float * float) list) list
    * Mcc_obs.Profile.t)
   list
 (** {!run_spec_profiled} with the scheduling of {!run_specs}.  Each
-    domain's metrics registry is domain-local, so parallel runs cannot
-    bleed counts into each other. *)
+    domain's metrics registry and series store are domain-local, and
+    sampling is switched on inside the worker, so parallel runs cannot
+    bleed counts into each other and [--jobs N] series are
+    byte-identical to serial ones. *)
 
 type row = {
   entry : entry;
   result : Experiments.result;
   metrics : (string * Mcc_obs.Metrics.value) list;
+  series : (string * (float * float) list) list;
   profile : Mcc_obs.Profile.t;
 }
 
-val run_batch : ?jobs:int -> ?sinks:Sink.t list -> entry list -> row list
+val run_batch :
+  ?jobs:int -> ?sample_dt:float -> ?sinks:Sink.t list -> entry list -> row list
 (** {!run_specs_profiled} over a batch of registry entries; after all
     runs complete, each row is emitted to every sink in entry order.
     The caller retains ownership of the sinks (they are not closed). *)

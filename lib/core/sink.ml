@@ -1,5 +1,6 @@
 module Metrics = Mcc_obs.Metrics
 module Profile = Mcc_obs.Profile
+module Timeseries = Mcc_obs.Timeseries
 
 type record = {
   name : string;
@@ -7,6 +8,7 @@ type record = {
   spec : Spec.t;
   result : Experiments.result;
   metrics : (string * Metrics.value) list;
+  series : (string * (float * float) list) list;
   profile : Profile.t option;
 }
 
@@ -87,6 +89,28 @@ let to_file make path =
 
 let jsonl_file path = to_file jsonl path
 let csv_file path = to_file csv path
+
+(* One line per run, series only: the shape [mcc report] parses back.
+   The spec rides along so the report can recover attack_at and the
+   horizon without the original registry. *)
+let series_jsonl write =
+  let emit r =
+    if r.series <> [] then
+      write
+        (Json.to_string
+           (Json.Obj
+              [
+                ("name", Json.String r.name);
+                ("group", Json.String r.group);
+                ("kind", Json.String (Spec.kind r.spec));
+                ("spec", Spec.to_json r.spec);
+                ("series", Timeseries.snapshot_json r.series);
+              ])
+        ^ "\n")
+  in
+  { emit; close = (fun () -> ()) }
+
+let series_jsonl_file path = to_file series_jsonl path
 
 let pretty fmt =
   let emit r =

@@ -13,6 +13,9 @@ type record = {
   metrics : (string * Mcc_obs.Metrics.value) list;
       (** the run's metric snapshot, sorted by name ([] when the caller
           did not capture one) *)
+  series : (string * (float * float) list) list;
+      (** sampled time series, sorted by name ([] when the run was not
+          sampled) *)
   profile : Mcc_obs.Profile.t option;
       (** event-loop profile; its wall-clock fields are the only
           nondeterministic content of a record *)
@@ -44,6 +47,17 @@ val jsonl_file : string -> t
 
 val csv_file : string -> t
 (** [csv] writing to a file (truncated); [close] closes it. *)
+
+val series_jsonl : (string -> unit) -> t
+(** One JSON object per sampled record, newline-terminated:
+    [{"name":..., "group":..., "kind":..., "spec":{...},
+    "series":{"<series name>":[[t, v], ...], ...}}].  Records with no
+    series (unsampled runs) are skipped.  Fully deterministic, so
+    [--jobs 1] and [--jobs N] files are byte-identical; this is the
+    format [mcc report] consumes. *)
+
+val series_jsonl_file : string -> t
+(** [series_jsonl] writing to a file (truncated); [close] closes it. *)
 
 val pretty : Format.formatter -> t
 (** Human-readable rendering: a heading per record followed by the

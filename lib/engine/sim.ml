@@ -14,16 +14,6 @@ type t = {
   mutable reported : int;
 }
 
-let create () =
-  {
-    queue = Event_queue.create ();
-    clock = 0.;
-    executed = 0;
-    events_metric = Metrics.counter "engine.events";
-    queue_capacity_metric = Metrics.gauge "engine.queue_capacity";
-    reported = 0;
-  }
-
 (* Called when a run returns to its driver, not per event: the hot loop
    carries zero instrumentation cost. *)
 let flush_metrics t =
@@ -65,6 +55,31 @@ let every t ~start ~period f =
   outer.fire <- (fun () -> ());
   ignore (schedule t ~at:start (tick start));
   outer
+
+let create () =
+  let t =
+    {
+      queue = Event_queue.create ();
+      clock = 0.;
+      executed = 0;
+      events_metric = Metrics.counter "engine.events";
+      queue_capacity_metric = Metrics.gauge "engine.queue_capacity";
+      reported = 0;
+    }
+  in
+  (* The time-series clock hook: mcc_obs cannot depend on the engine, so
+     the dependency is inverted — when this domain has sampling enabled
+     ([Timeseries.enable ~dt]), the sim drives [Timeseries.sample_all]
+     through its own queue at that period.  Installed here, not lazily,
+     so the sample times of a spec are identical no matter which
+     components later register samplers. *)
+  (match Mcc_obs.Timeseries.dt () with
+  | Some period ->
+      ignore
+        (every t ~start:0. ~period (fun () ->
+             Mcc_obs.Timeseries.sample_all ~time:t.clock))
+  | None -> ());
+  t
 
 let step t =
   match Event_queue.pop t.queue with

@@ -8,6 +8,11 @@ type handle
 (** A scheduled event that can be cancelled. *)
 
 val create : unit -> t
+(** A fresh sim with an empty queue at clock 0.  If this domain has
+    time-series sampling enabled ({!Mcc_obs.Timeseries.enable}), the
+    sim installs a periodic task at the configured [dt] that feeds
+    [Timeseries.sample_all] with the simulated clock, so sampled series
+    are deterministic in simulated time, not wall clock. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)

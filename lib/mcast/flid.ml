@@ -15,6 +15,7 @@ module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
 module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
+module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
 
 type mode = Plain | Robust
@@ -683,6 +684,17 @@ let receiver_start ?(at = 0.) ?(behavior = Well_behaved) topo ~host ~prng
       r_collude_source = None;
     }
   in
+  (* Per-receiver trajectories (no-op unless sampling is on): goodput in
+     kbit/s and the current subscription level — the curves of the
+     paper's attack/recovery figures. *)
+  if Timeseries.enabled () then begin
+    let name suffix =
+      Printf.sprintf "flid.s%d.h%d.%s" config.id host.Node.id suffix
+    in
+    Timeseries.sample_rate ~scale:0.008 (name "goodput_kbps") (fun () ->
+        float_of_int (Meter.total_bytes r.r_meter));
+    Timeseries.sample_gauge (name "level") (fun () -> float_of_int r.r_level)
+  end;
   for g = 1 to n do
     Node.subscribe_local host ~group:(group_addr config g) (on_data r)
   done;

@@ -15,6 +15,7 @@ module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
 module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
+module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
 
 type config = {
@@ -512,6 +513,14 @@ let receiver_start ?(at = 0.) ?(behavior = Flid.Well_behaved) topo ~host ~prng
       r_stopped = false;
     }
   in
+  if Timeseries.enabled () then begin
+    let name suffix =
+      Printf.sprintf "rep.s%d.h%d.%s" config.id host.Node.id suffix
+    in
+    Timeseries.sample_rate ~scale:0.008 (name "goodput_kbps") (fun () ->
+        float_of_int (Meter.total_bytes r.r_meter));
+    Timeseries.sample_gauge (name "group") (fun () -> float_of_int r.r_group)
+  end;
   for g = 1 to n do
     Node.subscribe_local host ~group:(group_addr config g) (on_data r)
   done;

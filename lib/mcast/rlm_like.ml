@@ -14,6 +14,7 @@ module Special = Mcc_sigma.Special
 module Client = Mcc_sigma.Client
 module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
+module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
 
 type policy = Ladder | Equation
@@ -665,6 +666,14 @@ let receiver_start ?(at = 0.) topo ~host ~prng config =
       r_stopped = false;
     }
   in
+  if Timeseries.enabled () then begin
+    let name suffix =
+      Printf.sprintf "rlm.s%d.h%d.%s" config.id host.Node.id suffix
+    in
+    Timeseries.sample_rate ~scale:0.008 (name "goodput_kbps") (fun () ->
+        float_of_int (Meter.total_bytes r.r_meter));
+    Timeseries.sample_gauge (name "level") (fun () -> float_of_int r.r_level)
+  end;
   ignore r.r_prng;
   (match config.policy with
   | Equation ->

@@ -1,6 +1,7 @@
 module Sim = Mcc_engine.Sim
 module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
+module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
 
 type dst_kind = To_host | To_router | To_lan
@@ -74,34 +75,49 @@ let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
   if rate_bps <= 0. then invalid_arg "Link.create: rate_bps <= 0";
   if delay_s < 0. then invalid_arg "Link.create: negative delay";
   if buffer_bytes < 0 then invalid_arg "Link.create: negative buffer";
-  {
-    id;
-    src;
-    dst;
-    dst_kind;
-    rate_bps;
-    delay_s;
-    buffer_bytes;
-    buffer_packets;
-    ecn_threshold_bytes;
-    red = None;
-    sim;
-    queue = Queue.create ();
-    queued_bytes = 0;
-    busy = false;
-    rev = None;
-    deliver = (fun _ -> ());
-    on_event = None;
-    tx_packets = 0;
-    tx_bytes = 0;
-    enqueues = 0;
-    enqueue_bytes = 0;
-    drops = 0;
-    drop_bytes = 0;
-    marks = 0;
-    mark_bytes = 0;
-    metrics = link_metrics ();
-  }
+  let t =
+    {
+      id;
+      src;
+      dst;
+      dst_kind;
+      rate_bps;
+      delay_s;
+      buffer_bytes;
+      buffer_packets;
+      ecn_threshold_bytes;
+      red = None;
+      sim;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      busy = false;
+      rev = None;
+      deliver = (fun _ -> ());
+      on_event = None;
+      tx_packets = 0;
+      tx_bytes = 0;
+      enqueues = 0;
+      enqueue_bytes = 0;
+      drops = 0;
+      drop_bytes = 0;
+      marks = 0;
+      mark_bytes = 0;
+      metrics = link_metrics ();
+    }
+  in
+  (* Per-link time series (no-ops unless the run enabled sampling):
+     instantaneous queue depth plus drop and throughput rates — the
+     trajectories behind the paper's bottleneck figures. *)
+  if Timeseries.enabled () then begin
+    let name suffix = Printf.sprintf "link.%d.%s" id suffix in
+    Timeseries.sample_gauge (name "queue_bytes") (fun () ->
+        float_of_int t.queued_bytes);
+    Timeseries.sample_rate (name "drops_per_s") (fun () ->
+        float_of_int t.drops);
+    Timeseries.sample_rate ~scale:0.008 (name "tx_kbps") (fun () ->
+        float_of_int t.tx_bytes)
+  end;
+  t
 
 let tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
 

@@ -28,8 +28,18 @@ let create ?(seed = 12345) config =
     invalid_arg "Red.create: max_probability";
   if config.weight <= 0. || config.weight > 1. then
     invalid_arg "Red.create: weight";
-  { config; prng = Mcc_util.Prng.create seed; avg = 0.; mark_count = 0;
-    metric = Mcc_obs.Metrics.counter "red.marks" }
+  let t =
+    { config; prng = Mcc_util.Prng.create seed; avg = 0.; mark_count = 0;
+      metric = Mcc_obs.Metrics.counter "red.marks" }
+  in
+  (* The EWMA queue estimate over time (several gateways auto-suffix
+     "#2", "#3", ...); no-op unless the run enabled sampling. *)
+  if Mcc_obs.Timeseries.enabled () then begin
+    Mcc_obs.Timeseries.sample_gauge "red.avg_bytes" (fun () -> t.avg);
+    Mcc_obs.Timeseries.sample_rate "red.marks_per_s" (fun () ->
+        float_of_int t.mark_count)
+  end;
+  t
 
 let average t = t.avg
 let marks t = t.mark_count

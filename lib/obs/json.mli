@@ -28,3 +28,23 @@ val escape : string -> string
 
 val of_series : (float * float) list -> t
 (** A series as a list of [[x, y]] pairs. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (the inverse of {!to_string}): standard
+    JSON, no extensions.  Numbers without ['.'] or an exponent that fit
+    in [int] parse as [Int], all others as [Float].  [Error] carries a
+    byte offset plus a description.  This is what lets [mcc report] and
+    the bench baseline gate read back what the sinks wrote without an
+    external JSON dependency. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+
+val to_series : t -> (float * float) list option
+(** Inverse of {!of_series}: a list of [[x, y]] number pairs; [None] if
+    any element has another shape. *)

@@ -66,6 +66,12 @@ let set g v = g.value <- v
 let gauge_value g = g.value
 let set_gauge name v = set (gauge name) v
 
+let exponential_bounds ~base ~count =
+  if not (Float.is_finite base && base > 0.) then
+    invalid_arg "Metrics.exponential_bounds: base must be finite and positive";
+  if count < 1 then invalid_arg "Metrics.exponential_bounds: count must be >= 1";
+  List.init count (fun i -> base *. Float.pow 2. (float_of_int i))
+
 let histogram name ~bounds =
   let rec ascending = function
     | a :: (b :: _ as rest) -> a < b && ascending rest

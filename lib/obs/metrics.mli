@@ -47,6 +47,13 @@ val gauge_value : gauge -> float
 val set_gauge : string -> float -> unit
 (** [set (gauge name) v]. *)
 
+val exponential_bounds : base:float -> count:int -> float list
+(** [count] power-of-two bucket bounds starting at [base]:
+    [[base; 2*base; 4*base; ...]].  The standard shape for latency and
+    queue-depth histograms, replacing hand-written bucket lists.
+    @raise Invalid_argument if [base] is not finite and positive or
+    [count < 1]. *)
+
 val histogram : string -> bounds:float list -> histogram
 (** Fixed upper bucket bounds, strictly ascending; an observation lands
     in the first bucket whose bound is [>= v], or the overflow bucket.

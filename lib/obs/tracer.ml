@@ -27,13 +27,44 @@ let next_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let enabled () = !(Domain.DLS.get sinks) <> []
 
-(* A component filter matches exact names and dotted descendants:
-   "sigma" matches "sigma" and "sigma.router", not "sigmax". *)
+(* A component filter matches exact names and dotted descendants on
+   dotted boundaries only: "sigma" matches "sigma" and "sigma.router",
+   never "sigmax" or "sigmax.fec".  A trailing dot is stripped first, so
+   "sigma." (a natural way to type a prefix) behaves like "sigma"
+   instead of silently matching nothing. *)
+let strip_trailing_dots f =
+  let rec last i = if i > 0 && f.[i - 1] = '.' then last (i - 1) else i in
+  String.sub f 0 (last (String.length f))
+
 let component_matches ~filter component =
+  let filter = strip_trailing_dots filter in
   let lf = String.length filter and lc = String.length component in
-  lc >= lf
+  lf > 0
+  && lc >= lf
   && String.sub component 0 lf = filter
   && (lc = lf || component.[lf] = '.')
+
+(* Filter strings come straight from the CLI; a typo like "" or
+   "sigma..router" would otherwise install a sink that silently matches
+   nothing.  [check_component] is the shared validator. *)
+let check_component filter =
+  let has_space s = String.exists (fun c -> c = ' ' || c = '\t') s in
+  if String.trim filter = "" then
+    Error "component filter must not be empty or whitespace"
+  else if has_space filter then
+    Error
+      (Printf.sprintf "component filter %S must not contain whitespace" filter)
+  else
+    let body = strip_trailing_dots filter in
+    if List.exists (fun seg -> seg = "") (String.split_on_char '.' body) then
+      Error
+        (Printf.sprintf "component filter %S has an empty dotted segment" filter)
+    else Ok ()
+
+let check_components filters =
+  List.fold_left
+    (fun acc f -> match acc with Error _ -> acc | Ok () -> check_component f)
+    (Ok ()) filters
 
 let wants s ~level ~component =
   level_rank level >= level_rank s.min_level

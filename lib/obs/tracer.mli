@@ -54,6 +54,21 @@ val install :
 val remove : sink -> unit
 (** Uninstall (idempotent) and flush. *)
 
+val component_matches : filter:string -> string -> bool
+(** Dotted-prefix matching on component boundaries: filter ["sigma"]
+    matches ["sigma"] and ["sigma.router"], never ["sigmax"] or
+    ["sigmax.fec"].  A trailing dot on the filter is ignored, so
+    ["sigma."] behaves like ["sigma"]. *)
+
+val check_component : string -> (unit, string) result
+(** Validate one component filter string (CLI [--filter] values): empty
+    or whitespace strings and empty dotted segments (["sigma..router"])
+    are rejected with a descriptive error instead of silently matching
+    nothing.  A single trailing dot is accepted as prefix notation. *)
+
+val check_components : string list -> (unit, string) result
+(** First error of {!check_component} over the list, or [Ok ()]. *)
+
 val record_json : record -> Json.t
 (** [{"t":..., "level":..., "component":..., "event":..., "attrs":{...}}];
     ["attrs"] is omitted when empty. *)

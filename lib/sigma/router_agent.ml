@@ -8,6 +8,7 @@ module Key = Mcc_delta.Key
 
 module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
+module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
 
 let log_src = Logs.Src.create "mcc.sigma" ~doc:"SIGMA edge-router agent"
@@ -127,8 +128,29 @@ let tallies_create () =
     m_guesses = Metrics.counter "sigma.guesses";
     h_subscribe_pairs =
       Metrics.histogram "sigma.subscribe_pairs"
-        ~bounds:[ 1.; 2.; 4.; 8.; 16. ];
+        ~bounds:(Metrics.exponential_bounds ~base:1. ~count:5);
   }
+
+(* One receiver's run of rejected keys: opened at the first invalid
+   (group, key) pair, extended by every further rejection, closed by the
+   next fully valid Subscribe.  The span boundaries are also emitted as
+   Warn-level "key_failure_start"/"key_failure_end" trace events, which
+   is what [mcc report] reads back as the attack timeline. *)
+type failure_span = {
+  f_receiver : int;
+  f_first : float;
+  mutable f_last : float;
+  mutable f_rejects : int;
+  mutable f_ended : float option;
+}
+
+type key_failure = {
+  kf_receiver : int;
+  kf_first : float;
+  kf_last : float;
+  kf_rejects : int;
+  kf_ended : float option;
+}
 
 type t = {
   topo : Topology.t;
@@ -151,13 +173,15 @@ type t = {
          (paper Section 4.2, collusion resistance) *)
   mutable scrubber : (Link.t -> Packet.t -> unit) option;
   tallies : tallies;
+  failures : (int, failure_span) Hashtbl.t;  (* open spans, by receiver *)
+  mutable closed_failures : failure_span list;  (* newest first *)
 }
 
 let now t = Sim.now (Topology.sim t.topo)
 
-let trace t event attrs =
+let trace ?level t event attrs =
   if Tracer.enabled () then
-    Tracer.emit ~sim_time:(now t) ~component:"sigma.router" ~event
+    Tracer.emit ?level ~sim_time:(now t) ~component:"sigma.router" ~event
       (fun () -> ("router", Json.Int t.node.Node.id) :: attrs ())
 
 let group_info t group =
@@ -342,6 +366,8 @@ let store_tuples t ~slot ~slot_duration tuples =
                   time +. (t.config.lockout_slots *. slot_duration);
                 t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
                 Metrics.incr t.tallies.m_lockouts;
+                Timeseries.record "sigma.evictions" ~time
+                  ~value:(float_of_int tuple.Tuple.group);
                 trace t "lockout" (fun () ->
                     [ ("group", Json.Int tuple.Tuple.group) ]);
                 prune_iface t iface tuple.Tuple.group
@@ -454,6 +480,16 @@ let guess_count t ~group ~slot =
 let total_guesses t =
   Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.guesses 0
 
+let failure_audit t =
+  let view s =
+    { kf_receiver = s.f_receiver; kf_first = s.f_first; kf_last = s.f_last;
+      kf_rejects = s.f_rejects; kf_ended = s.f_ended }
+  in
+  let open_spans = Hashtbl.fold (fun _ s acc -> view s :: acc) t.failures [] in
+  List.sort
+    (fun a b -> compare (a.kf_first, a.kf_receiver) (b.kf_first, b.kf_receiver))
+    (List.rev_map view t.closed_failures @ open_spans)
+
 let stats t =
   let fec_dups =
     Hashtbl.fold (fun _ d acc -> acc + Fec.duplicates d) t.decoders 0
@@ -532,6 +568,33 @@ let handle_subscribe t ~receiver ~slot ~pairs =
         Log.debug (fun m ->
             m "t=%.3f router %d: %d invalid key(s) from receiver %d for slot %d"
               (now t) t.node.Node.id denied receiver slot);
+      (* Key-failure audit: track each receiver's run of rejections as a
+         span.  Warn-level start/end events give the forensics report
+         exact attack boundaries in sim time. *)
+      (if denied > 0 then
+         match Hashtbl.find_opt t.failures receiver with
+         | Some span ->
+             span.f_last <- time;
+             span.f_rejects <- span.f_rejects + denied
+         | None ->
+             Hashtbl.replace t.failures receiver
+               { f_receiver = receiver; f_first = time; f_last = time;
+                 f_rejects = denied; f_ended = None };
+             trace ~level:Tracer.Warn t "key_failure_start" (fun () ->
+                 [ ("receiver", Json.Int receiver);
+                   ("rejected", Json.Int denied) ])
+       else
+         match Hashtbl.find_opt t.failures receiver with
+         | Some span when accepted <> [] ->
+             span.f_ended <- Some time;
+             Hashtbl.remove t.failures receiver;
+             t.closed_failures <- span :: t.closed_failures;
+             trace ~level:Tracer.Warn t "key_failure_end" (fun () ->
+                 [ ("receiver", Json.Int receiver);
+                   ("start", Json.Float span.f_first);
+                   ("rejected", Json.Int span.f_rejects);
+                   ("duration", Json.Float (time -. span.f_first)) ])
+         | Some _ | None -> ());
       List.iter
         (fun (group, _) ->
           let gi = Hashtbl.find t.groups group in
@@ -647,6 +710,8 @@ let sweep t =
               grant.by_join <- false;
               t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
               Metrics.incr t.tallies.m_lockouts;
+              Timeseries.record "sigma.evictions" ~time
+                ~value:(float_of_int group);
               trace t "lockout" (fun () -> [ ("group", Json.Int group) ])
             end;
             prune_iface t iface group
@@ -728,8 +793,27 @@ let attach ?(config = default_config) topo node =
       pads = Hashtbl.create 256;
       scrubber = None;
       tallies = tallies_create ();
+      failures = Hashtbl.create 8;
+      closed_failures = [];
     }
   in
+  (* SIGMA forensics trajectories (no-op unless the run enabled
+     sampling); per-router names avoid "#2" suffixes when both edges of
+     a dumbbell run an agent.  "sigma.evictions" is event-driven (see
+     the lockout sites) and shared, sim time being globally monotone. *)
+  if Timeseries.enabled () then begin
+    let name suffix = Printf.sprintf "sigma.r%d.%s" node.Node.id suffix in
+    Timeseries.sample_rate (name "guesses_per_s") (fun () ->
+        float_of_int (total_guesses t));
+    Timeseries.sample_rate (name "keys_rejected_per_s") (fun () ->
+        float_of_int t.tallies.t_keys_rejected);
+    Timeseries.sample_rate (name "grace_admissions_per_s") (fun () ->
+        float_of_int t.tallies.t_grace_admissions);
+    Timeseries.sample_rate (name "suppressed_joins_per_s") (fun () ->
+        float_of_int t.tallies.t_dup_joins);
+    Timeseries.sample_rate (name "lockouts_per_s") (fun () ->
+        float_of_int t.tallies.t_lockouts)
+  end;
   node.Node.intercept <- Some (on_special t);
   node.Node.mcast_filter <- Some (filter t);
   node.Node.on_forward <- Some (on_forward t);

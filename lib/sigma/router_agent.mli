@@ -75,6 +75,25 @@ val total_guesses : t -> int
     contribute only when the router's keystore has gaps (lost special
     packets), which makes this a sensitive FEC-quality metric. *)
 
+(** One receiver's contiguous run of rejected keys: opened by the first
+    Subscribe carrying an invalid (group, key) pair, extended by every
+    further rejection, closed ([kf_ended = Some t]) by the receiver's
+    next fully valid Subscribe — or left open if it never recovers.
+    The boundaries are also emitted as Warn-level "key_failure_start" /
+    "key_failure_end" trace events on "sigma.router", the raw material
+    of the [mcc report] attack timeline. *)
+type key_failure = {
+  kf_receiver : int;
+  kf_first : float;  (** sim time of the first rejection *)
+  kf_last : float;  (** sim time of the latest rejection *)
+  kf_rejects : int;  (** total rejected pairs in the span *)
+  kf_ended : float option;
+}
+
+val failure_audit : t -> key_failure list
+(** Every key-failure span seen so far, closed and still-open, ordered
+    by start time. *)
+
 (** Lifetime activity of one agent, in one read.  The same quantities
     are published continuously to the domain's metrics registry under
     "sigma.*" names (subscriptions, keys_accepted, keys_rejected, acks,

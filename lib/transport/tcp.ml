@@ -244,7 +244,7 @@ let start ?(config = default_config) ?(at = 0.) topo ~flow ~src ~dst () =
       m_rto_fires = Metrics.counter "tcp.rto_fires";
       h_rtt_ms =
         Metrics.histogram "tcp.rtt_ms"
-          ~bounds:[ 10.; 30.; 60.; 100.; 150.; 250.; 500.; 1000. ];
+          ~bounds:(Metrics.exponential_bounds ~base:10. ~count:8);
     }
   in
   Mux.add_handler (Mux.of_node dst) (fun pkt ->

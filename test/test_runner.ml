@@ -199,7 +199,7 @@ let test_jsonl_sink_shape () =
         E.Partial
           { E.protected_attacker_kbps = 1.; unprotected_attacker_kbps = 2.;
             honest_kbps = Float.nan };
-      metrics = []; profile = None }
+      metrics = []; series = []; profile = None }
   in
   Sink.emit sink record;
   Sink.close sink;
@@ -231,7 +231,7 @@ let test_csv_sink_shape () =
         E.Partial
           { E.protected_attacker_kbps = 1.25; unprotected_attacker_kbps = 2.;
             honest_kbps = 3. };
-      metrics = []; profile = None }
+      metrics = []; series = []; profile = None }
   in
   Sink.emit sink record;
   Sink.close sink;
