@@ -551,6 +551,32 @@ let ecn () =
     [ ("drop-tail", false); ("ecn", true) ];
   Format.fprintf fmt "@."
 
+(* Attack-evaluation matrix (reduced grid): two strategies against
+   FLID, undefended vs DELTA+SIGMA, through the same batch runner as
+   the figures — so the events/s gate also covers the adversary
+   scenarios (bare attackers, SIGMA control traffic, lockouts). *)
+let matrix () =
+  Report.heading fmt
+    "Attack matrix (reduced): inflate & grace-churn vs FLID, plain vs \
+     DELTA+SIGMA";
+  let entries =
+    Mcc_attack.Matrix.entries
+      ~attacks:
+        [ Spec.Persistent_inflation; Spec.Grace_churn { period_slots = 2.5 } ]
+      ~protocols:[ Spec.Flid_ds ]
+      ~defences:[ Spec.Undefended; Spec.Delta_sigma ]
+      ()
+  in
+  let entries =
+    List.map (fun e -> { e with Runner.spec = q e.Runner.spec }) entries
+  in
+  let rows = Mcc_attack.Matrix.run ~jobs:!jobs entries in
+  List.iter
+    (fun (row : Runner.row) ->
+      events_total := !events_total + row.Runner.profile.Profile.events)
+    rows;
+  Format.fprintf fmt "%s@." (Mcc_attack.Scorecard.to_string rows)
+
 (* --- Bechamel microbenchmarks ------------------------------------------ *)
 
 let micro () =
@@ -652,6 +678,7 @@ let all_figs =
     ("protocols", protocols);
     ("collusion", collusion);
     ("ecn", ecn);
+    ("matrix", matrix);
     ("ablation-fec", ablation_fec);
     ("ablation-grace", ablation_grace);
     ("ablation-slot", ablation_slot);

@@ -485,6 +485,134 @@ let trace_cmd =
           one JSON record per event.")
     Term.(const run $ only_arg $ out $ filters $ level $ quick_arg)
 
+let matrix_cmd =
+  let pick ~what ~str ~catalogue names =
+    match names with
+    | [] -> catalogue
+    | names ->
+        List.map
+          (fun name ->
+            match List.find_opt (fun k -> str k = name) catalogue with
+            | Some k -> k
+            | None ->
+                Printf.eprintf "mcc matrix: unknown %s %S (choose from %s)\n"
+                  what name
+                  (String.concat ", " (List.map str catalogue));
+                exit 2)
+          names
+  in
+  let run jobs quick seed duration attack_at attacks protocols defences json
+      csv out quiet =
+    let attacks =
+      pick ~what:"attack" ~str:Spec.attack_str
+        ~catalogue:Mcc_attack.Matrix.default_attacks attacks
+    in
+    let protocols =
+      pick ~what:"protocol" ~str:Spec.protocol_str
+        ~catalogue:Mcc_attack.Matrix.default_protocols protocols
+    in
+    let defences =
+      pick ~what:"defence" ~str:Spec.defence_str
+        ~catalogue:Mcc_attack.Matrix.default_defences defences
+    in
+    let entries =
+      Mcc_attack.Matrix.entries ~seed ~duration ~attack_at ~attacks ~protocols
+        ~defences ()
+    in
+    let entries =
+      if quick then
+        List.map
+          (fun (e : Runner.entry) ->
+            { e with Runner.spec = Spec.scale_time e.Runner.spec ~factor:0.25 })
+          entries
+      else entries
+    in
+    let sinks =
+      try
+        (match json with None -> [] | Some path -> [ Sink.jsonl_file path ])
+        @ match csv with None -> [] | Some path -> [ Sink.csv_file path ]
+      with Sys_error msg ->
+        Printf.eprintf "mcc matrix: cannot open sink: %s\n" msg;
+        exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    let rows = Mcc_attack.Matrix.run ~jobs ~sinks entries in
+    List.iter Sink.close sinks;
+    let write, close = output_writer ~cmd:"matrix" out in
+    write (Mcc_attack.Scorecard.to_string rows);
+    close ();
+    if not quiet then
+      Format.fprintf fmt "[%d matrix cells in %.1fs, jobs=%d%s]@."
+        (List.length rows)
+        (Unix.gettimeofday () -. t0)
+        jobs
+        (match out with "-" -> "" | path -> "; scorecard: " ^ path)
+  in
+  let list_opt names doc =
+    Arg.(value & opt (list string) [] & info names ~docv:"NAME,..." ~doc)
+  in
+  let attacks =
+    list_opt [ "attacks" ]
+      "Attack strategies to run (default all): $(b,inflate), $(b,pulse), \
+       $(b,guess), $(b,replay), $(b,churn), $(b,collude)."
+  in
+  let protocols =
+    list_opt [ "protocols" ]
+      "Protocols to attack (default all): $(b,flid), $(b,rlm), \
+       $(b,replicated)."
+  in
+  let defences =
+    list_opt [ "defences" ]
+      "Defences to evaluate (default all): $(b,plain), $(b,delta), \
+       $(b,delta+sigma), $(b,delta+sigma+ecn)."
+  in
+  let attack_at =
+    Arg.(
+      value
+      & opt float Spec.default_adversary.Spec.attack_at
+      & info [ "attack-at" ] ~docv:"SECONDS"
+          ~doc:"Time at which every cell's adversary activates.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write one JSON object per cell (byte-identical for any \
+             $(b,--jobs)).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Write per-cell damage metrics as name,group,metric,value rows.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:
+            "Markdown scorecard destination; $(b,-) (default) writes to \
+             stdout.")
+  in
+  let quiet =
+    Arg.(
+      value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress line.")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run the attack x protocol x defence evaluation matrix and render \
+          the Markdown scorecard ranking defences per attack.")
+    Term.(
+      const run $ jobs $ quick_arg
+      $ seed Spec.default_adversary.Spec.seed
+      $ duration Spec.default_adversary.Spec.duration
+      $ attack_at $ attacks $ protocols $ defences $ json $ csv $ out $ quiet)
+
 let report_cmd =
   let read_lines path =
     match open_in path with
@@ -589,6 +717,7 @@ let main =
       convergence_cmd;
       overhead_cmd;
       partial_cmd;
+      matrix_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -61,6 +61,20 @@ print("series smoke ok")
 EOF
 fi
 
+# Attack-matrix smoke: a tiny grid at full duration (containment needs
+# the real horizon), scorecard showing the paper's headline, and the
+# JSONL byte-identical across job counts.
+dune exec bin/mcc.exe -- matrix --attacks inflate --protocols flid \
+  --defences plain,delta+sigma --json /tmp/matrix1.jsonl \
+  --out /tmp/scorecard.md --quiet
+dune exec bin/mcc.exe -- matrix --attacks inflate --protocols flid \
+  --defences plain,delta+sigma --jobs 2 --json /tmp/matrix2.jsonl --quiet
+cmp /tmp/matrix1.jsonl /tmp/matrix2.jsonl
+test -s /tmp/scorecard.md
+grep -q "BREACH" /tmp/scorecard.md
+grep -q "contained" /tmp/scorecard.md
+grep -q "DELTA+SIGMA contains every attack" /tmp/scorecard.md
+
 # Bench regression gate: a baseline saved by the same run must compare
 # clean against itself.
 dune exec bench/main.exe -- --quick fig9b --save-baseline /tmp/bench-baseline.json

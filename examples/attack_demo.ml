@@ -7,15 +7,37 @@
    Run with:  dune exec examples/attack_demo.exe *)
 
 module Scenario = Mcc_core.Scenario
+module Defaults = Mcc_core.Defaults
 module Forensics = Mcc_core.Forensics
 module Flid = Mcc_mcast.Flid
 module Tcp = Mcc_transport.Tcp
 module Meter = Mcc_util.Meter
+module Prng = Mcc_util.Prng
 module Router_agent = Mcc_sigma.Router_agent
+module Strategy = Mcc_attack.Strategy
+module Spec = Mcc_core.Spec
 module Timeseries = Mcc_obs.Timeseries
 
 let attack_at = 100.
 let horizon = 200.
+
+(* F1's misbehaviour comes from the attack subsystem: the
+   persistent-inflation strategy (paper §3.1) adapted into a session
+   member.  Under Plain mode the member degrades to the IGMP
+   join-everything attack; under Robust it guesses keys for the groups
+   it is not eligible for. *)
+let inflater ~mode =
+  let strat = Strategy.of_kind Spec.Persistent_inflation in
+  let slot_duration =
+    match mode with
+    | Flid.Plain -> Defaults.flid_dl_slot
+    | Flid.Robust -> Defaults.flid_ds_slot
+  in
+  let inst =
+    strat.Strategy.instantiate ~attack_at ~slot_duration
+      ~prng:(Prng.create 7919)
+  in
+  Flid.Adversarial (Strategy.member inst)
 
 let run ~mode =
   (* Enable sampling before the scenario builds its Sim: the event loop
@@ -24,7 +46,7 @@ let run ~mode =
   let t = Scenario.create ~seed:7 ~bottleneck_rate_bps:1_000_000. () in
   let f1 =
     Scenario.add_multicast t ~mode
-      ~receivers:[ Scenario.receiver ~behavior:(Flid.Inflate_after attack_at) () ]
+      ~receivers:[ Scenario.receiver ~behavior:(inflater ~mode) () ]
       ()
   in
   let f2 = Scenario.add_multicast t ~mode ~receivers:[ Scenario.receiver () ] () in

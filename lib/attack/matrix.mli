@@ -1,0 +1,52 @@
+(** The defence-evaluation matrix: attack × protocol × defence cells.
+
+    Each cell is one {!Mcc_core.Spec.Adversary} experiment — a 1 Mbps
+    dumbbell carrying the attacked session, an honest victim session of
+    the same protocol, and one TCP flow — whose result is the cell's
+    damage metrics ({!Mcc_core.Experiments.adversary_result}): honest
+    goodput loss, attacker gain in fair shares, and time to containment.
+
+    Cells run through the ordinary {!Mcc_core.Runner} batch machinery,
+    so a matrix parallelises across domains and its sink output is
+    byte-identical for any [--jobs].  Linking this module registers
+    {!run_cell} as the [Spec.Adversary] implementation
+    ({!Mcc_core.Experiments.set_adversary_impl}). *)
+
+val run_cell :
+  Mcc_core.Spec.adversary_params -> Mcc_core.Experiments.adversary_result
+(** Simulate one cell.  Defence mapping: [Undefended] = both sessions
+    Plain, no agent; [Delta_only] = Robust senders behind a legacy edge
+    (keys in band, nothing enforced, receivers on IGMP); [Delta_sigma] =
+    SIGMA agent with interface-specific keys; [Delta_sigma_ecn] adds ECN
+    marking and component scrubbing.  The adversary is a session member
+    for FLID member attacks, a standalone bare attacker otherwise. *)
+
+val default_attacks : Mcc_core.Spec.attack_kind list
+(** All six strategies at catalogue parameters. *)
+
+val default_protocols : Mcc_core.Spec.protocol list
+val default_defences : Mcc_core.Spec.defence list
+
+val entries :
+  ?seed:int ->
+  ?duration:float ->
+  ?attack_at:float ->
+  ?attacks:Mcc_core.Spec.attack_kind list ->
+  ?protocols:Mcc_core.Spec.protocol list ->
+  ?defences:Mcc_core.Spec.defence list ->
+  unit ->
+  Mcc_core.Runner.entry list
+(** The grid as runner entries named
+    ["matrix-<attack>-<protocol>-<defence>"], all in group ["matrix"]
+    (attack-major, defence-minor order).  Defaults come from
+    {!Mcc_core.Spec.default_adversary} and the [default_*] lists. *)
+
+val run :
+  ?jobs:int ->
+  ?sample_dt:float ->
+  ?sinks:Mcc_core.Sink.t list ->
+  Mcc_core.Runner.entry list ->
+  Mcc_core.Runner.row list
+(** [Runner.run_batch] with the (nondeterministic) wall-clock profile
+    stripped from every record — sinks are fed in entry order whatever
+    [jobs] is, so matrix files are byte-identical across job counts. *)

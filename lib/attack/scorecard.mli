@@ -1,0 +1,16 @@
+(** Markdown scorecard over a matrix run: one table per protocol
+    (attack rows × defence columns, each cell a containment verdict
+    with the damage metrics), a per-attack ranking of defences, and the
+    headline claim — whether DELTA+SIGMA contained every attack.
+
+    Rows that are not adversary cells are ignored, so the scorecard can
+    be fed a mixed batch.  Output is deterministic: same rows, same
+    bytes. *)
+
+val verdict : Mcc_core.Experiments.adversary_result -> string
+(** One cell's verdict, e.g. ["contained 12s (gain 0.3x, honest -2%)"]
+    or ["BREACH (gain 3.1x, honest -64%)"]. *)
+
+val render : Format.formatter -> Mcc_core.Runner.row list -> unit
+
+val to_string : Mcc_core.Runner.row list -> string

@@ -190,7 +190,7 @@ type partial_result = {
 }
 
 let run_partial (p : Spec.partial_params) =
-  let { Spec.seed; duration; attack_at } = p in
+  let ({ Spec.seed; duration; attack_at } : Spec.partial_params) = p in
   let module Sim = Mcc_engine.Sim in
   let module Topology = Mcc_net.Topology in
   let module Node = Mcc_net.Node in
@@ -339,6 +339,40 @@ let run_overhead (p : Spec.overhead_params) =
     sigma_measured = 100. *. measured_sigma;
   }
 
+(* --- Adversary cells (defence-evaluation matrix) ------------------------ *)
+
+type adversary_result = {
+  honest_before_kbps : float;  (** honest receiver before the attack *)
+  honest_after_kbps : float;  (** honest receiver once the attack runs *)
+  honest_loss_pct : float;  (** 100 * (1 - after / before), clamped at 0 *)
+  attacker_kbps : float;  (** adversary goodput during the attack *)
+  attacker_gain : float;  (** attacker_kbps / fair share *)
+  containment_s : float option;
+      (** seconds from attack start until the adversary's goodput drops
+          to (and stays within) 1.5 fair shares; None = never contained *)
+  tcp_kbps : float;  (** the competing TCP flow during the attack *)
+  keys_rejected : int;  (** edge-router stats; 0 without an agent *)
+  lockouts : int;
+  grace_admissions : int;
+}
+
+(* The cell runner lives in Mcc_attack (it needs Scenario *and* the
+   strategy library), which depends on this library; the dispatch below
+   reaches it through this hook, registered when Mcc_attack.Matrix is
+   linked. *)
+let adversary_impl : (Spec.adversary_params -> adversary_result) option ref =
+  ref None
+
+let set_adversary_impl f = adversary_impl := Some f
+
+let run_adversary p =
+  match !adversary_impl with
+  | Some f -> f p
+  | None ->
+      failwith
+        "Spec.Adversary requires the attack subsystem: link the mcc_attack \
+         library (module Mcc_attack.Matrix) into the executable"
+
 (* --- Spec dispatch ------------------------------------------------------ *)
 
 type result =
@@ -349,6 +383,7 @@ type result =
   | Convergence of series list
   | Overhead of overhead_point
   | Partial of partial_result
+  | Adversary of adversary_result
 
 let run = function
   | Spec.Attack p -> Attack (run_attack p)
@@ -358,49 +393,4 @@ let run = function
   | Spec.Convergence p -> Convergence (run_convergence p)
   | Spec.Overhead p -> Overhead (run_overhead p)
   | Spec.Partial p -> Partial (run_partial p)
-
-(* --- Deprecated optional-argument wrappers ------------------------------ *)
-
-let attack ?(seed = 7) ?(duration = 200.) ?(attack_at = 100.) ~mode () =
-  run_attack { Spec.seed; duration; attack_at; mode }
-
-let throughput_vs_sessions ?(seed = 11) ?(duration = 200.)
-    ?(cross_traffic = false) ~mode ~counts () =
-  List.map
-    (fun sessions ->
-      (* The legacy API offset the scenario seed by the session count so
-         sweep points would not share traffic phases; each point's spec
-         carries the combined seed directly. *)
-      run_sweep
-        { Spec.seed = seed + sessions; duration; sessions; cross_traffic; mode })
-    counts
-
-let responsiveness ?(seed = 19) ?(duration = 100.) ~mode () =
-  run_responsiveness
-    { Spec.default_responsiveness with Spec.seed; duration; mode }
-
-let rtt_fairness ?(seed = 23) ?(duration = 200.) ?(receivers = 20) ~mode () =
-  run_rtt { Spec.seed; duration; receivers; mode }
-
-let convergence ?(seed = 29) ?(duration = 40.)
-    ?(join_times = [ 0.; 10.; 20.; 30. ]) ~mode () =
-  run_convergence { Spec.seed; duration; join_times; mode }
-
-let partial_deployment ?(seed = 37) ?(duration = 120.) ?(attack_at = 40.) () =
-  run_partial { Spec.seed; duration; attack_at }
-
-let overhead_vs_groups ?(seed = 31) ?(duration = 30.)
-    ?(groups_list = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]) () =
-  List.map
-    (fun groups ->
-      run_overhead
-        { Spec.seed; duration; groups; slot = 0.25; axis = Spec.Groups })
-    groups_list
-
-let overhead_vs_slot ?(seed = 31) ?(duration = 30.)
-    ?(slots = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
-  List.map
-    (fun slot ->
-      run_overhead
-        { Spec.seed; duration; groups = 10; slot; axis = Spec.Slot })
-    slots
+  | Spec.Adversary p -> Adversary (run_adversary p)

@@ -9,9 +9,9 @@
     single entry point the {!Runner} executes — one call, one isolated
     simulation, no shared mutable state between calls.
 
-    The legacy optional-argument entry points are kept as thin
-    deprecated wrappers for one release; new code should build a spec
-    record (start from the [Spec.default_*] values) instead. *)
+    Build specs from the [Spec.default_*] records with update syntax;
+    the pre-spec optional-argument wrappers were removed after their
+    one-release deprecation window. *)
 
 type series = (float * float) list
 
@@ -106,6 +106,34 @@ val run_overhead : Spec.overhead_params -> overhead_point
 (** FLID-DS session at cumulative rate 4 Mbps, 500-byte packets, 16-bit
     keys; the spec's [axis] picks which parameter lands in [x]. *)
 
+(** {1 Adversary cells (defence-evaluation matrix)} *)
+
+type adversary_result = {
+  honest_before_kbps : float;  (** honest receiver before the attack *)
+  honest_after_kbps : float;  (** honest receiver once the attack runs *)
+  honest_loss_pct : float;  (** 100 * (1 - after / before), clamped at 0 *)
+  attacker_kbps : float;  (** adversary goodput during the attack *)
+  attacker_gain : float;  (** [attacker_kbps] / fair share *)
+  containment_s : float option;
+      (** seconds from attack start until the adversary's goodput drops
+          to (and stays within) 1.5 fair shares; [None] = never
+          contained within the horizon *)
+  tcp_kbps : float;  (** the competing TCP flow during the attack *)
+  keys_rejected : int;  (** edge-router stats; 0 without an agent *)
+  lockouts : int;
+  grace_admissions : int;
+}
+(** Per-cell damage metrics of the attack × protocol × defence matrix. *)
+
+val run_adversary : Spec.adversary_params -> adversary_result
+(** One matrix cell.  Implemented by [Mcc_attack.Matrix] (which depends
+    on this library and needs the strategy library); raises [Failure]
+    if the [mcc_attack] library is not linked into the executable. *)
+
+val set_adversary_impl : (Spec.adversary_params -> adversary_result) -> unit
+(** Registers the cell runner; called by [Mcc_attack.Matrix] at module
+    initialisation.  Not for general use. *)
+
 (** {1 Spec dispatch} *)
 
 type result =
@@ -116,71 +144,9 @@ type result =
   | Convergence of series list
   | Overhead of overhead_point
   | Partial of partial_result
+  | Adversary of adversary_result
 
 val run : Spec.t -> result
 (** Runs the experiment a spec describes.  Deterministic: the result is
     a pure function of the spec.  Each call owns its simulator and PRNG
     state, so concurrent calls from different domains do not interact. *)
-
-(** {1 Deprecated wrappers (pre-spec API)}
-
-    Thin shims over the [run_*] functions above, preserved for one
-    release so external callers keep compiling.  Defaults are the
-    paper's. *)
-
-val attack :
-  ?seed:int ->
-  ?duration:float ->
-  ?attack_at:float ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  attack_result
-[@@deprecated "Use run_attack with a Spec.attack_params record."]
-
-val throughput_vs_sessions :
-  ?seed:int ->
-  ?duration:float ->
-  ?cross_traffic:bool ->
-  mode:Mcc_mcast.Flid.mode ->
-  counts:int list ->
-  unit ->
-  sweep_point list
-[@@deprecated
-  "Use run_sweep with one Spec.sweep_params record per session count."]
-
-val responsiveness :
-  ?seed:int -> ?duration:float -> mode:Mcc_mcast.Flid.mode -> unit ->
-  responsiveness_result
-[@@deprecated "Use run_responsiveness with a Spec.responsiveness_params record."]
-
-val rtt_fairness :
-  ?seed:int ->
-  ?duration:float ->
-  ?receivers:int ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  (float * float) list
-[@@deprecated "Use run_rtt with a Spec.rtt_params record."]
-
-val convergence :
-  ?seed:int ->
-  ?duration:float ->
-  ?join_times:float list ->
-  mode:Mcc_mcast.Flid.mode ->
-  unit ->
-  series list
-[@@deprecated "Use run_convergence with a Spec.convergence_params record."]
-
-val partial_deployment :
-  ?seed:int -> ?duration:float -> ?attack_at:float -> unit -> partial_result
-[@@deprecated "Use run_partial with a Spec.partial_params record."]
-
-val overhead_vs_groups :
-  ?seed:int -> ?duration:float -> ?groups_list:int list -> unit ->
-  overhead_point list
-[@@deprecated "Use run_overhead with one Spec.overhead_params record per point."]
-
-val overhead_vs_slot :
-  ?seed:int -> ?duration:float -> ?slots:float list -> unit ->
-  overhead_point list
-[@@deprecated "Use run_overhead with one Spec.overhead_params record per point."]

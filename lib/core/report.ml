@@ -73,6 +73,29 @@ let partial fmt (r : Experiments.partial_result) =
     [ ("kbps", r.Experiments.unprotected_attacker_kbps) ];
   row fmt "honest receiver" [ ("kbps", r.Experiments.honest_kbps) ]
 
+let adversary fmt (r : Experiments.adversary_result) =
+  row fmt "honest receiver"
+    [
+      ("before", r.Experiments.honest_before_kbps);
+      ("during-attack", r.Experiments.honest_after_kbps);
+      ("loss%", r.Experiments.honest_loss_pct);
+    ];
+  row fmt "adversary"
+    [
+      ("kbps", r.Experiments.attacker_kbps);
+      ("gain-x-fair", r.Experiments.attacker_gain);
+    ];
+  row fmt "tcp" [ ("kbps", r.Experiments.tcp_kbps) ];
+  row fmt "edge router"
+    [
+      ("keys_rejected", float_of_int r.Experiments.keys_rejected);
+      ("lockouts", float_of_int r.Experiments.lockouts);
+      ("grace_admissions", float_of_int r.Experiments.grace_admissions);
+    ];
+  (match r.Experiments.containment_s with
+  | Some s -> Format.fprintf fmt "contained %.1fs after attack start@." s
+  | None -> Format.fprintf fmt "never contained within the horizon@.")
+
 let result fmt = function
   | Experiments.Attack r -> attack fmt r
   | Experiments.Sweep_point p -> sweep fmt [ p ]
@@ -81,6 +104,7 @@ let result fmt = function
   | Experiments.Convergence receivers -> convergence fmt receivers
   | Experiments.Overhead p -> overhead fmt ~x_label:"x" [ p ]
   | Experiments.Partial r -> partial fmt r
+  | Experiments.Adversary r -> adversary fmt r
 
 (* --- machine-readable twins -------------------------------------------- *)
 
@@ -145,6 +169,24 @@ let partial_json (r : Experiments.partial_result) =
       ("honest_kbps", Json.Float r.Experiments.honest_kbps);
     ]
 
+let adversary_json (r : Experiments.adversary_result) =
+  Json.Obj
+    [
+      ("honest_before_kbps", Json.Float r.Experiments.honest_before_kbps);
+      ("honest_after_kbps", Json.Float r.Experiments.honest_after_kbps);
+      ("honest_loss_pct", Json.Float r.Experiments.honest_loss_pct);
+      ("attacker_kbps", Json.Float r.Experiments.attacker_kbps);
+      ("attacker_gain", Json.Float r.Experiments.attacker_gain);
+      ( "containment_s",
+        match r.Experiments.containment_s with
+        | Some s -> Json.Float s
+        | None -> Json.Null );
+      ("tcp_kbps", Json.Float r.Experiments.tcp_kbps);
+      ("keys_rejected", Json.Int r.Experiments.keys_rejected);
+      ("lockouts", Json.Int r.Experiments.lockouts);
+      ("grace_admissions", Json.Int r.Experiments.grace_admissions);
+    ]
+
 let result_json = function
   | Experiments.Attack r -> attack_json r
   | Experiments.Sweep_point p -> sweep_point_json p
@@ -153,6 +195,7 @@ let result_json = function
   | Experiments.Convergence receivers -> convergence_json receivers
   | Experiments.Overhead p -> overhead_json p
   | Experiments.Partial r -> partial_json r
+  | Experiments.Adversary r -> adversary_json r
 
 let attack_to_json r = Json.to_string (attack_json r)
 let sweep_point_to_json p = Json.to_string (sweep_point_json p)
@@ -220,4 +263,18 @@ let summary = function
         ("protected_attacker_kbps", r.Experiments.protected_attacker_kbps);
         ("unprotected_attacker_kbps", r.Experiments.unprotected_attacker_kbps);
         ("honest_kbps", r.Experiments.honest_kbps);
+      ]
+  | Experiments.Adversary r ->
+      [
+        ("honest_before_kbps", r.Experiments.honest_before_kbps);
+        ("honest_after_kbps", r.Experiments.honest_after_kbps);
+        ("honest_loss_pct", r.Experiments.honest_loss_pct);
+        ("attacker_kbps", r.Experiments.attacker_kbps);
+        ("attacker_gain", r.Experiments.attacker_gain);
+        ( "containment_s",
+          match r.Experiments.containment_s with Some s -> s | None -> -1. );
+        ("tcp_kbps", r.Experiments.tcp_kbps);
+        ("keys_rejected", float_of_int r.Experiments.keys_rejected);
+        ("lockouts", float_of_int r.Experiments.lockouts);
+        ("grace_admissions", float_of_int r.Experiments.grace_admissions);
       ]

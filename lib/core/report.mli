@@ -25,6 +25,7 @@ val rtt : Format.formatter -> (float * float) list -> unit
 val convergence : Format.formatter -> Experiments.series list -> unit
 val overhead : Format.formatter -> x_label:string -> Experiments.overhead_point list -> unit
 val partial : Format.formatter -> Experiments.partial_result -> unit
+val adversary : Format.formatter -> Experiments.adversary_result -> unit
 
 val result : Format.formatter -> Experiments.result -> unit
 (** Dispatches to the matching printer above. *)
@@ -41,6 +42,10 @@ val rtt_to_json : (float * float) list -> string
 val convergence_to_json : Experiments.series list -> string
 val overhead_to_json : Experiments.overhead_point -> string
 val partial_to_json : Experiments.partial_result -> string
+
+val adversary_json : Experiments.adversary_result -> Json.t
+(** Per-cell damage metrics of a matrix cell ([containment_s] is null
+    when the adversary was never contained). *)
 
 val result_to_json : Experiments.result -> string
 (** Dispatches to the matching [*_to_json] above. *)

@@ -228,6 +228,8 @@ let counter_catalog =
     "rlm.joins"; "rlm.leaves"; "rlm.level_changes";
     "rep.slots"; "rep.switches"; "rep.inferred_losses";
     "tcp.retransmits"; "tcp.rto_fires";
+    "attack.submissions"; "attack.guesses"; "attack.replays";
+    "attack.churn_cycles"; "attack.colluder_shares";
   ]
 
 let gauge_catalog = [ "engine.queue_capacity"; "sigma.fec.expansion" ]

@@ -33,6 +33,7 @@ type t = {
   db : Dumbbell.t;
   prng : Prng.t;
   agent_config : Router_agent.config;
+  sigma : bool;
   mutable next_session : int;
   mutable next_base_group : int;
   mutable agent : Router_agent.t option;
@@ -41,7 +42,8 @@ type t = {
 }
 
 let create ?(seed = 42) ?bottleneck_delay_s ?ecn ?packet_buffer
-    ?(agent_config = Router_agent.default_config) ~bottleneck_rate_bps () =
+    ?(agent_config = Router_agent.default_config) ?(sigma = true)
+    ~bottleneck_rate_bps () =
   let sim = Sim.create () in
   let db =
     Dumbbell.create ?bottleneck_delay_s ?ecn ?packet_buffer sim
@@ -52,6 +54,7 @@ let create ?(seed = 42) ?bottleneck_delay_s ?ecn ?packet_buffer
     db;
     prng = Prng.create seed;
     agent_config;
+    sigma;
     next_session = 1;
     next_base_group = 0x1000;
     agent = None;
@@ -73,44 +76,71 @@ let transform agent prng (link : Link.t) pkt =
   match pkt.Packet.payload with
   | Flid.Data ({ delta = Some f; group = _; slot; _ } as d) ->
       let width = Mcc_delta.Key.default_width in
-      if pkt.Packet.ecn then begin
+      let iface_keys = Router_agent.interface_keys_enabled agent in
+      let addr =
+        match pkt.Packet.dst with
+        | Packet.Multicast addr -> Some addr
+        | Packet.Unicast _ -> None
+      in
+      let component =
+        if pkt.Packet.ecn then
+          Some (Ecn.scrubbed_component prng ~width f.Field.component)
+        else
+          match addr with
+          | Some addr when iface_keys ->
+              let pad = Mcc_delta.Key.nonce prng ~width in
+              Router_agent.note_pad agent ~link_id:link.Link.id ~group:addr
+                ~guarded_slot:(slot + 2) ~pad;
+              Some (Mcc_delta.Key.xor f.Field.component pad)
+          | Some _ | None -> None
+      in
+      let decrease =
+        match (addr, f.Field.decrease) with
+        | Some addr, Some dec when iface_keys ->
+            (* The decrease field of group [addr]'s packets opens group
+               [addr - 1] (consecutive addressing); a stable pad per
+               (interface, opened group, guarded slot) keeps every copy
+               the receiver sees consistent while making a lifted
+               decrease key fail on any other interface. *)
+            let pad =
+              Router_agent.decrease_pad agent ~link_id:link.Link.id
+                ~group:(addr - 1) ~guarded_slot:(slot + 2)
+                ~fresh:(fun () -> Mcc_delta.Key.nonce prng ~width)
+            in
+            Some (Some (Mcc_delta.Key.xor dec pad))
+        | _ -> None
+      in
+      if component <> None || decrease <> None then begin
         let fresh =
           Field.make
-            ~component:(Ecn.scrubbed_component prng ~width f.Field.component)
-            ~decrease:f.Field.decrease
+            ~component:(Option.value component ~default:f.Field.component)
+            ~decrease:
+              (match decrease with Some x -> x | None -> f.Field.decrease)
         in
         pkt.Packet.payload <- Flid.Data { d with delta = Some fresh }
       end
-      else if Router_agent.interface_keys_enabled agent then begin
-        match pkt.Packet.dst with
-        | Packet.Multicast addr ->
-            let pad = Mcc_delta.Key.nonce prng ~width in
-            let fresh =
-              Field.make
-                ~component:(Mcc_delta.Key.xor f.Field.component pad)
-                ~decrease:f.Field.decrease
-            in
-            pkt.Packet.payload <- Flid.Data { d with delta = Some fresh };
-            Router_agent.note_pad agent ~link_id:link.Link.id ~group:addr
-              ~guarded_slot:(slot + 2) ~pad
-        | Packet.Unicast _ -> ()
-      end
   | _ -> ()
 
+(* With [sigma = false] the right-hand edge router stays a legacy IGMP
+   device even for Robust sessions (the paper's incremental-deployment
+   counterfactual): keys flow in band but nothing enforces them. *)
 let ensure_agent t =
-  match t.agent with
-  | Some agent -> agent
-  | None ->
-      let agent =
-        Router_agent.attach ~config:t.agent_config t.db.Dumbbell.topo
-          t.db.Dumbbell.right
-      in
-      let scrub_prng = Prng.split t.prng in
-      Router_agent.set_scrubber agent (transform agent scrub_prng);
-      t.agent <- Some agent;
-      agent
+  if not t.sigma then None
+  else
+    match t.agent with
+    | Some agent -> Some agent
+    | None ->
+        let agent =
+          Router_agent.attach ~config:t.agent_config t.db.Dumbbell.topo
+            t.db.Dumbbell.right
+        in
+        let scrub_prng = Prng.split t.prng in
+        Router_agent.set_scrubber agent (transform agent scrub_prng);
+        t.agent <- Some agent;
+        Some agent
 
-let add_multicast ?slot ?layering ?fec_scheme ?packet_size t ~mode ~receivers () =
+let add_multicast ?slot ?layering ?fec_scheme ?packet_size ?receiver_mode t
+    ~mode ~receivers () =
   let layering = match layering with Some l -> l | None -> Defaults.layering () in
   let slot =
     match slot with
@@ -134,6 +164,14 @@ let add_multicast ?slot ?layering ?fec_scheme ?packet_size t ~mode ~receivers ()
     Flid.sender_start t.db.Dumbbell.topo ~node:sender_host
       ~prng:(Prng.split t.prng) config
   in
+  (* [receiver_mode] models receivers behind a legacy edge: a Plain-mode
+     receiver of a Robust session falls back to IGMP control while the
+     sender still pays the DELTA/SIGMA overhead (paper Section 3.2.3). *)
+  let receiver_config =
+    match receiver_mode with
+    | Some m -> { config with Flid.mode = m }
+    | None -> config
+  in
   let receivers =
     List.map
       (fun spec ->
@@ -142,7 +180,7 @@ let add_multicast ?slot ?layering ?fec_scheme ?packet_size t ~mode ~receivers ()
             ?rate_bps:spec.access_rate_bps t.db
         in
         Flid.receiver_start ~at:spec.start_at ~behavior:spec.behavior
-          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) config)
+          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) receiver_config)
       receivers
   in
   { config; sender; receivers }
@@ -160,7 +198,7 @@ let fresh_session t ~groups =
   t.next_base_group <- base_group + groups;
   (id, base_group)
 
-let add_replicated ?slot ?layering t ~mode ~receivers () =
+let add_replicated ?slot ?layering ?receiver_mode t ~mode ~receivers () =
   let module Rep = Mcc_mcast.Replicated_proto in
   let layering =
     match layering with Some l -> l | None -> Defaults.layering ()
@@ -176,6 +214,11 @@ let add_replicated ?slot ?layering t ~mode ~receivers () =
     Rep.sender_start t.db.Dumbbell.topo ~node:sender_host
       ~prng:(Prng.split t.prng) config
   in
+  let receiver_config =
+    match receiver_mode with
+    | Some m -> { config with Rep.mode = m }
+    | None -> config
+  in
   let rep_receivers =
     List.map
       (fun spec ->
@@ -184,7 +227,7 @@ let add_replicated ?slot ?layering t ~mode ~receivers () =
             ?rate_bps:spec.access_rate_bps t.db
         in
         Rep.receiver_start ~at:spec.start_at ~behavior:spec.behavior
-          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) config)
+          t.db.Dumbbell.topo ~host ~prng:(Prng.split t.prng) receiver_config)
       receivers
   in
   { rep_config = config; rep_sender = sender; rep_receivers }
@@ -195,7 +238,7 @@ type rlm_session = {
   rlm_receivers : Mcc_mcast.Rlm_like.receiver list;
 }
 
-let add_rlm ?slot ?layering ?policy t ~mode ~receivers () =
+let add_rlm ?slot ?layering ?policy ?receiver_mode t ~mode ~receivers () =
   let module Rlm = Mcc_mcast.Rlm_like in
   let layering =
     match layering with Some l -> l | None -> Defaults.layering ()
@@ -212,6 +255,11 @@ let add_rlm ?slot ?layering ?policy t ~mode ~receivers () =
     Rlm.sender_start t.db.Dumbbell.topo ~node:sender_host
       ~prng:(Prng.split t.prng) config
   in
+  let receiver_config =
+    match receiver_mode with
+    | Some m -> { config with Rlm.mode = m }
+    | None -> config
+  in
   let rlm_receivers =
     List.map
       (fun spec ->
@@ -220,7 +268,7 @@ let add_rlm ?slot ?layering ?policy t ~mode ~receivers () =
             ?rate_bps:spec.access_rate_bps t.db
         in
         Rlm.receiver_start ~at:spec.start_at t.db.Dumbbell.topo ~host
-          ~prng:(Prng.split t.prng) config)
+          ~prng:(Prng.split t.prng) receiver_config)
       receivers
   in
   { rlm_config = config; rlm_sender = sender; rlm_receivers }

@@ -30,9 +30,15 @@ val create :
   ?ecn:bool ->
   ?packet_buffer:bool ->
   ?agent_config:Mcc_sigma.Router_agent.config ->
+  ?sigma:bool ->
   bottleneck_rate_bps:float ->
   unit ->
   t
+(** [sigma] (default [true]) controls whether the right edge router runs
+    the SIGMA agent.  With [sigma:false] the edge stays a legacy IGMP
+    device even for Robust sessions — the paper's incremental-deployment
+    counterfactual where DELTA keys flow in band but nothing enforces
+    them (Section 3.2.3). *)
 
 val sim : t -> Mcc_engine.Sim.t
 val dumbbell : t -> Dumbbell.t
@@ -45,6 +51,7 @@ val add_multicast :
   ?layering:Mcc_mcast.Layering.t ->
   ?fec_scheme:Mcc_sigma.Fec.scheme ->
   ?packet_size:int ->
+  ?receiver_mode:Mcc_mcast.Flid.mode ->
   t ->
   mode:Mcc_mcast.Flid.mode ->
   receivers:receiver_spec list ->
@@ -52,7 +59,10 @@ val add_multicast :
   session
 (** Adds a sender host on the left, one receiver host per spec on the
     right, and starts the protocol.  Default slot duration: 500 ms for
-    FLID-DL, 250 ms for FLID-DS (paper Section 5.1). *)
+    FLID-DL, 250 ms for FLID-DS (paper Section 5.1).  [receiver_mode]
+    overrides the mode receivers run in: Plain receivers of a Robust
+    session model hosts behind a legacy edge that still drive
+    subscriptions over IGMP. *)
 
 type replicated_session = {
   rep_config : Mcc_mcast.Replicated_proto.config;
@@ -63,6 +73,7 @@ type replicated_session = {
 val add_replicated :
   ?slot:float ->
   ?layering:Mcc_mcast.Layering.t ->
+  ?receiver_mode:Mcc_mcast.Flid.mode ->
   t ->
   mode:Mcc_mcast.Flid.mode ->
   receivers:receiver_spec list ->
@@ -81,6 +92,7 @@ val add_rlm :
   ?slot:float ->
   ?layering:Mcc_mcast.Layering.t ->
   ?policy:Mcc_mcast.Rlm_like.policy ->
+  ?receiver_mode:Mcc_mcast.Flid.mode ->
   t ->
   mode:Mcc_mcast.Flid.mode ->
   receivers:receiver_spec list ->

@@ -16,6 +16,7 @@ type t = { emit : record -> unit; close : unit -> unit }
 
 let emit t record = t.emit record
 let close t = t.close ()
+let map f inner = { emit = (fun r -> inner.emit (f r)); close = inner.close }
 
 let jsonl write =
   let emit r =

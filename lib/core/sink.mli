@@ -28,6 +28,11 @@ val close : t -> unit
 (** Flushes and releases whatever the sink holds (a no-op for
     writer-backed sinks). *)
 
+val map : (record -> record) -> t -> t
+(** [map f sink] feeds [f record] to [sink]; closing the wrapper closes
+    [sink].  Use to e.g. drop the (nondeterministic) profile when the
+    output must be byte-stable across machines. *)
+
 val jsonl : (string -> unit) -> t
 (** One JSON object per record, newline-terminated:
     [{"name":..., "group":..., "kind":..., "spec":{...}, "result":{...},

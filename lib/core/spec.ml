@@ -56,6 +56,27 @@ type partial_params = {
   attack_at : float;
 }
 
+type attack_kind =
+  | Persistent_inflation
+  | Pulse_inflation of { period_s : float; duty : float }
+  | Key_guessing of { budget_per_slot : int }
+  | Stale_replay of { lag_slots : int }
+  | Grace_churn of { period_slots : float }
+  | Collusion of { colluders : int }
+
+type protocol = Flid_ds | Rlm_threshold | Replicated
+
+type defence = Undefended | Delta_only | Delta_sigma | Delta_sigma_ecn
+
+type adversary_params = {
+  seed : int;
+  duration : float;
+  attack_at : float;
+  attack : attack_kind;
+  protocol : protocol;
+  defence : defence;
+}
+
 type t =
   | Attack of attack_params
   | Sweep of sweep_params
@@ -64,6 +85,7 @@ type t =
   | Convergence of convergence_params
   | Overhead of overhead_params
   | Partial of partial_params
+  | Adversary of adversary_params
 
 (* The defaults are the paper's Section 5.1 settings; seeds match the
    fixed seeds the pre-spec API used, so regenerated figures are
@@ -91,6 +113,29 @@ let default_overhead =
 
 let default_partial = { seed = 37; duration = 120.; attack_at = 40. }
 
+let default_adversary =
+  { seed = 41; duration = 120.; attack_at = 30.;
+    attack = Persistent_inflation; protocol = Flid_ds; defence = Delta_sigma }
+
+let attack_str = function
+  | Persistent_inflation -> "inflate"
+  | Pulse_inflation _ -> "pulse"
+  | Key_guessing _ -> "guess"
+  | Stale_replay _ -> "replay"
+  | Grace_churn _ -> "churn"
+  | Collusion _ -> "collude"
+
+let protocol_str = function
+  | Flid_ds -> "flid"
+  | Rlm_threshold -> "rlm"
+  | Replicated -> "replicated"
+
+let defence_str = function
+  | Undefended -> "plain"
+  | Delta_only -> "delta"
+  | Delta_sigma -> "delta+sigma"
+  | Delta_sigma_ecn -> "delta+sigma+ecn"
+
 let kind = function
   | Attack _ -> "attack"
   | Sweep _ -> "sweep"
@@ -99,6 +144,7 @@ let kind = function
   | Convergence _ -> "convergence"
   | Overhead _ -> "overhead"
   | Partial _ -> "partial"
+  | Adversary _ -> "adversary"
 
 let seed = function
   | Attack p -> p.seed
@@ -108,6 +154,7 @@ let seed = function
   | Convergence p -> p.seed
   | Overhead p -> p.seed
   | Partial p -> p.seed
+  | Adversary p -> p.seed
 
 let duration = function
   | Attack p -> p.duration
@@ -117,6 +164,7 @@ let duration = function
   | Convergence p -> p.duration
   | Overhead p -> p.duration
   | Partial p -> p.duration
+  | Adversary p -> p.duration
 
 let scale_time t ~factor =
   match t with
@@ -138,6 +186,12 @@ let scale_time t ~factor =
   | Overhead p -> Overhead { p with duration = p.duration *. factor }
   | Partial p ->
       Partial
+        { p with duration = p.duration *. factor;
+          attack_at = p.attack_at *. factor }
+  | Adversary p ->
+      (* Attack-internal timing (pulse period, churn cadence) tracks the
+         protocol's slot/RED clocks, not the horizon, so it stays put. *)
+      Adversary
         { p with duration = p.duration *. factor;
           attack_at = p.attack_at *. factor }
 
@@ -201,6 +255,28 @@ let to_json t =
           ("duration", Json.Float p.duration);
           ("attack_at", Json.Float p.attack_at);
         ]
+    | Adversary p ->
+        let attack_fields =
+          match p.attack with
+          | Persistent_inflation -> []
+          | Pulse_inflation { period_s; duty } ->
+              [ ("period_s", Json.Float period_s); ("duty", Json.Float duty) ]
+          | Key_guessing { budget_per_slot } ->
+              [ ("budget_per_slot", Json.Int budget_per_slot) ]
+          | Stale_replay { lag_slots } -> [ ("lag_slots", Json.Int lag_slots) ]
+          | Grace_churn { period_slots } ->
+              [ ("period_slots", Json.Float period_slots) ]
+          | Collusion { colluders } -> [ ("colluders", Json.Int colluders) ]
+        in
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("attack_at", Json.Float p.attack_at);
+          ("attack", Json.String (attack_str p.attack));
+          ("protocol", Json.String (protocol_str p.protocol));
+          ("defence", Json.String (defence_str p.defence));
+        ]
+        @ attack_fields
   in
   Json.Obj (base @ fields)
 
@@ -232,3 +308,9 @@ let pp fmt t =
   | Partial p ->
       Format.fprintf fmt "partial seed=%d duration=%gs attack_at=%gs" p.seed
         p.duration p.attack_at
+  | Adversary p ->
+      Format.fprintf fmt
+        "adversary seed=%d duration=%gs attack_at=%gs attack=%s protocol=%s \
+         defence=%s"
+        p.seed p.duration p.attack_at (attack_str p.attack)
+        (protocol_str p.protocol) (defence_str p.defence)

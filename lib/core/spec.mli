@@ -83,6 +83,51 @@ type partial_params = {
 (** Incremental deployment (paper Section 3.2.3): the same inflation
     attack behind a SIGMA edge router and behind a legacy IGMP one. *)
 
+type attack_kind =
+  | Persistent_inflation
+      (** F1's behaviour from Figure 1: join everything, forever. *)
+  | Pulse_inflation of { period_s : float; duty : float }
+      (** On-off inflation with period [period_s] and on-fraction
+          [duty], timed against RED's averaging window. *)
+  | Key_guessing of { budget_per_slot : int }
+      (** Submit up to [budget_per_slot] random w-bit keys per slot for
+          groups the attacker holds no key for (paper Section 3.2.2's
+          guessing analysis, against the agent's tally/lockout). *)
+  | Stale_replay of { lag_slots : int }
+      (** Replay keys that were valid [lag_slots] slots ago: DELTA keys
+          are per-slot, so the edge router must reject them. *)
+  | Grace_churn of { period_slots : float }
+      (** Join/leave cycling every [period_slots] slots, riding SIGMA's
+          session-join grace window without ever presenting a key. *)
+  | Collusion of { colluders : int }
+      (** [colluders] extra receivers replay the keys a clean-path
+          accomplice reconstructs (paper Section 4.2). *)
+(** The adversary catalogue.  Every strategy is implemented in
+    [Mcc_attack.Strategy]; the payloads here are the knobs the matrix
+    sweeps. *)
+
+type protocol = Flid_ds | Rlm_threshold | Replicated
+(** Which congestion-control scheme the session under attack runs:
+    FLID-DS (XOR keys), the RLM-like ladder with Shamir threshold keys,
+    or replicated streams with tier switching. *)
+
+type defence = Undefended | Delta_only | Delta_sigma | Delta_sigma_ecn
+(** The defence column of the matrix: plain IGMP (no keys, no agent),
+    DELTA keys without an enforcing edge router (legacy edge), the
+    paper's full DELTA + SIGMA, and the ECN-marking variant. *)
+
+type adversary_params = {
+  seed : int;
+  duration : float;
+  attack_at : float;  (** when the strategy arms itself *)
+  attack : attack_kind;
+  protocol : protocol;
+  defence : defence;
+}
+(** One cell of the defence-evaluation matrix: a multicast session with
+    one honest receiver and one adversary, plus a TCP flow, sharing a
+    bottleneck provisioned at two fair shares. *)
+
 type t =
   | Attack of attack_params
   | Sweep of sweep_params
@@ -91,6 +136,7 @@ type t =
   | Convergence of convergence_params
   | Overhead of overhead_params
   | Partial of partial_params
+  | Adversary of adversary_params
 
 val default_attack : attack_params
 (** seed 7, 200 s, attack at 100 s, FLID-DS. *)
@@ -114,9 +160,22 @@ val default_overhead : overhead_params
 val default_partial : partial_params
 (** seed 37, 120 s, attack at 40 s. *)
 
+val default_adversary : adversary_params
+(** seed 41, 120 s, attack at 30 s, persistent inflation against
+    FLID-DS under DELTA + SIGMA. *)
+
+val attack_str : attack_kind -> string
+(** "inflate", "pulse", "guess", "replay", "churn" or "collude". *)
+
+val protocol_str : protocol -> string
+(** "flid", "rlm" or "replicated". *)
+
+val defence_str : defence -> string
+(** "plain", "delta", "delta+sigma" or "delta+sigma+ecn". *)
+
 val kind : t -> string
 (** "attack", "sweep", "responsiveness", "rtt", "convergence",
-    "overhead" or "partial". *)
+    "overhead", "partial" or "adversary". *)
 
 val seed : t -> int
 

@@ -270,7 +270,32 @@ let sender_start ?(at = 0.) topo ~node ~prng config =
 (* Receiver                                                          *)
 (* ----------------------------------------------------------------- *)
 
-type behavior = Well_behaved | Inflate_after of float
+(* An adversary is a pair of closures: whether the receiver misbehaves
+   at a given instant, and — in Robust mode — what it actually submits
+   to its edge router in place of the honest subscription.  Everything a
+   strategy can use (entitled keys, the session's group addresses, a
+   fresh-key draw from the receiver's own PRNG, past honest submissions)
+   travels in the context, so strategies stay pure data from the
+   receiver's point of view. *)
+
+type submission = { sub_slot : int; sub_pairs : (int * Key.t) list }
+
+type adv_ctx = {
+  actx_time : float;
+  actx_slot : int;  (* the guarded slot being subscribed (s + 2) *)
+  actx_entitled : (int * Key.t) list;  (* (group addr, key): honestly earned *)
+  actx_groups : int list;  (* every group address of the session *)
+  actx_fresh_key : unit -> Key.t;
+  actx_history : submission list;  (* past honest submissions, newest first *)
+}
+
+type adversary = {
+  adv_label : string;
+  adv_active : time:float -> bool;
+  adv_submit : adv_ctx -> submission list;
+}
+
+type behavior = Well_behaved | Inflate_after of float | Adversarial of adversary
 
 type group_slot_rec = {
   mutable count : int;
@@ -308,8 +333,9 @@ type receiver = {
   mutable r_misbehaving : bool;
   mutable r_joined_all : bool;
   mutable r_stopped : bool;
-  mutable r_last_submission : (int * (int * Key.t) list) option;
-      (** (slot, pairs) this receiver last sent: what a colluder copies *)
+  mutable r_history : submission list;
+      (** honest (slot, pairs) submissions, newest first, bounded: what
+          a colluder copies and what a stale-replay adversary mines *)
   mutable r_collude_source : receiver option;
       (** when set, this receiver replays that receiver's submissions
           instead of reconstructing keys itself (paper Section 4.2) *)
@@ -389,34 +415,67 @@ let group_lost rec_ g =
 
 let random_key r = Key.nonce r.r_prng ~width:r.r_config.width
 
+(* Inflation guesses: claim every group of the session, drawing a random
+   key for each one the receiver is not eligible for.  This is the single
+   implementation of the paper's Figure 1 misbehaviour; both the legacy
+   [Inflate_after] behaviour and the attack subsystem's strategies build
+   on it. *)
+let inflation_guesses ctx =
+  let covered = List.map fst ctx.actx_entitled in
+  List.filter_map
+    (fun addr ->
+      if List.mem addr covered then None else Some (addr, ctx.actx_fresh_key ()))
+    ctx.actx_groups
+
+let inflation_adversary ~at =
+  {
+    adv_label = "inflate";
+    adv_active = (fun ~time -> time >= at);
+    adv_submit =
+      (fun ctx ->
+        [
+          {
+            sub_slot = ctx.actx_slot;
+            sub_pairs = ctx.actx_entitled @ inflation_guesses ctx;
+          };
+        ]);
+  }
+
 let subscribe_robust r ~slot ~entitled_pairs =
   match r.r_client with
   | None -> ()
   | Some client ->
       let config = r.r_config in
-      let pairs =
+      let entitled =
         List.map (fun (g, k) -> (group_addr config g, k)) entitled_pairs
       in
-      r.r_last_submission <- Some (slot, pairs);
-      let pairs =
-        if r.r_misbehaving then begin
-          (* Inflation attempt: claim every group, guessing keys for the
-             groups the receiver is not eligible for. *)
-          let covered = List.map fst pairs in
-          let n = config.layering.Layering.groups in
-          let guesses =
-            List.filter_map
-              (fun g ->
-                let addr = group_addr config g in
-                if List.mem addr covered then None
-                else Some (addr, random_key r))
-              (List.init n (fun i -> i + 1))
-          in
-          pairs @ guesses
-        end
-        else pairs
+      r.r_history <-
+        { sub_slot = slot; sub_pairs = entitled }
+        :: List.filteri (fun i _ -> i < 15) r.r_history;
+      let submissions =
+        match r.r_behavior with
+        | Adversarial a when r.r_misbehaving ->
+            let ctx =
+              {
+                actx_time = Sim.now (Topology.sim r.r_topo);
+                actx_slot = slot;
+                actx_entitled = entitled;
+                actx_groups =
+                  List.init config.layering.Layering.groups (fun i ->
+                      group_addr config (i + 1));
+                actx_fresh_key = (fun () -> random_key r);
+                actx_history = r.r_history;
+              }
+            in
+            a.adv_submit ctx
+        | Adversarial _ | Well_behaved | Inflate_after _ ->
+            [ { sub_slot = slot; sub_pairs = entitled } ]
       in
-      if pairs <> [] then Client.subscribe client ~slot ~pairs
+      List.iter
+        (fun { sub_slot; sub_pairs } ->
+          if sub_pairs <> [] then
+            Client.subscribe client ~slot:sub_slot ~pairs:sub_pairs)
+        submissions
 
 let plain_inflate r =
   if not r.r_joined_all then begin
@@ -441,6 +500,9 @@ let eval_plain r slot rec_ effective congested =
           ~group:(group_addr config g);
         r.r_active_since.(g - 1) <- max_int
       done;
+      (* A pulse adversary that went quiet resumes honest behaviour:
+         once a group is shed it must be able to re-inflate later. *)
+      r.r_joined_all <- false;
       r.r_level <- new_level;
       record_level r
     end
@@ -514,12 +576,13 @@ let eval_robust r slot rec_ effective congested lost =
         | None -> ()
 
 let set_colluder r ~source = r.r_collude_source <- Some source
+let receiver_history r = r.r_history
 
 (* A colluding receiver does not reconstruct anything: it replays, slot
    for slot, whatever its accomplice last submitted. *)
 let collude r source =
-  match (r.r_client, source.r_last_submission) with
-  | Some client, Some (slot, pairs) when pairs <> [] ->
+  match (r.r_client, source.r_history) with
+  | Some client, { sub_slot = slot; sub_pairs = pairs } :: _ when pairs <> [] ->
       Client.subscribe client ~slot ~pairs
   | _, _ -> ()
 
@@ -528,7 +591,11 @@ let eval_slot r slot =
   Metrics.tick "flid.slots";
   let level_before = r.r_level in
   (match r.r_behavior with
+  | Adversarial a ->
+      r.r_misbehaving <- a.adv_active ~time:(Sim.now (Topology.sim r.r_topo))
   | Inflate_after t when Sim.now (Topology.sim r.r_topo) >= t ->
+      (* Normalised to [Adversarial] at receiver_start; kept for receivers
+         constructed with the record directly in tests. *)
       r.r_misbehaving <- true
   | Inflate_after _ | Well_behaved -> ());
   let effective = effective_level r slot in
@@ -655,6 +722,14 @@ let on_data r pkt =
 
 let receiver_start ?(at = 0.) ?(behavior = Well_behaved) topo ~host ~prng
     config =
+  (* The legacy constructor is sugar for the canonical inflation
+     adversary, so the Figure 1 misbehaviour has a single
+     implementation. *)
+  let behavior =
+    match behavior with
+    | Inflate_after at -> Adversarial (inflation_adversary ~at)
+    | (Well_behaved | Adversarial _) as b -> b
+  in
   let n = config.layering.Layering.groups in
   let r =
     {
@@ -680,7 +755,7 @@ let receiver_start ?(at = 0.) ?(behavior = Well_behaved) topo ~host ~prng
       r_misbehaving = false;
       r_joined_all = false;
       r_stopped = false;
-      r_last_submission = None;
+      r_history = [];
       r_collude_source = None;
     }
   in

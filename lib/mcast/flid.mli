@@ -115,12 +115,64 @@ val sender_keys_for_slot :
 
 (** {1 Receivers} *)
 
+type submission = {
+  sub_slot : int;  (** the guarded slot the pairs were submitted for *)
+  sub_pairs : (int * Mcc_delta.Key.t) list;  (** (group address, key) *)
+}
+
+type adv_ctx = {
+  actx_time : float;  (** simulated now *)
+  actx_slot : int;  (** the guarded slot being subscribed (s + 2) *)
+  actx_entitled : (int * Mcc_delta.Key.t) list;
+      (** (group address, key) pairs the receiver honestly reconstructed
+          for this slot *)
+  actx_groups : int list;  (** every group address of the session *)
+  actx_fresh_key : unit -> Mcc_delta.Key.t;
+      (** a random w-bit key drawn from the receiver's own PRNG *)
+  actx_history : submission list;
+      (** the receiver's past honest submissions, newest first (bounded
+          to 16): raw material for stale replay *)
+}
+(** What a receiver-side adversary sees each time the honest protocol
+    would submit keys to the edge router. *)
+
+type adversary = {
+  adv_label : string;
+  adv_active : time:float -> bool;
+      (** whether the receiver misbehaves at [time]; re-evaluated every
+          slot, so on–off (pulse) strategies simply gate on the clock.
+          While inactive the receiver is indistinguishable from an
+          honest one. *)
+  adv_submit : adv_ctx -> submission list;
+      (** the submissions actually sent while active, in place of the
+          honest one (Robust mode; a [Plain] misbehaving receiver just
+          IGMP-joins every group) *)
+}
+(** A pluggable receiver-side adversary.  [Mcc_attack.Strategy] builds
+    these; {!inflation_adversary} is the canonical example. *)
+
 type behavior =
   | Well_behaved
   | Inflate_after of float
       (** misbehave from the given time on: a [Plain] receiver joins
           every group; a [Robust] receiver submits its eligible keys
-          plus random guesses for all higher groups *)
+          plus random guesses for all higher groups.  Sugar: normalised
+          to [Adversarial (inflation_adversary ~at)] at
+          {!receiver_start}. *)
+  | Adversarial of adversary
+
+val inflation_adversary : at:float -> adversary
+(** The paper's Figure 1 misbehaviour: from [at] on, claim every group
+    of the session, guessing a random key for each group the receiver
+    is not eligible for.  The single implementation behind
+    [Inflate_after] and the attack subsystem's persistent-inflation
+    strategy. *)
+
+val inflation_guesses : adv_ctx -> (int * Mcc_delta.Key.t) list
+(** The guessed (group address, key) pairs [inflation_adversary]
+    appends: one fresh random key per group not covered by
+    [actx_entitled], in group order.  Building block for budgeted
+    key-guessing strategies. *)
 
 type receiver
 
@@ -153,6 +205,11 @@ val receiver_leave : receiver -> unit
 (** The paper's explicit unsubscription (Section 3.2.2, Figure 6c): the
     receiver leaves all its groups at once — an unsubscription message
     under SIGMA, IGMP leaves otherwise — and stops. *)
+
+val receiver_history : receiver -> submission list
+(** The receiver's recent honest (slot, key) submissions, newest first,
+    bounded — what an accomplice leaks to colluders (Section 4.2) and a
+    stale-replay adversary mines. *)
 
 val set_colluder : receiver -> source:receiver -> unit
 (** Turns the receiver into a colluder (paper Section 4.2): every slot

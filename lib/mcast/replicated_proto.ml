@@ -312,6 +312,11 @@ let eval_slot r slot =
   let n = config.layering.Layering.groups in
   let rec_ = slot_rec r slot in
   (match r.r_behavior with
+  | Flid.Adversarial a ->
+      (* Replicated receivers hold one group at a time, so every active
+         adversary degrades to the same misbehaviour: claim the faster
+         streams with guessed keys (Robust) or plain joins. *)
+      r.r_misbehaving <- a.Flid.adv_active ~time:(Sim.now (Topology.sim r.r_topo))
   | Flid.Inflate_after t when Sim.now (Topology.sim r.r_topo) >= t ->
       r.r_misbehaving <- true
   | Flid.Inflate_after _ | Flid.Well_behaved -> ());

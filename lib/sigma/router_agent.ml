@@ -55,6 +55,11 @@ type grant = {
   mutable lockout_until : float;
   mutable by_join : bool;  (** grace came from a keyless session-join *)
   mutable grafted : bool;
+  mutable join_strikes : int;
+      (** keyless admissions that expired (or left) without the
+          interface ever validating a key; doubles the next lockout, so
+          join/leave cycling through the grace decays geometrically
+          instead of settling at a duty cycle *)
 }
 
 type iface = {
@@ -171,6 +176,11 @@ type t = {
          that interface's forwarded components: the delta between the
          sender's upper keys and the interface-specific lower keys
          (paper Section 4.2, collusion resistance) *)
+  dec_pads : (int * int * int, Key.t) Hashtbl.t;
+      (* (link id, group, guarded slot) -> the single stable pad applied
+         to every copy of that group's decrease key forwarded down the
+         interface, making decrease keys interface-specific too (they
+         are per-slot constants, so one pad, not an XOR accumulator) *)
   mutable scrubber : (Link.t -> Packet.t -> unit) option;
   tallies : tallies;
   failures : (int, failure_span) Hashtbl.t;  (* open spans, by receiver *)
@@ -224,6 +234,7 @@ let grant_of _t iface group =
           lockout_until = neg_infinity;
           by_join = false;
           grafted = false;
+          join_strikes = 0;
         }
       in
       Hashtbl.replace iface.grants group g;
@@ -231,6 +242,27 @@ let grant_of _t iface group =
 
 let active_at grant time =
   time < grant.granted_until || time < grant.grace_until
+
+(* The lockout charged when a keyless (session-join) admission ends
+   without the interface ever validating a key — at grace expiry, on an
+   early leave, or when tuples reveal the group as non-minimal.  Doubles
+   per consecutive strike, capped at 4x the base lockout: enough that
+   cycling through the join grace decays to a minority duty cycle, mild
+   enough that an honest receiver whose keys fail under heavy ECN
+   scrubbing is paused, not starved.  A validated key resets the count
+   (Section 3.2.2's lockout, hardened against grace churn). *)
+let charge_join_lockout t grant ~group ~time ~duration =
+  let scale = float_of_int (1 lsl min grant.join_strikes 2) in
+  grant.join_strikes <- grant.join_strikes + 1;
+  grant.lockout_until <-
+    Float.max grant.lockout_until
+      (time +. (t.config.lockout_slots *. duration *. scale));
+  grant.by_join <- false;
+  t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
+  Metrics.incr t.tallies.m_lockouts;
+  Timeseries.record "sigma.evictions" ~time ~value:(float_of_int group);
+  trace t "lockout" (fun () ->
+      [ ("group", Json.Int group); ("strikes", Json.Int grant.join_strikes) ])
 
 (* --- enforcement hooks ------------------------------------------------ *)
 
@@ -362,14 +394,8 @@ let store_tuples t ~slot ~slot_duration tuples =
             match Hashtbl.find_opt iface.grants tuple.Tuple.group with
             | Some grant when grant.by_join ->
                 grant.grace_until <- neg_infinity;
-                grant.lockout_until <-
-                  time +. (t.config.lockout_slots *. slot_duration);
-                t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
-                Metrics.incr t.tallies.m_lockouts;
-                Timeseries.record "sigma.evictions" ~time
-                  ~value:(float_of_int tuple.Tuple.group);
-                trace t "lockout" (fun () ->
-                    [ ("group", Json.Int tuple.Tuple.group) ]);
+                charge_join_lockout t grant ~group:tuple.Tuple.group ~time
+                  ~duration:slot_duration;
                 prune_iface t iface tuple.Tuple.group
             | Some _ | None -> ())
           t.ifaces)
@@ -433,6 +459,19 @@ let tally_guess t ~group ~slot key =
 
 let interface_keys_enabled t = t.config.interface_keys
 
+(* The stable decrease-key pad for (interface, group, guarded slot),
+   created on first use: the scrubber applies it to every forwarded copy
+   so the receiver's view is consistent, and validation maps a submitted
+   decrease key back through it. *)
+let decrease_pad t ~link_id ~group ~guarded_slot ~fresh =
+  let key = (link_id, group, guarded_slot) in
+  match Hashtbl.find_opt t.dec_pads key with
+  | Some p -> p
+  | None ->
+      let p = fresh () in
+      Hashtbl.replace t.dec_pads key p;
+      p
+
 let note_pad t ~link_id ~group ~guarded_slot ~pad =
   let key = (link_id, group, guarded_slot) in
   let prev = Option.value (Hashtbl.find_opt t.pads key) ~default:0 in
@@ -450,9 +489,12 @@ let cumulative_pad t ~link_id ~from_addr ~to_addr ~slot =
   done;
   !acc
 
-(* Candidate upper keys for a submitted (possibly lower) key: identity
-   (decrease fields are not padded), the cumulative pad up to the group
-   (top keys), and up to the previous group (increase keys). *)
+(* Candidate upper keys for a submitted (possibly lower) key: the
+   cumulative component pad up to the group (top keys), up to the
+   previous group (increase keys), and the interface's decrease pad.
+   Every in-band field is padded per interface, so there is no identity
+   candidate: a key lifted verbatim from another interface maps through
+   this interface's (different) pads and fails (paper Section 4.2). *)
 let upper_candidates t ~link_id ~group ~slot key =
   if not t.config.interface_keys then [ key ]
   else
@@ -470,7 +512,12 @@ let upper_candidates t ~link_id ~group ~slot key =
           ~to_addr:(group - 1) ~slot
       else 0
     in
-    [ key; Key.xor key cum_top; Key.xor key cum_inc ]
+    let dec =
+      match Hashtbl.find_opt t.dec_pads (link_id, group, slot) with
+      | Some p -> [ Key.xor key p ]
+      | None -> []
+    in
+    dec @ [ Key.xor key cum_top; Key.xor key cum_inc ]
 
 let guess_count t ~group ~slot =
   match Hashtbl.find_opt t.guesses (group, slot) with
@@ -607,6 +654,7 @@ let handle_subscribe t ~receiver ~slot ~pairs =
           let newly_active = not (active_at grant time) in
           grant.granted_until <- Float.max grant.granted_until slot_end;
           grant.by_join <- false;
+          grant.join_strikes <- 0;
           if newly_active then begin
             (* Keyed (re)activation of an interface: unconditional
                forwarding long enough for the receiver's first complete
@@ -630,11 +678,25 @@ let handle_unsubscribe t ~receiver ~groups =
   match iface_toward t receiver with
   | None -> ()
   | Some iface ->
+      let time = now t in
       List.iter
         (fun group ->
           match Hashtbl.find_opt iface.grants group with
           | None -> ()
           | Some grant ->
+              (* A keyless (session-join) admission that leaves before
+                 its grace expires owes the same lockout the sweep
+                 charges at expiry; otherwise join/leave cycling inside
+                 the grace window is admitted again immediately and the
+                 free ride never ends. *)
+              if grant.by_join && active_at grant time then begin
+                let duration =
+                  match Hashtbl.find_opt t.groups group with
+                  | Some gi -> gi.latest_duration
+                  | None -> 0.5
+                in
+                charge_join_lockout t grant ~group ~time ~duration
+              end;
               grant.granted_until <- neg_infinity;
               grant.grace_until <- neg_infinity;
               grant.by_join <- false;
@@ -705,14 +767,7 @@ let sweep t =
                 | Some gi -> gi.latest_duration
                 | None -> 0.5
               in
-              grant.lockout_until <-
-                time +. (t.config.lockout_slots *. duration);
-              grant.by_join <- false;
-              t.tallies.t_lockouts <- t.tallies.t_lockouts + 1;
-              Metrics.incr t.tallies.m_lockouts;
-              Timeseries.record "sigma.evictions" ~time
-                ~value:(float_of_int group);
-              trace t "lockout" (fun () -> [ ("group", Json.Int group) ])
+              charge_join_lockout t grant ~group ~time ~duration
             end;
             prune_iface t iface group
           end)
@@ -720,18 +775,22 @@ let sweep t =
     t.ifaces;
   release_idle_control_channels t;
   (* Purge pad accumulators for long-gone slots. *)
-  if Hashtbl.length t.pads > 4096 then begin
-    let horizon =
-      Hashtbl.fold (fun (_, _, slot) _ acc -> max acc slot) t.pads 0 - 16
-    in
-    let stale =
-      Hashtbl.fold
-        (fun ((_, _, slot) as key) _ acc ->
-          if slot < horizon then key :: acc else acc)
-        t.pads []
-    in
-    List.iter (Hashtbl.remove t.pads) stale
-  end;
+  let purge_pads pads =
+    if Hashtbl.length pads > 4096 then begin
+      let horizon =
+        Hashtbl.fold (fun (_, _, slot) _ acc -> max acc slot) pads 0 - 16
+      in
+      let stale =
+        Hashtbl.fold
+          (fun ((_, _, slot) as key) _ acc ->
+            if slot < horizon then key :: acc else acc)
+          pads []
+      in
+      List.iter (Hashtbl.remove pads) stale
+    end
+  in
+  purge_pads t.pads;
+  purge_pads t.dec_pads;
   (* Purge stale slot entries and decoders. *)
   Hashtbl.iter
     (fun _ gi ->
@@ -791,6 +850,7 @@ let attach ?(config = default_config) topo node =
       sessions = Hashtbl.create 8;
       control_held = Hashtbl.create 8;
       pads = Hashtbl.create 256;
+      dec_pads = Hashtbl.create 256;
       scrubber = None;
       tallies = tallies_create ();
       failures = Hashtbl.create 8;

@@ -31,9 +31,10 @@ type config = {
           every forwarded component per interface, so a key lifted from
           a receiver on another interface no longer validates.  The
           padding itself is performed by the protocol integration (see
-          {!note_pad}); validation then accepts a key if some candidate
-          — raw, or corrected by the interface's cumulative pad for top
-          or increase keys — matches an upper key from the sender.
+          {!note_pad}, {!decrease_pad}); validation then accepts a key
+          if some candidate — corrected by the interface's cumulative
+          component pad for top or increase keys, or by its decrease
+          pad — matches an upper key from the sender.
           Assumes consecutively addressed session groups, trading
           generality for collusion resistance exactly as the paper
           notes. *)
@@ -62,6 +63,19 @@ val note_pad :
     the keys of [guarded_slot]) was XOR-padded with [pad] on the given
     interface.  The protocol integration calls this from the node's
     forwarding hook as it rewrites each copy. *)
+
+val decrease_pad :
+  t ->
+  link_id:int ->
+  group:int ->
+  guarded_slot:int ->
+  fresh:(unit -> Mcc_delta.Key.t) ->
+  Mcc_delta.Key.t
+(** The stable pad applied to every forwarded copy of [group]'s decrease
+    key for [guarded_slot] on the given interface, created with [fresh]
+    on first use.  Decrease keys are per-slot constants, so one pad per
+    (interface, group, slot) keeps the receiver's view consistent while
+    making the key interface-specific. *)
 
 val iface_active : t -> group:int -> toward:int -> bool
 (** Is traffic for [group] currently forwarded toward node [toward]? *)
