@@ -491,7 +491,8 @@ let collusion () =
           (fun (n : Mcc_net.Node.t) ->
             n.Mcc_net.Node.kind = Mcc_net.Node.Host
             && List.exists
-                 (fun (l : Mcc_net.Link.t) -> l.Mcc_net.Link.rate_bps = 150_000.)
+                 (fun (l : Mcc_net.Link.t) ->
+                   Float.equal l.Mcc_net.Link.rate_bps 150_000.)
                  n.Mcc_net.Node.links)
           (Mcc_net.Topology.nodes db.Mcc_core.Dumbbell.topo)
       in
@@ -794,9 +795,7 @@ let () =
       (fun (name, f) ->
         Metrics.reset ();
         events_total := 0;
-        let t0 = Unix.gettimeofday () in
-        f ();
-        let wall = Unix.gettimeofday () -. t0 in
+        let (), wall = Profile.with_wall_clock f in
         let events =
           !events_total + Metrics.counter_value (Metrics.counter "engine.events")
         in

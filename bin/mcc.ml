@@ -343,9 +343,11 @@ let run_cmd =
     let sinks =
       (if quiet then [] else [ Sink.pretty fmt ]) @ file_sinks
     in
-    let t0 = Unix.gettimeofday () in
     let sample_dt = Option.map (fun _ -> sample_dt) series in
-    let rows = Runner.run_batch ~jobs ?sample_dt ~sinks entries in
+    let rows, elapsed =
+      Profile.with_wall_clock (fun () ->
+          Runner.run_batch ~jobs ?sample_dt ~sinks entries)
+    in
     List.iter Sink.close sinks;
     (match series_writer with Some (_, close) -> close () | None -> ());
     (match metrics with
@@ -368,9 +370,7 @@ let run_cmd =
         close ());
     if not quiet then
       Format.fprintf fmt "@.[%d experiments in %.1fs, jobs=%d]@."
-        (List.length rows)
-        (Unix.gettimeofday () -. t0)
-        jobs
+        (List.length rows) elapsed jobs
   in
   let all =
     Arg.(value & flag & info [ "all" ] ~doc:"Run every registered experiment.")
@@ -535,17 +535,16 @@ let matrix_cmd =
         Printf.eprintf "mcc matrix: cannot open sink: %s\n" msg;
         exit 2
     in
-    let t0 = Unix.gettimeofday () in
-    let rows = Mcc_attack.Matrix.run ~jobs ~sinks entries in
+    let rows, elapsed =
+      Profile.with_wall_clock (fun () -> Mcc_attack.Matrix.run ~jobs ~sinks entries)
+    in
     List.iter Sink.close sinks;
     let write, close = output_writer ~cmd:"matrix" out in
     write (Mcc_attack.Scorecard.to_string rows);
     close ();
     if not quiet then
       Format.fprintf fmt "[%d matrix cells in %.1fs, jobs=%d%s]@."
-        (List.length rows)
-        (Unix.gettimeofday () -. t0)
-        jobs
+        (List.length rows) elapsed jobs
         (match out with "-" -> "" | path -> "; scorecard: " ^ path)
   in
   let list_opt names doc =

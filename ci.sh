@@ -5,6 +5,12 @@ set -eux
 
 dune build
 dune runtest
+
+# Invariant lint gate: the static-analysis pass (lib/lint) must find no
+# determinism or domain-safety violations — wall-clock reads, ambient
+# randomness, shared top-level mutable state, polymorphic float
+# compares, missing .mli — anywhere in lib/bin/bench/examples.
+dune build @lint
 dune exec bin/mcc.exe -- run --all --quick --jobs 2 --json /tmp/out.jsonl --quiet
 test -s /tmp/out.jsonl
 

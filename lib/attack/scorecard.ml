@@ -37,7 +37,10 @@ let rank cs =
           c.result.Experiments.honest_loss_pct,
           c.result.Experiments.attacker_gain )
       in
-      compare (key a) (key b))
+      let ba, la, ga = key a and bb, lb, gb = key b in
+      match Int.compare ba bb with
+      | 0 -> ( match Float.compare la lb with 0 -> Float.compare ga gb | c -> c)
+      | c -> c)
     cs
 
 let dedup_keep_order xs =

@@ -360,13 +360,13 @@ type adversary_result = {
    strategy library), which depends on this library; the dispatch below
    reaches it through this hook, registered when Mcc_attack.Matrix is
    linked. *)
-let adversary_impl : (Spec.adversary_params -> adversary_result) option ref =
-  ref None
+let adversary_impl : (Spec.adversary_params -> adversary_result) option Atomic.t =
+  Atomic.make None
 
-let set_adversary_impl f = adversary_impl := Some f
+let set_adversary_impl f = Atomic.set adversary_impl (Some f)
 
 let run_adversary p =
-  match !adversary_impl with
+  match Atomic.get adversary_impl with
   | Some f -> f p
   | None ->
       failwith

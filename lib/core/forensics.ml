@@ -92,6 +92,7 @@ let parse_trace_lines lines = parse_lines parse_trace_line lines
 
 (* Pure-ASCII value ramp, low to high; renders anywhere (terminals,
    Markdown code spans) without font support for block glyphs. *)
+(* lint: allow shared-mutable-toplevel — write-never sparkline glyph ramp *)
 let ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
 
 let sparkline ?(width = 60) points =
@@ -184,7 +185,7 @@ let render ?(width = 60) ?(trace = []) fmt run =
     | None -> name
   in
   let groups =
-    List.sort_uniq compare (List.map (fun (n, _) -> prefix n) run.series)
+    List.sort_uniq String.compare (List.map (fun (n, _) -> prefix n) run.series)
   in
   List.iter
     (fun g ->
@@ -244,7 +245,7 @@ let render ?(width = 60) ?(trace = []) fmt run =
         evictions
     in
     let timeline =
-      List.sort (fun (a, _) (b, _) -> compare a b) (span_lines @ evict_lines)
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) (span_lines @ evict_lines)
     in
     let shown, hidden =
       let rec split n = function

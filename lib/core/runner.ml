@@ -258,9 +258,7 @@ let run_spec_profiled ?sample_dt spec =
   (match sample_dt with
   | Some dt -> Timeseries.enable ~dt ()
   | None -> ());
-  let t0 = Unix.gettimeofday () in
-  let result = Experiments.run spec in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let result, wall_s = Profile.with_wall_clock (fun () -> Experiments.run spec) in
   let metrics = Metrics.snapshot () in
   let series =
     match sample_dt with Some _ -> Timeseries.snapshot () | None -> []

@@ -1,0 +1,520 @@
+(* The pass is purely syntactic: each file is parsed with the
+   compiler's own parser and walked with an Ast_iterator, so it flags
+   exactly what is written in the source, with no type information and
+   no build context.  Rules err on the side of silence — a construct
+   the simulator's invariants forbid but the parser cannot recognise
+   without types (say, [=] on two float variables) is out of scope. *)
+
+type rule =
+  | Wall_clock
+  | Ambient_randomness
+  | Shared_mutable_toplevel
+  | Float_poly_compare
+  | Mli_coverage
+
+let all_rules =
+  [
+    Wall_clock;
+    Ambient_randomness;
+    Shared_mutable_toplevel;
+    Float_poly_compare;
+    Mli_coverage;
+  ]
+
+let rule_id = function
+  | Wall_clock -> "wall-clock"
+  | Ambient_randomness -> "ambient-randomness"
+  | Shared_mutable_toplevel -> "shared-mutable-toplevel"
+  | Float_poly_compare -> "float-poly-compare"
+  | Mli_coverage -> "mli-coverage"
+
+let rule_of_id s =
+  List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
+
+let rule_doc = function
+  | Wall_clock ->
+      "host clock read (Unix.gettimeofday/Unix.time/Sys.time); use the \
+       simulated clock, or Mcc_obs.Profile.with_wall_clock for profiling"
+  | Ambient_randomness ->
+      "ambient Random state (self_init or the global generator); use \
+       seeded, explicitly threaded state (Mcc_util.Prng, Random.State)"
+  | Shared_mutable_toplevel ->
+      "mutable state created at module level is shared across every \
+       domain; use Domain.DLS registries or Atomic"
+  | Float_poly_compare ->
+      "polymorphic =/compare on floats (or bare `compare`); use \
+       Float.equal/Float.compare/String.compare so comparisons stay \
+       monomorphic"
+  | Mli_coverage -> "every library .ml must have a sibling .mli"
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type allow_entry = { allow_rule : rule; allow_path : string }
+type config = { rules : rule list; allowlist : allow_entry list }
+
+let default_config = { rules = all_rules; allowlist = [] }
+
+type report = {
+  findings : finding list;
+  errors : (string * string) list;
+  files_checked : int;
+}
+
+(* --- paths and the allowlist -------------------------------------------- *)
+
+(* "./lib/core/runner.ml" and "../lib/core/runner.ml" (as seen from the
+   test tree in _build) must both match an allowlist entry written as
+   "lib/core/runner.ml", so matching drops "." and ".." segments. *)
+let normalize_path p =
+  String.split_on_char '/' p
+  |> List.filter (fun seg ->
+         not
+           (String.equal seg "" || String.equal seg "."
+           || String.equal seg ".."))
+  |> String.concat "/"
+
+let allow_matches entry path =
+  let path = normalize_path path in
+  let entry_path = entry.allow_path in
+  if String.length entry_path > 0 && entry_path.[String.length entry_path - 1] = '/'
+  then
+    let prefix = normalize_path entry_path ^ "/" in
+    String.length path >= String.length prefix
+    && String.equal (String.sub path 0 (String.length prefix)) prefix
+  else String.equal path (normalize_path entry_path)
+
+let parse_allowlist ?(file = "<allowlist>") text =
+  let err = ref None in
+  let entries =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter_map (fun (lnum, line) ->
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           let line = String.trim line in
+           if String.equal line "" then None
+           else
+             match String.index_opt line ' ' with
+             | None ->
+                 if !err = None then
+                   err :=
+                     Some
+                       (Printf.sprintf "%s:%d: expected \"<rule-id> <path>\""
+                          file lnum);
+                 None
+             | Some i -> (
+                 let id = String.sub line 0 i in
+                 let path =
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1))
+                 in
+                 match rule_of_id id with
+                 | Some r -> Some { allow_rule = r; allow_path = path }
+                 | None ->
+                     if !err = None then
+                       err :=
+                         Some
+                           (Printf.sprintf "%s:%d: unknown rule id %S" file
+                              lnum id);
+                     None))
+  in
+  match !err with Some e -> Error e | None -> Ok entries
+
+let load_allowlist path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse_allowlist ~file:path text
+  | exception Sys_error msg -> Error msg
+
+(* --- pragmas ------------------------------------------------------------ *)
+
+let pragma_marker = "(* lint: allow "
+
+(* All (line, rule) pragma positions in the raw source.  Comments are
+   invisible to the parser, so this is a plain text scan; an unknown
+   rule id in a pragma is simply inert (the finding it meant to
+   suppress still fires, which is how the typo gets noticed). *)
+let scan_pragmas source =
+  let pragmas = ref [] in
+  String.split_on_char '\n' source
+  |> List.iteri (fun i line ->
+         let lnum = i + 1 in
+         let rec scan from =
+           match
+             if from > String.length line then None
+             else
+               let found = ref None in
+               (try
+                  for j = from to String.length line - String.length pragma_marker do
+                    if
+                      !found = None
+                      && String.equal
+                           (String.sub line j (String.length pragma_marker))
+                           pragma_marker
+                    then found := Some j
+                  done
+                with Invalid_argument _ -> ());
+               !found
+           with
+           | None -> ()
+           | Some j ->
+               let start = j + String.length pragma_marker in
+               let stop = ref start in
+               while
+                 !stop < String.length line
+                 && not
+                      (List.mem line.[!stop] [ ' '; '\t'; '*'; ')' ])
+               do
+                 incr stop
+               done;
+               (match rule_of_id (String.sub line start (!stop - start)) with
+               | Some r -> pragmas := (lnum, r) :: !pragmas
+               | None -> ());
+               scan (j + String.length pragma_marker)
+         in
+         scan 0);
+  !pragmas
+
+let pragma_suppresses pragmas (f : finding) =
+  List.exists
+    (fun (lnum, r) -> r = f.rule && (lnum = f.line || lnum = f.line - 1))
+    pragmas
+
+(* --- the AST pass ------------------------------------------------------- *)
+
+let wall_clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let mutable_creators =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+    "Bytes.create";
+    "Bytes.make";
+  ]
+
+let eq_ops = [ "="; "<>"; "=="; "!=" ]
+let bare_compares = [ "compare"; "Stdlib.compare"; "Pervasives.compare" ]
+
+let rec lid_to_list = function
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (l, s) ->
+      Option.map (fun xs -> xs @ [ s ]) (lid_to_list l)
+  | Longident.Lapply _ -> None
+
+let lid_name lid =
+  match lid_to_list lid with Some xs -> String.concat "." xs | None -> ""
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let is_ambient_random name =
+  has_prefix ~prefix:"Random." name
+  && not (has_prefix ~prefix:"Random.State." name)
+
+(* Float-shaped to the parser: a float literal, a float-operator or
+   float-conversion application, a float-returning Float.* call, or an
+   explicit [: float] constraint.  [=] on two un-annotated float
+   variables is invisible here — the rule trades those misses for zero
+   false positives on non-float code. *)
+let rec is_floatish (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+      true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      let name = lid_name txt in
+      let float_op =
+        String.length name > 1
+        && name.[String.length name - 1] = '.'
+        && List.mem name.[0] [ '+'; '-'; '*'; '/'; '~' ]
+      in
+      float_op
+      || List.mem name [ "float_of_int"; "float"; "Float.of_int" ]
+      || (has_prefix ~prefix:"Float." name
+         && not (List.mem name [ "Float.to_int"; "Float.compare"; "Float.equal" ])
+         )
+      || List.exists (fun (_, a) -> is_floatish a) args
+  | _ -> false
+
+type ctx = { path : string; enabled : rule list; mutable found : finding list }
+
+let report ctx rule (loc : Location.t) message =
+  if List.mem rule ctx.enabled then
+    ctx.found <-
+      {
+        rule;
+        file = ctx.path;
+        line = loc.loc_start.pos_lnum;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        message;
+      }
+      :: ctx.found
+
+(* Mutable-state creation in a module-level binding, stopping at
+   function boundaries: [let t = Hashtbl.create 16] is shared by every
+   domain, [let create () = Hashtbl.create 16] (and a Domain.DLS
+   initialiser) allocates per call and is fine. *)
+let scan_toplevel_mutable ctx expr =
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun it (e : Parsetree.expression) ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> ()
+          | Pexp_array _ ->
+              report ctx Shared_mutable_toplevel e.pexp_loc
+                "array literal at module level is mutable state shared \
+                 across domains";
+              default.expr it e
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when List.mem (lid_name txt) mutable_creators ->
+              report ctx Shared_mutable_toplevel e.pexp_loc
+                (Printf.sprintf
+                   "%s at module level creates mutable state shared across \
+                    domains; use a Domain.DLS registry or Atomic"
+                   (lid_name txt));
+              default.expr it e
+          | _ -> default.expr it e);
+    }
+  in
+  it.expr it expr
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  {
+    default with
+    expr =
+      (fun it (e : Parsetree.expression) ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            let name = lid_name txt in
+            if List.mem name wall_clock_idents then
+              report ctx Wall_clock e.pexp_loc
+                (Printf.sprintf
+                   "%s reads the host clock; simulation code must use the \
+                    simulated clock (profiling goes through \
+                    Mcc_obs.Profile.with_wall_clock)"
+                   name)
+            else if String.equal name "Random.self_init" then
+              report ctx Ambient_randomness e.pexp_loc
+                "Random.self_init makes runs irreproducible; seed an \
+                 explicit Mcc_util.Prng or Random.State instead"
+            else if is_ambient_random name then
+              report ctx Ambient_randomness e.pexp_loc
+                (Printf.sprintf
+                   "%s draws from the ambient global generator; thread \
+                    seeded state (Mcc_util.Prng, Random.State) instead"
+                   name)
+            else if List.mem name bare_compares then
+              report ctx Float_poly_compare e.pexp_loc
+                "bare polymorphic compare; use a monomorphic comparison \
+                 (Float.compare, Int.compare, String.compare, ...)"
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args)
+          when List.mem (lid_name txt) eq_ops
+               && List.exists (fun (_, a) -> is_floatish a) args ->
+            report ctx Float_poly_compare pexp_loc
+              (Printf.sprintf
+                 "polymorphic %s on a float operand; use \
+                  Float.equal/Float.compare"
+                 (lid_name txt))
+        | _ -> ());
+        default.expr it e);
+    structure_item =
+      (fun it (si : Parsetree.structure_item) ->
+        (match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            (* [let () = ...] and [let _ = ...] bind nothing: mutable
+               state created there is init-time scratch that dies with
+               the binding (sharing it requires storing it in some
+               named binding, which is flagged at that binding). *)
+            let binds_nothing (p : Parsetree.pattern) =
+              match p.ppat_desc with
+              | Ppat_any -> true
+              | Ppat_construct ({ txt = Lident "()"; _ }, None) -> true
+              | _ -> false
+            in
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                if not (binds_nothing vb.pvb_pat) then
+                  scan_toplevel_mutable ctx vb.pvb_expr)
+              vbs
+        | _ -> ());
+        default.structure_item it si);
+  }
+
+(* --- per-file driver ---------------------------------------------------- *)
+
+let parse_structure ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok err) -> Error (Format.asprintf "%a" Location.print_report err)
+      | Some `Already_displayed | None -> Error (Printexc.to_string exn))
+
+let finding_order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let check_source config ~path source =
+  match parse_structure ~path source with
+  | Error _ as e -> e
+  | Ok ast ->
+      let ctx = { path; enabled = config.rules; found = [] } in
+      let it = make_iterator ctx in
+      it.structure it ast;
+      let pragmas = scan_pragmas source in
+      let findings =
+        List.filter
+          (fun f ->
+            (not (pragma_suppresses pragmas f))
+            && not
+                 (List.exists
+                    (fun entry ->
+                      entry.allow_rule = f.rule && allow_matches entry f.file)
+                    config.allowlist))
+          ctx.found
+      in
+      Ok (List.sort finding_order findings)
+
+let check_file config path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | source -> (
+      match check_source config ~path source with
+      | Error _ as e -> e
+      | Ok findings ->
+          let missing_mli =
+            List.mem Mli_coverage config.rules
+            && not (Sys.file_exists (path ^ "i"))
+          in
+          if missing_mli then
+            let f =
+              {
+                rule = Mli_coverage;
+                file = path;
+                line = 1;
+                col = 0;
+                message =
+                  Printf.sprintf "%s has no interface (%si missing)"
+                    (Filename.basename path)
+                    (Filename.basename path);
+              }
+            in
+            let pragmas = scan_pragmas source in
+            let suppressed =
+              pragma_suppresses pragmas f
+              || List.exists
+                   (fun entry ->
+                     entry.allow_rule = f.rule && allow_matches entry f.file)
+                   config.allowlist
+            in
+            if suppressed then Ok findings
+            else Ok (List.sort finding_order (f :: findings))
+          else Ok findings)
+
+(* --- tree walk ---------------------------------------------------------- *)
+
+let rec collect_ml_files path acc =
+  if Sys.is_directory path then
+    Sys.readdir path
+    |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then
+             acc
+           else collect_ml_files (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run config paths =
+  let errors = ref [] in
+  let files =
+    List.concat_map
+      (fun p ->
+        if Sys.file_exists p then List.rev (collect_ml_files p [])
+        else begin
+          errors := (p, "no such file or directory") :: !errors;
+          []
+        end)
+      paths
+  in
+  let findings =
+    List.concat_map
+      (fun file ->
+        match check_file config file with
+        | Ok fs -> fs
+        | Error msg ->
+            errors := (file, msg) :: !errors;
+            [])
+      files
+  in
+  {
+    findings = List.sort finding_order findings;
+    errors = List.rev !errors;
+    files_checked = List.length files;
+  }
+
+let exit_code r =
+  if r.errors <> [] then 2 else if r.findings <> [] then 1 else 0
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule)
+    f.message
+
+let report_to_json r =
+  let module J = Mcc_obs.Json in
+  J.Obj
+    [
+      ("tool", J.String "mcc-lint");
+      ("rules", J.List (List.map (fun ru -> J.String (rule_id ru)) all_rules));
+      ("files_checked", J.Int r.files_checked);
+      ( "findings",
+        J.List
+          (List.map
+             (fun f ->
+               J.Obj
+                 [
+                   ("rule", J.String (rule_id f.rule));
+                   ("file", J.String f.file);
+                   ("line", J.Int f.line);
+                   ("col", J.Int f.col);
+                   ("message", J.String f.message);
+                 ])
+             r.findings) );
+      ( "errors",
+        J.List
+          (List.map
+             (fun (file, msg) ->
+               J.Obj [ ("file", J.String file); ("message", J.String msg) ])
+             r.errors) );
+    ]

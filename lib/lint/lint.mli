@@ -1,0 +1,120 @@
+(** Invariant linter: a static-analysis pass over the repository's own
+    sources enforcing the determinism and domain-safety rules the
+    reproduction's guarantees rest on (byte-identical sink output for
+    any [--jobs], attack/defence matrices on the simulated clock).
+
+    The pass parses each [.ml] file with the compiler's own parser
+    (compiler-libs) and walks the [Parsetree] with an [Ast_iterator];
+    it needs no type information, so rules are syntactic and
+    deliberately conservative.
+
+    {2 Rules}
+
+    - [wall-clock]: references to [Unix.gettimeofday], [Unix.time] or
+      [Sys.time].  Simulation code must read the simulated clock only;
+      the sole sanctioned host-clock site is
+      {!Mcc_obs.Profile.with_wall_clock}.
+    - [ambient-randomness]: [Random.self_init] and any use of the
+      global [Random] state ([Random.int], [Random.float], ...).
+      Only seeded, explicitly threaded state ([Mcc_util.Prng],
+      [Random.State]) keeps runs reproducible.
+    - [shared-mutable-toplevel]: a module-level binding that creates
+      mutable state outside a function body ([ref], [Hashtbl.create],
+      [Buffer.create], [Queue.create], [Stack.create], [Array.make],
+      [Array.init], [Bytes.create], array literals).  Such state is
+      shared by every domain the runner spawns; use the domain-local
+      registries ([Domain.DLS.new_key (fun () -> ...)] — the creation
+      then sits under a function and is not flagged) or [Atomic].
+      Bindings that bind nothing ([let () = ...], [let _ = ...]) are
+      exempt: state created there is initialisation scratch that dies
+      with the binding.
+    - [float-poly-compare]: polymorphic [=] / [<>] / [==] / [!=] with a
+      float-shaped operand (float literal, [float_of_int], a [+.]-style
+      operator application, or a [: float] constraint), and any
+      reference to bare polymorphic [compare].  Use [Float.equal],
+      [Float.compare], [String.compare], ... so comparisons stay
+      monomorphic and NaN handling is explicit.
+    - [mli-coverage]: a [.ml] file with no sibling [.mli].
+
+    {2 Suppression}
+
+    A finding is suppressed by an in-source pragma comment
+
+    {[ (* lint: allow <rule-id> — justification *) ]}
+
+    placed on the same line as the finding or on the line directly
+    above it ([mli-coverage] findings attach to line 1, so a pragma on
+    the file's first line suppresses them), or by an entry in an
+    allowlist file: one [<rule-id> <path>] pair per line, [#] comments,
+    where a path ending in [/] matches as a prefix.  Paths are
+    normalised by dropping [.] and [..] segments before matching. *)
+
+type rule =
+  | Wall_clock
+  | Ambient_randomness
+  | Shared_mutable_toplevel
+  | Float_poly_compare
+  | Mli_coverage
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** The stable kebab-case identifier used in pragmas, allowlists, CLI
+    flags and the JSON report ([wall-clock], [ambient-randomness],
+    [shared-mutable-toplevel], [float-poly-compare], [mli-coverage]). *)
+
+val rule_of_id : string -> rule option
+val rule_doc : rule -> string
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+type allow_entry = {
+  allow_rule : rule;
+  allow_path : string;  (** exact path, or a prefix when ending in [/] *)
+}
+
+type config = {
+  rules : rule list;  (** enabled rules *)
+  allowlist : allow_entry list;
+}
+
+val default_config : config
+(** Every rule enabled, empty allowlist. *)
+
+val parse_allowlist : ?file:string -> string -> (allow_entry list, string) result
+(** Parse allowlist text; [file] names the source in error messages. *)
+
+val load_allowlist : string -> (allow_entry list, string) result
+
+type report = {
+  findings : finding list;  (** sorted by file, line, column, rule *)
+  errors : (string * string) list;  (** (file, message): unparseable inputs *)
+  files_checked : int;
+}
+
+val check_file : config -> string -> (finding list, string) result
+(** Lint one [.ml] file ([Error] on I/O or syntax errors).  All enabled
+    rules run, including [mli-coverage] against the sibling path. *)
+
+val run : config -> string list -> report
+(** Lint every [.ml] file under the given files and directories
+    (recursing, skipping dot- and [_]-prefixed directories; traversal
+    order is sorted, so reports are deterministic).  A path that does
+    not exist or fails to parse lands in [errors]. *)
+
+val exit_code : report -> int
+(** 0 clean, 1 findings, 2 errors (errors win over findings). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [rule-id] message] — the compiler-style location
+    prefix editors already know how to jump to. *)
+
+val report_to_json : report -> Mcc_obs.Json.t
+(** Machine-readable report: tool name, enabled rules, file count,
+    findings (rule/file/line/col/message) and errors. *)

@@ -3,7 +3,7 @@ let throughput ~packet_bytes ~rtt ~loss_rate =
   if rtt <= 0. then invalid_arg "Tfrc.throughput: rtt";
   if loss_rate < 0. || loss_rate > 1. then
     invalid_arg "Tfrc.throughput: loss_rate";
-  if loss_rate = 0. then infinity
+  if Float.equal loss_rate 0. then infinity
   else begin
     let s = float_of_int (packet_bytes * 8) in
     let p = loss_rate in

@@ -1,8 +1,14 @@
 type t = ..
 type t += Raw
 
-let printers : (Format.formatter -> t -> bool) list ref = ref []
-let register_pp f = printers := f :: !printers
+(* Atomic rather than a bare ref: protocol libraries register printers
+   at init, but nothing stops a worker domain from pulling in a payload
+   extension later, and a lost update here would drop a printer. *)
+let printers : (Format.formatter -> t -> bool) list Atomic.t = Atomic.make []
+
+let rec register_pp f =
+  let cur = Atomic.get printers in
+  if not (Atomic.compare_and_set printers cur (f :: cur)) then register_pp f
 
 let pp fmt p =
   match p with
@@ -12,4 +18,4 @@ let pp fmt p =
         | [] -> Format.pp_print_string fmt "<payload>"
         | f :: rest -> if not (f fmt p) then try_printers rest
       in
-      try_printers !printers
+      try_printers (Atomic.get printers)

@@ -17,5 +17,13 @@ type t = {
 val make : events:int -> queue_capacity:int -> wall_s:float -> t
 (** Derives [events_per_sec] (0 when [wall_s] is 0). *)
 
+val with_wall_clock : (unit -> 'a) -> 'a * float
+(** [with_wall_clock f] runs [f] and returns its result paired with the
+    elapsed wall-clock seconds.  This is the one sanctioned host-clock
+    read in the tree (the lint [wall-clock] rule forbids
+    [Unix.gettimeofday]/[Sys.time] everywhere else): simulation code
+    measures time on the simulated clock only, and profiling callers go
+    through here rather than touching [Unix] directly. *)
+
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit

@@ -120,7 +120,7 @@ let sample_all ~time =
 let snapshot () =
   let t = Domain.DLS.get state in
   Hashtbl.fold (fun name s acc -> (name, Series.to_list s) :: acc) t.series []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot_json snap =
   Json.Obj (List.map (fun (name, points) -> (name, Json.of_series points)) snap)

@@ -534,7 +534,10 @@ let failure_audit t =
   in
   let open_spans = Hashtbl.fold (fun _ s acc -> view s :: acc) t.failures [] in
   List.sort
-    (fun a b -> compare (a.kf_first, a.kf_receiver) (b.kf_first, b.kf_receiver))
+    (fun a b ->
+      match Float.compare a.kf_first b.kf_first with
+      | 0 -> Int.compare a.kf_receiver b.kf_receiver
+      | c -> c)
     (List.rev_map view t.closed_failures @ open_spans)
 
 let stats t =

@@ -16,7 +16,10 @@ let distribute ?(scheme = Fec.Repetition 2) ?(max_per_packet = 16) topo ~sender
   (* Interleave copies: all chunks' copy 0, then copy 1, ... *)
   let sorted =
     List.stable_sort
-      (fun (a : Fec.coded) b -> compare (a.copy, a.chunk) (b.copy, b.chunk))
+      (fun (a : Fec.coded) b ->
+        match Int.compare a.copy b.copy with
+        | 0 -> Int.compare a.chunk b.chunk
+        | c -> c)
       coded
   in
   let n = List.length sorted in

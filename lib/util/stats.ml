@@ -21,7 +21,7 @@ let percentile q xs =
   if xs = [] then invalid_arg "Stats.percentile: empty";
   if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of range";
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in
@@ -37,4 +37,5 @@ let jain_fairness xs =
   | _ ->
       let s = List.fold_left ( +. ) 0. xs in
       let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-      if s2 = 0. then 1.0 else s *. s /. (float_of_int (List.length xs) *. s2)
+      if Float.equal s2 0. then 1.0
+      else s *. s /. (float_of_int (List.length xs) *. s2)

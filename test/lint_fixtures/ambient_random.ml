@@ -1,0 +1,7 @@
+(* lint: allow mli-coverage — fixtures carry no interfaces *)
+(* Fixture: ambient-randomness.  Line 4 violates; line 6 is the
+   suppressed twin; line 7 threads explicit state and is clean. *)
+let bad () = Random.self_init ()
+(* lint: allow ambient-randomness — suppressed twin *)
+let ok () = Random.int 6
+let fine st = Random.State.int st 6

@@ -1,0 +1,3 @@
+(* Fixture: a file every rule passes. *)
+let add a b = a + b
+let scaled xs = List.map (fun x -> x *. 2.) xs

@@ -1,0 +1,2 @@
+val add : int -> int -> int
+val scaled : float list -> float list

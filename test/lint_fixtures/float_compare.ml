@@ -1,0 +1,6 @@
+(* lint: allow mli-coverage — fixtures carry no interfaces *)
+let bad x = x = 0.5
+let bad_sort xs = List.sort compare xs
+(* lint: allow float-poly-compare — suppressed twin *)
+let ok x = x = 0.5
+let fine x y = Float.compare x y

@@ -1,0 +1,2 @@
+(* Fixture: mli-coverage — this file deliberately has no interface. *)
+let answer = 42

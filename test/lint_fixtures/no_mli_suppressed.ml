@@ -1,0 +1,2 @@
+(* lint: allow mli-coverage — suppressed twin of no_mli.ml *)
+let answer = 42

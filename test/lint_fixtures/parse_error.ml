@@ -1,0 +1,2 @@
+(* Fixture: unparseable on purpose — the linter must report exit 2. *)
+let = ((

@@ -1,0 +1,6 @@
+(* lint: allow mli-coverage — fixtures carry no interfaces *)
+let bad = Hashtbl.create 16
+(* lint: allow shared-mutable-toplevel — suppressed twin *)
+let ok = ref 0
+let fine () = Buffer.create 8
+let also_fine = fun () -> Array.make 4 0

@@ -1,0 +1,160 @@
+(* The invariant linter, against the seeded fixtures under
+   lint_fixtures/ (one violation per rule plus a pragma-suppressed
+   twin) and, as a self-check, against the shipped library tree. *)
+
+module Lint = Mcc_lint.Lint
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let config ?(allow = []) rules = { Lint.rules; allowlist = allow }
+
+let check ?allow rules file =
+  match Lint.check_file (config ?allow rules) (fixture file) with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "%s: unexpected lint error: %s" file msg
+
+let ids fs = List.map (fun (f : Lint.finding) -> Lint.rule_id f.rule) fs
+let lines fs = List.map (fun (f : Lint.finding) -> f.line) fs
+
+let exit_for rules files =
+  Lint.exit_code
+    (Lint.run (config rules) (List.map fixture files))
+
+let test_wall_clock () =
+  let fs = check [ Lint.Wall_clock ] "wall_clock.ml" in
+  Alcotest.(check (list string)) "rule id" [ "wall-clock" ] (ids fs);
+  Alcotest.(check (list int)) "violation line, twin suppressed" [ 3 ] (lines fs);
+  Alcotest.(check int) "exit 1" 1 (exit_for [ Lint.Wall_clock ] [ "wall_clock.ml" ])
+
+let test_ambient_random () =
+  let fs = check [ Lint.Ambient_randomness ] "ambient_random.ml" in
+  Alcotest.(check (list string)) "rule id" [ "ambient-randomness" ] (ids fs);
+  Alcotest.(check (list int)) "self_init flagged, Random.State clean" [ 4 ]
+    (lines fs);
+  Alcotest.(check int) "exit 1" 1
+    (exit_for [ Lint.Ambient_randomness ] [ "ambient_random.ml" ])
+
+let test_shared_toplevel () =
+  let fs = check [ Lint.Shared_mutable_toplevel ] "shared_toplevel.ml" in
+  Alcotest.(check (list string)) "rule id" [ "shared-mutable-toplevel" ] (ids fs);
+  Alcotest.(check (list int))
+    "module-level Hashtbl flagged; twin, functions clean" [ 2 ] (lines fs);
+  Alcotest.(check int) "exit 1" 1
+    (exit_for [ Lint.Shared_mutable_toplevel ] [ "shared_toplevel.ml" ])
+
+let test_float_compare () =
+  let fs = check [ Lint.Float_poly_compare ] "float_compare.ml" in
+  Alcotest.(check (list string)) "rule ids"
+    [ "float-poly-compare"; "float-poly-compare" ]
+    (ids fs);
+  Alcotest.(check (list int)) "float = and bare compare; twin suppressed"
+    [ 2; 3 ] (lines fs);
+  Alcotest.(check int) "exit 1" 1
+    (exit_for [ Lint.Float_poly_compare ] [ "float_compare.ml" ])
+
+let test_mli_coverage () =
+  let fs = check [ Lint.Mli_coverage ] "no_mli.ml" in
+  Alcotest.(check (list string)) "rule id" [ "mli-coverage" ] (ids fs);
+  Alcotest.(check (list int)) "attached to line 1" [ 1 ] (lines fs);
+  Alcotest.(check (list int)) "line-1 pragma suppresses" []
+    (lines (check [ Lint.Mli_coverage ] "no_mli_suppressed.ml"));
+  Alcotest.(check (list int)) "sibling .mli satisfies" []
+    (lines (check [ Lint.Mli_coverage ] "clean.ml"));
+  Alcotest.(check int) "exit 1" 1
+    (exit_for [ Lint.Mli_coverage ] [ "no_mli.ml" ])
+
+let test_exit_codes () =
+  Alcotest.(check int) "clean file exits 0" 0
+    (exit_for Lint.all_rules [ "clean.ml" ]);
+  let report = Lint.run (config Lint.all_rules) [ fixture "parse_error.ml" ] in
+  Alcotest.(check int) "syntax error exits 2" 2 (Lint.exit_code report);
+  Alcotest.(check bool) "error names the file" true
+    (List.exists
+       (fun (file, _) -> file = fixture "parse_error.ml")
+       report.Lint.errors);
+  let missing = Lint.run (config Lint.all_rules) [ "lint_fixtures/enoent.ml" ] in
+  Alcotest.(check int) "missing path exits 2" 2 (Lint.exit_code missing)
+
+let test_allowlist () =
+  let allow text =
+    match Lint.parse_allowlist text with
+    | Ok entries -> entries
+    | Error msg -> Alcotest.failf "allowlist: %s" msg
+  in
+  Alcotest.(check (list int)) "exact-path entry suppresses" []
+    (lines
+       (check
+          ~allow:(allow "mli-coverage lint_fixtures/no_mli.ml")
+          [ Lint.Mli_coverage ] "no_mli.ml"));
+  Alcotest.(check (list int)) "directory-prefix entry suppresses" []
+    (lines
+       (check
+          ~allow:(allow "# a comment\nmli-coverage lint_fixtures/\n")
+          [ Lint.Mli_coverage ] "no_mli.ml"));
+  Alcotest.(check (list int)) "other-rule entry does not" [ 1 ]
+    (lines
+       (check
+          ~allow:(allow "wall-clock lint_fixtures/no_mli.ml")
+          [ Lint.Mli_coverage ] "no_mli.ml"));
+  (match Lint.parse_allowlist "bogus-rule lib/" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rule id must be rejected");
+  (* Dot-segment normalisation: a finding reached via "../" still
+     matches an allowlist entry written repo-root-relative. *)
+  let via_dotdot =
+    match
+      Lint.check_file
+        (config
+           ~allow:(allow "mli-coverage test/lint_fixtures/no_mli.ml")
+           [ Lint.Mli_coverage ])
+        "../test/lint_fixtures/no_mli.ml"
+    with
+    | Ok fs -> fs
+    | Error msg -> Alcotest.failf "unexpected: %s" msg
+  in
+  Alcotest.(check (list int)) "../-relative finding matches root entry" []
+    (lines via_dotdot)
+
+let test_json_report () =
+  let report = Lint.run (config Lint.all_rules) [ fixture "no_mli.ml" ] in
+  let rendered = Mcc_obs.Json.to_string (Lint.report_to_json report) in
+  match Mcc_obs.Json.of_string rendered with
+  | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  | Ok json ->
+      let member k = Mcc_obs.Json.member k json in
+      Alcotest.(check bool) "has findings array" true
+        (match member "findings" with
+        | Some (Mcc_obs.Json.List (_ :: _)) -> true
+        | _ -> false);
+      Alcotest.(check (option string)) "tool name" (Some "mcc-lint")
+        (Option.bind (member "tool") Mcc_obs.Json.to_string_opt)
+
+(* The acceptance bar of the lint gate itself: the shipped library tree
+   must be clean with no allowlist at all (suppressions in lib/ are
+   in-source pragmas with justifications). *)
+let test_self_check_lib () =
+  let report = Lint.run (config Lint.all_rules) [ "../lib" ] in
+  List.iter
+    (fun f -> Format.eprintf "%a@." Lint.pp_finding f)
+    report.Lint.findings;
+  Alcotest.(check int) "no findings in lib/" 0
+    (List.length report.Lint.findings);
+  Alcotest.(check (list (pair string string))) "no errors" []
+    report.Lint.errors;
+  Alcotest.(check bool) "walked the whole library tree" true
+    (report.Lint.files_checked > 50)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "wall-clock fixture" `Quick test_wall_clock;
+      Alcotest.test_case "ambient-randomness fixture" `Quick test_ambient_random;
+      Alcotest.test_case "shared-mutable-toplevel fixture" `Quick
+        test_shared_toplevel;
+      Alcotest.test_case "float-poly-compare fixture" `Quick test_float_compare;
+      Alcotest.test_case "mli-coverage fixture" `Quick test_mli_coverage;
+      Alcotest.test_case "exit codes" `Quick test_exit_codes;
+      Alcotest.test_case "allowlist" `Quick test_allowlist;
+      Alcotest.test_case "json report" `Quick test_json_report;
+      Alcotest.test_case "self-check: lib/ is clean" `Quick test_self_check_lib;
+    ] )
