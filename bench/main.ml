@@ -13,8 +13,14 @@
    to FILE as JSON; a later run with --baseline FILE (optionally
    --threshold F, default 0.25) compares itself against that file and
    exits nonzero if any common figure regressed by more than the
-   fraction F.  Compare like against like: same --quick/--jobs, same
-   machine. *)
+   fraction F.  A bare --baseline gates against the committed
+   BENCH_baseline.json (saved with --quick, jobs 1).  Compare like
+   against like: same --quick/--jobs; across machines, loosen
+   --threshold (events/s is machine-dependent).
+
+   --sched heap|wheel runs every figure on that scheduler backend; the
+   churn-heap/churn-wheel pair always pins its own backend and prints
+   the wheel/heap speedup. *)
 
 module E = Mcc_core.Experiments
 module Report = Mcc_core.Report
@@ -23,11 +29,14 @@ module Spec = Mcc_core.Spec
 module Flid = Mcc_mcast.Flid
 module Metrics = Mcc_obs.Metrics
 module Profile = Mcc_obs.Profile
+module Scheduler = Mcc_engine.Scheduler
+module Sim = Mcc_engine.Sim
 
 let fmt = Format.std_formatter
 
 let quick = ref false
 let jobs = ref 1
+let sched : Scheduler.backend option ref = ref None
 let requested : string list ref = ref []
 let baseline_path : string option ref = ref None
 let save_baseline_path : string option ref = ref None
@@ -46,7 +55,7 @@ let events_total = ref 0
 let q spec = if !quick then Spec.scale_time spec ~factor:0.25 else spec
 
 let run_specs specs =
-  Runner.run_specs_profiled ~jobs:!jobs (List.map q specs)
+  Runner.run_specs_profiled ~jobs:!jobs ?sched:!sched (List.map q specs)
   |> List.map (fun (result, _metrics, _series, profile) ->
          events_total := !events_total + profile.Profile.events;
          result)
@@ -571,12 +580,78 @@ let matrix () =
   let entries =
     List.map (fun e -> { e with Runner.spec = q e.Runner.spec }) entries
   in
-  let rows = Mcc_attack.Matrix.run ~jobs:!jobs entries in
+  let rows = Mcc_attack.Matrix.run ~jobs:!jobs ?sched:!sched entries in
   List.iter
     (fun (row : Runner.row) ->
       events_total := !events_total + row.Runner.profile.Profile.events)
     rows;
   Format.fprintf fmt "%s@." (Mcc_attack.Scorecard.to_string rows)
+
+(* --- scheduler churn stress -------------------------------------------- *)
+
+(* The workload the calendar queue exists for: a hot set of
+   self-rescheduling timers (every FLID/RLM receiver, link serializer,
+   and adversary in a big matrix cell is one) firing every few
+   milliseconds, against a cold standing population of long-timeout
+   timers (session expiries, keepalives) that never fire inside the
+   measured window.  The heap pays O(log n) per event against the
+   whole population, hot and cold alike; the wheel places the cold
+   timers once in its upper levels and never touches them again, so
+   its per-event cost stays O(1) on the hot set.  Delays come from a
+   precomputed table (drawn once per process from a fixed Prng seed)
+   so the figure measures the scheduler, not the RNG — both backends
+   run the byte-identical schedule and events/s is the only thing that
+   differs. *)
+let churn_hot = 5_000
+let churn_cold = 100_000
+let churn_mean = 0.005
+let churn_budget () = if !quick then 2_000_000 else 4_000_000
+
+let churn backend () =
+  Report.heading fmt
+    (Printf.sprintf
+       "Scheduler churn: %d hot timers + %d cold, %d events (%s backend)"
+       churn_hot churn_cold (churn_budget ())
+       (Scheduler.backend_name backend));
+  (* Figures before this one leave a large, fragmented major heap;
+     compacting first gives both backends the same memory layout
+     whether the figure runs alone or after the whole suite. *)
+  Gc.compact ();
+  let sim = Sim.create ~sched:backend () in
+  let prng = Mcc_util.Prng.create 1907 in
+  let delays =
+    Array.init 4096 (fun _ ->
+        Mcc_util.Prng.float prng *. (2. *. churn_mean))
+  in
+  let cursor = ref 0 in
+  let remaining = ref (churn_budget ()) in
+  let rec fire () =
+    if !remaining > 0 then begin
+      decr remaining;
+      cursor := (!cursor + 1) land 4095;
+      Sim.post_after sim ~delay:delays.(!cursor) fire
+    end
+  in
+  for _ = 1 to churn_hot do
+    cursor := (!cursor + 1) land 4095;
+    Sim.post_after sim ~delay:delays.(!cursor) fire
+  done;
+  (* Cold timers: timeouts up to ~67 simulated minutes, far beyond the
+     horizon, so none fires — they only deepen the standing queue. *)
+  for _ = 1 to churn_cold do
+    Sim.post_after sim
+      ~delay:(Mcc_util.Prng.float prng *. 4000.)
+      (fun () -> ())
+  done;
+  let horizon =
+    float_of_int (churn_budget ()) *. churn_mean /. float_of_int churn_hot
+  in
+  Sim.run_until sim horizon;
+  Format.fprintf fmt "final sim time %.1fs, queue capacity %d@.@."
+    (Sim.now sim) (Sim.queue_capacity sim)
+
+let churn_heap = churn Scheduler.heap
+let churn_wheel = churn Scheduler.wheel
 
 (* --- Bechamel microbenchmarks ------------------------------------------ *)
 
@@ -617,15 +692,22 @@ let micro () =
           (Mcc_util.Shamir.reconstruct
              (Array.to_list (Array.sub shares 0 8))))
   in
-  let event_queue =
-    Test.make ~name:"engine/event-queue-push-pop-1k" (Bechamel.Staged.stage @@ fun () ->
-        let q = Mcc_engine.Event_queue.create () in
+  (* One micro per backend over the identical push/pop schedule; the
+     queue is created outside the staged closure so steady-state capacity
+     (not first-run growth) is what's measured. *)
+  let sched_micro name backend =
+    let q = Scheduler.instantiate backend () in
+    Test.make ~name (Bechamel.Staged.stage @@ fun () ->
         for i = 0 to 999 do
-          Mcc_engine.Event_queue.push q ~time:(float_of_int (i * 7 mod 100)) i
+          q.Scheduler.push ~time:(float_of_int (i * 7 mod 100)) i
         done;
-        while not (Mcc_engine.Event_queue.is_empty q) do
-          ignore (Mcc_engine.Event_queue.pop q)
+        while not (q.Scheduler.is_empty ()) do
+          ignore (q.Scheduler.pop ())
         done)
+  in
+  let sched_heap = sched_micro "engine/sched-heap-push-pop-1k" Scheduler.heap in
+  let sched_wheel =
+    sched_micro "engine/sched-wheel-push-pop-1k" Scheduler.wheel
   in
   let sim_second =
     Test.make ~name:"scenario/one-simulated-second" (Bechamel.Staged.stage @@ fun () ->
@@ -638,7 +720,8 @@ let micro () =
         Mcc_core.Scenario.run t ~seconds:1.0)
   in
   let tests =
-    [ delta_precompute; delta_roundtrip; shamir; event_queue; sim_second ]
+    [ delta_precompute; delta_roundtrip; shamir; sched_heap; sched_wheel;
+      sim_second ]
   in
   let benchmark test =
     let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
@@ -684,6 +767,8 @@ let all_figs =
     ("ablation-grace", ablation_grace);
     ("ablation-slot", ablation_slot);
     ("ablation-threshold", ablation_threshold);
+    ("churn-heap", churn_heap);
+    ("churn-wheel", churn_wheel);
     ("micro", micro);
   ]
 
@@ -766,8 +851,28 @@ let () =
     | "--jobs" :: n :: rest ->
         jobs := max 1 (int_of_string n);
         parse rest
-    | "--baseline" :: path :: rest ->
+    | "--sched" :: name :: rest ->
+        (match Scheduler.of_name name with
+        | Ok b ->
+            sched := Some b;
+            (* Direct Scenario/Sim figures run on this domain and pick
+               the backend up from the domain default; batch figures get
+               it passed explicitly so worker domains follow suit. *)
+            Scheduler.set_default b
+        | Error e ->
+            Format.eprintf "bench: %s@." e;
+            exit 2);
+        parse rest
+    (* A bare --baseline (next token absent, a flag, or a figure name)
+       gates against the committed repo baseline. *)
+    | "--baseline" :: path :: rest
+      when String.length path > 0
+           && path.[0] <> '-'
+           && not (List.mem_assoc path all_figs) ->
         baseline_path := Some path;
+        parse rest
+    | "--baseline" :: rest ->
+        baseline_path := Some "BENCH_baseline.json";
         parse rest
     | "--save-baseline" :: path :: rest ->
         save_baseline_path := Some path;
@@ -809,6 +914,13 @@ let () =
         else Format.fprintf fmt "[%s done in %.1fs]@." name wall)
       selected;
     let rates = List.rev !rates in
+    (match
+       ( List.assoc_opt "churn-heap" rates,
+         List.assoc_opt "churn-wheel" rates )
+     with
+    | Some h, Some w when h > 0. ->
+        Format.fprintf fmt "[churn wheel/heap speedup: %.2fx]@." (w /. h)
+    | _ -> ());
     (match !save_baseline_path with
     | Some path -> save_baseline path rates
     | None -> ());

@@ -309,6 +309,30 @@ let quick_arg =
     & info [ "quick" ]
         ~doc:"Scale every duration by 1/4 for an abbreviated pass.")
 
+(* Shared by `run` and `matrix`.  Backends fire identical schedules (see
+   Mcc_engine.Scheduler), so this is purely a performance knob and never
+   changes any sink output. *)
+let sched_arg =
+  let backend_conv =
+    let parse s =
+      match Mcc_engine.Scheduler.of_name s with
+      | Ok b -> Ok b
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf b =
+      Format.pp_print_string ppf (Mcc_engine.Scheduler.backend_name b)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "sched" ] ~docv:"BACKEND"
+        ~doc:
+          "Event-scheduler backend: $(b,heap) (default) or $(b,wheel). \
+           Both fire identical schedules; $(b,wheel) is faster on \
+           churn-heavy event populations.")
+
 (* "-" means stdout; anything else is a file truncated at open. *)
 let output_writer ~cmd path =
   if path = "-" then ((fun s -> print_string s), fun () -> flush stdout)
@@ -320,7 +344,7 @@ let output_writer ~cmd path =
         exit 2
 
 let run_cmd =
-  let run all only jobs quick json csv metrics series sample_dt quiet =
+  let run all only jobs sched quick json csv metrics series sample_dt quiet =
     if sample_dt <= 0. then begin
       Printf.eprintf "mcc run: --sample-dt must be positive\n";
       exit 2
@@ -346,7 +370,7 @@ let run_cmd =
     let sample_dt = Option.map (fun _ -> sample_dt) series in
     let rows, elapsed =
       Profile.with_wall_clock (fun () ->
-          Runner.run_batch ~jobs ?sample_dt ~sinks entries)
+          Runner.run_batch ~jobs ?sched ?sample_dt ~sinks entries)
     in
     List.iter Sink.close sinks;
     (match series_writer with Some (_, close) -> close () | None -> ());
@@ -424,8 +448,8 @@ let run_cmd =
          "Run a batch of registered experiments across domains, with JSONL, \
           CSV, metrics and time-series sinks.")
     Term.(
-      const run $ all $ only_arg $ jobs $ quick_arg $ json $ csv $ metrics
-      $ series $ sample_dt $ quiet)
+      const run $ all $ only_arg $ jobs $ sched_arg $ quick_arg $ json $ csv
+      $ metrics $ series $ sample_dt $ quiet)
 
 let trace_cmd =
   let run only out filters level quick =
@@ -501,8 +525,8 @@ let matrix_cmd =
                 exit 2)
           names
   in
-  let run jobs quick seed duration attack_at attacks protocols defences json
-      csv out quiet =
+  let run jobs sched quick seed duration attack_at attacks protocols defences
+      json csv out quiet =
     let attacks =
       pick ~what:"attack" ~str:Spec.attack_str
         ~catalogue:Mcc_attack.Matrix.default_attacks attacks
@@ -536,7 +560,8 @@ let matrix_cmd =
         exit 2
     in
     let rows, elapsed =
-      Profile.with_wall_clock (fun () -> Mcc_attack.Matrix.run ~jobs ~sinks entries)
+      Profile.with_wall_clock (fun () ->
+          Mcc_attack.Matrix.run ~jobs ?sched ~sinks entries)
     in
     List.iter Sink.close sinks;
     let write, close = output_writer ~cmd:"matrix" out in
@@ -607,7 +632,7 @@ let matrix_cmd =
          "Run the attack x protocol x defence evaluation matrix and render \
           the Markdown scorecard ranking defences per attack.")
     Term.(
-      const run $ jobs $ quick_arg
+      const run $ jobs $ sched_arg $ quick_arg
       $ seed Spec.default_adversary.Spec.seed
       $ duration Spec.default_adversary.Spec.duration
       $ attack_at $ attacks $ protocols $ defences $ json $ csv $ out $ quiet)

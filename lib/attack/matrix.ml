@@ -303,11 +303,12 @@ let entries ?(seed = Spec.default_adversary.Spec.seed)
         protocols)
     attacks
 
-let run ?jobs ?sample_dt ?(sinks = []) cells =
+let run ?jobs ?sched ?sample_dt ?(sinks = []) cells =
   (* Matrix output doubles as a regression artefact (ci.sh compares job
-     counts byte for byte), so drop the wall-clock profile — the only
-     nondeterministic record content. *)
+     counts — and scheduler backends — byte for byte), so drop the
+     profile: its wall-clock fields are nondeterministic and its sched
+     field names the backend. *)
   let sinks =
     List.map (Sink.map (fun r -> { r with Sink.profile = None })) sinks
   in
-  Runner.run_batch ?jobs ?sample_dt ~sinks cells
+  Runner.run_batch ?jobs ?sched ?sample_dt ~sinks cells

@@ -43,10 +43,12 @@ val entries :
 
 val run :
   ?jobs:int ->
+  ?sched:Mcc_engine.Scheduler.backend ->
   ?sample_dt:float ->
   ?sinks:Mcc_core.Sink.t list ->
   Mcc_core.Runner.entry list ->
   Mcc_core.Runner.row list
-(** [Runner.run_batch] with the (nondeterministic) wall-clock profile
-    stripped from every record — sinks are fed in entry order whatever
-    [jobs] is, so matrix files are byte-identical across job counts. *)
+(** [Runner.run_batch] with the (run-varying) profile stripped from
+    every record — sinks are fed in entry order whatever [jobs] or
+    [sched] is, so matrix files are byte-identical across job counts
+    and scheduler backends. *)

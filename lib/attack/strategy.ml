@@ -385,14 +385,13 @@ let launch_bare ?(at = 0.) ?feed topo ~host ~prng ~target ~kind inst =
           history := s :: List.filteri (fun i _ -> i < 15) !history;
           (* Observe the verdicts one slot later through the ack state
              the client accumulated (snooped Sub_acks). *)
-          ignore
-            (Sim.schedule_after sim ~delay:slot_d (fun () ->
+          Sim.post_after sim ~delay:slot_d (fun () ->
                  let acked = Client.acked_pairs client ~slot:s.Flid.sub_slot in
                  List.iter
                    (fun pair ->
                      inst.on_key_result ~slot:s.Flid.sub_slot ~group:(fst pair)
                        ~accepted:(key_matches acked pair))
-                   s.Flid.sub_pairs))
+                   s.Flid.sub_pairs)
         end)
       subs
   in
@@ -413,13 +412,12 @@ let launch_bare ?(at = 0.) ?feed topo ~host ~prng ~target ~kind inst =
                (match client with
                | Some client -> Client.session_join client ~group:minimal
                | None -> join_all ());
-               ignore
-                 (Sim.schedule_after sim ~delay:hold (fun () ->
+               Sim.post_after sim ~delay:hold (fun () ->
                       trace ~time:(Sim.now sim) "churn_leave" (fun () -> []);
                       match client with
                       | Some client ->
                           Client.unsubscribe client ~groups:[ minimal ]
-                      | None -> leave_all ()))
+                      | None -> leave_all ())
              end))
   | _, None ->
       (* Legacy IGMP edge: claiming a group is joining it. *)

@@ -202,7 +202,24 @@ let parallel_map ~jobs f inputs =
          | None -> assert false)
   end
 
-let run_specs ?(jobs = 1) specs = parallel_map ~jobs Experiments.run specs
+(* The scheduler default is domain-local and worker domains start from a
+   fresh heap default, so a batch's --sched choice is applied inside the
+   worker body — bracketed, like the metrics reset, so a caller's own
+   default survives the batch. *)
+let with_sched sched f =
+  match sched with
+  | None -> f ()
+  | Some backend ->
+      let prev = Mcc_engine.Scheduler.default () in
+      Mcc_engine.Scheduler.set_default backend;
+      Fun.protect
+        ~finally:(fun () -> Mcc_engine.Scheduler.set_default prev)
+        f
+
+let run_specs ?(jobs = 1) ?sched specs =
+  parallel_map ~jobs
+    (fun spec -> with_sched sched (fun () -> Experiments.run spec))
+    specs
 
 (* --- profiled execution ------------------------------------------------- *)
 
@@ -232,7 +249,17 @@ let counter_catalog =
     "attack.churn_cycles"; "attack.colluder_shares";
   ]
 
-let gauge_catalog = [ "engine.queue_capacity"; "sigma.fec.expansion" ]
+let gauge_catalog =
+  [
+    (* Sim also registers engine.queue_capacity gauges (a generic one
+       plus a per-backend view), but those are backend-performance
+       diagnostics — the heap's high-water mark tracks peak event
+       population while the wheel's slot table is fixed — so
+       [run_spec_profiled] folds them into the profile and drops them
+       from the deterministic snapshot; preregistering them here would
+       only reintroduce backend-dependent record bytes. *)
+    "sigma.fec.expansion";
+  ]
 
 (* Bounds must match the instrumentation sites or registration raises. *)
 let preregister () =
@@ -249,7 +276,7 @@ let preregister () =
    the snapshot to this one spec, and leaving clean keeps a later run in
    the same domain (or the caller's own metrics) from inheriting stale
    handles. *)
-let run_spec_profiled ?sample_dt spec =
+let run_spec_profiled ?sched ?sample_dt spec =
   Metrics.reset ();
   preregister ();
   (* Sampling is configured inside the (possibly worker-domain) call, so
@@ -258,7 +285,10 @@ let run_spec_profiled ?sample_dt spec =
   (match sample_dt with
   | Some dt -> Timeseries.enable ~dt ()
   | None -> ());
-  let result, wall_s = Profile.with_wall_clock (fun () -> Experiments.run spec) in
+  let result, wall_s =
+    Profile.with_wall_clock (fun () ->
+        with_sched sched (fun () -> Experiments.run spec))
+  in
   let metrics = Metrics.snapshot () in
   let series =
     match sample_dt with Some _ -> Timeseries.snapshot () | None -> []
@@ -275,10 +305,30 @@ let run_spec_profiled ?sample_dt spec =
     | Some (Metrics.Gauge v) -> int_of_float v
     | Some _ | None -> 0
   in
-  (result, metrics, series, Profile.make ~events ~queue_capacity ~wall_s)
+  (* Queue capacity is a property of the scheduler backend, not of the
+     simulated system: the heap's high-water mark follows peak event
+     population while the wheel's slot table is a constant.  It travels
+     in the profile (with [sched] and the wall clock), and dropping the
+     gauges here keeps sink records byte-identical across --sched. *)
+  let metrics =
+    List.filter
+      (fun (name, _) ->
+        not (String.starts_with ~prefix:"engine.queue_capacity" name))
+      metrics
+  in
+  let sched_name =
+    Mcc_engine.Scheduler.backend_name
+      (match sched with
+      | Some b -> b
+      | None -> Mcc_engine.Scheduler.default ())
+  in
+  ( result,
+    metrics,
+    series,
+    Profile.make ~sched:sched_name ~events ~queue_capacity ~wall_s () )
 
-let run_specs_profiled ?(jobs = 1) ?sample_dt specs =
-  parallel_map ~jobs (run_spec_profiled ?sample_dt) specs
+let run_specs_profiled ?(jobs = 1) ?sched ?sample_dt specs =
+  parallel_map ~jobs (run_spec_profiled ?sched ?sample_dt) specs
 
 type row = {
   entry : entry;
@@ -288,9 +338,10 @@ type row = {
   profile : Profile.t;
 }
 
-let run_batch ?(jobs = 1) ?sample_dt ?(sinks = []) entries =
+let run_batch ?(jobs = 1) ?sched ?sample_dt ?(sinks = []) entries =
   let outs =
-    run_specs_profiled ~jobs ?sample_dt (List.map (fun e -> e.spec) entries)
+    run_specs_profiled ~jobs ?sched ?sample_dt
+      (List.map (fun e -> e.spec) entries)
   in
   let rows =
     List.map2

@@ -32,13 +32,25 @@ val lookup : string -> entry option
 val run_spec : Spec.t -> Experiments.result
 (** Alias of {!Experiments.run}: one isolated simulation. *)
 
-val run_specs : ?jobs:int -> Spec.t list -> Experiments.result list
+val run_specs :
+  ?jobs:int ->
+  ?sched:Mcc_engine.Scheduler.backend ->
+  Spec.t list ->
+  Experiments.result list
 (** Executes the specs on up to [jobs] domains (default 1; capped at
     the spec count).  Results are returned in input order regardless of
     completion order.  If a run raises, the exception is re-raised
-    after the batch drains. *)
+    after the batch drains.
+
+    [sched] selects the event-scheduler backend for every run.  It is
+    applied as the domain-local {!Mcc_engine.Scheduler.set_default}
+    inside each worker — worker domains start from a fresh default, so
+    setting it before spawning would not reach them — and restored
+    afterwards.  Backends fire identical schedules
+    ({!Mcc_engine.Scheduler}), so results do not depend on the choice. *)
 
 val run_spec_profiled :
+  ?sched:Mcc_engine.Scheduler.backend ->
   ?sample_dt:float ->
   Spec.t ->
   Experiments.result * (string * Mcc_obs.Metrics.value) list
@@ -49,7 +61,9 @@ val run_spec_profiled :
     can emit is preregistered (so snapshots share one schema across
     specs — a Plain-mode run still lists the sigma.* counters, at
     zero), the spec runs, and the snapshot plus an event-loop profile
-    are returned with the registry reset again.  With [sample_dt],
+    are returned with the registry reset again.  [sched] behaves as in
+    {!run_specs}; the profile records the backend name the run executed
+    on.  With [sample_dt],
     time-series sampling ({!Mcc_obs.Timeseries}) is enabled at that
     period for the duration of the run and the recorded series (sorted
     by name) are the third component; without it the series list is
@@ -59,6 +73,7 @@ val run_spec_profiled :
 
 val run_specs_profiled :
   ?jobs:int ->
+  ?sched:Mcc_engine.Scheduler.backend ->
   ?sample_dt:float ->
   Spec.t list ->
   (Experiments.result * (string * Mcc_obs.Metrics.value) list
@@ -80,7 +95,12 @@ type row = {
 }
 
 val run_batch :
-  ?jobs:int -> ?sample_dt:float -> ?sinks:Sink.t list -> entry list -> row list
+  ?jobs:int ->
+  ?sched:Mcc_engine.Scheduler.backend ->
+  ?sample_dt:float ->
+  ?sinks:Sink.t list ->
+  entry list ->
+  row list
 (** {!run_specs_profiled} over a batch of registry entries; after all
     runs complete, each row is emitted to every sink in entry order.
     The caller retains ownership of the sinks (they are not closed). *)

@@ -41,10 +41,10 @@ type t = {
   mutable routed : bool;
 }
 
-let create ?(seed = 42) ?bottleneck_delay_s ?ecn ?packet_buffer
+let create ?(seed = 42) ?sched ?bottleneck_delay_s ?ecn ?packet_buffer
     ?(agent_config = Router_agent.default_config) ?(sigma = true)
     ~bottleneck_rate_bps () =
-  let sim = Sim.create () in
+  let sim = Sim.create ?sched () in
   let db =
     Dumbbell.create ?bottleneck_delay_s ?ecn ?packet_buffer sim
       ~bottleneck_rate_bps ()

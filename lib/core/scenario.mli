@@ -26,6 +26,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?sched:Mcc_engine.Scheduler.backend ->
   ?bottleneck_delay_s:float ->
   ?ecn:bool ->
   ?packet_buffer:bool ->
@@ -34,7 +35,10 @@ val create :
   bottleneck_rate_bps:float ->
   unit ->
   t
-(** [sigma] (default [true]) controls whether the right edge router runs
+(** [sched] selects the event-scheduler backend for the scenario's sim
+    (default: the domain's {!Mcc_engine.Scheduler.default}).
+
+    [sigma] (default [true]) controls whether the right edge router runs
     the SIGMA agent.  With [sigma:false] the edge stays a legacy IGMP
     device even for Robust sessions — the paper's incremental-deployment
     counterfactual where DELTA keys flow in band but nothing enforces

@@ -1,77 +1,4 @@
-type 'a entry = { time : float; seq : int; value : 'a }
-
-type 'a t = {
-  mutable heap : 'a entry option array;
-  mutable len : int;
-  mutable next_seq : int;
-}
-
-let initial_capacity = 64
-
-let create () = { heap = Array.make initial_capacity None; len = 0; next_seq = 0 }
-let is_empty t = t.len = 0
-let size t = t.len
-
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let get t i =
-  match t.heap.(i) with
-  | Some e -> e
-  | None -> assert false
-
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before (get t i) (get t parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before (get t l) (get t !smallest) then smallest := l;
-  if r < t.len && before (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
-let push t ~time value =
-  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  if t.len = Array.length t.heap then
-    t.heap <- Array.append t.heap (Array.make (Array.length t.heap) None);
-  t.heap.(t.len) <- Some { time; seq = t.next_seq; value };
-  t.next_seq <- t.next_seq + 1;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
-
-let peek_time t = if t.len = 0 then None else Some (get t 0).time
-
-let pop t =
-  if t.len = 0 then None
-  else begin
-    let e = get t 0 in
-    t.len <- t.len - 1;
-    t.heap.(0) <- t.heap.(t.len);
-    t.heap.(t.len) <- None;
-    if t.len > 0 then sift_down t 0;
-    Some (e.time, e.value)
-  end
-
-let capacity t = Array.length t.heap
-
-(* A cleared queue is as good as new: sequence numbers restart (a queue
-   reused across thousands of batch runs never overflows them) and the
-   heap drops back to its initial allocation instead of keeping the
-   high-water mark of the busiest run alive. *)
-let clear t =
-  t.heap <- Array.make initial_capacity None;
-  t.len <- 0;
-  t.next_seq <- 0
+(* Deprecated alias kept for one release: the heap now lives in
+   Scheduler.Heap behind the pluggable-backend interface, and new code
+   should go through Scheduler (or Sim ?sched) instead. *)
+include Scheduler.Heap

@@ -1,32 +1,12 @@
-(** Priority queue of timestamped events (binary min-heap).
+(** Deprecated alias of {!Scheduler.Heap}, kept for one release.
 
-    Ties are broken by insertion order so that events scheduled for the
-    same instant fire first-in first-out, which keeps simulations
-    deterministic. *)
+    The priority queue moved behind the pluggable backend interface in
+    {!Scheduler}; this module re-exports the binary-heap backend under
+    its old name so out-of-tree callers keep compiling.  New code should
+    use {!Scheduler} (selecting a backend explicitly) or {!Sim.create}
+    with [?sched].  See DESIGN.md, "Migrating from Event_queue". *)
 
-type 'a t
+[@@@ocaml.deprecated
+"Event_queue is an alias of Mcc_engine.Scheduler.Heap; use Scheduler"]
 
-val create : unit -> 'a t
-
-val is_empty : 'a t -> bool
-
-val size : 'a t -> int
-
-val push : 'a t -> time:float -> 'a -> unit
-(** @raise Invalid_argument on a NaN time. *)
-
-val peek_time : 'a t -> float option
-(** Earliest event time, if any. *)
-
-val pop : 'a t -> (float * 'a) option
-(** Removes and returns the earliest event. *)
-
-val clear : 'a t -> unit
-(** Empties the queue and restores it to its freshly-created state:
-    tie-break sequence numbers restart from zero and the heap storage
-    shrinks back to its initial capacity, so a queue reused across many
-    batch runs carries neither unbounded sequence numbers nor the
-    high-water-mark allocation. *)
-
-val capacity : 'a t -> int
-(** Current heap allocation in slots (observability / tests). *)
+include Scheduler.S with type 'a t = 'a Scheduler.Heap.t

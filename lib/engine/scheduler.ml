@@ -1,0 +1,669 @@
+(* Pluggable event-scheduler backends.
+
+   The simulator's hot path is push/pop on a priority queue keyed by
+   (time, seq): time orders events, the insertion sequence number breaks
+   ties first-in first-out.  Every backend implements exactly that
+   contract, so schedules are byte-identical no matter which backend a
+   run selects — the choice is purely a performance knob. *)
+
+module type S = sig
+  val name : string
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+  val push : 'a t -> time:float -> 'a -> unit
+  val peek_time : 'a t -> float option
+  val pop : 'a t -> (float * 'a) option
+
+  val pop_into : 'a t -> float ref -> 'a -> 'a
+  (** [pop_into t cell default] pops the earliest event, writing its
+      time into [cell] and returning its value, or returns [default]
+      with [cell] untouched when empty.  Same order as {!pop}, but
+      allocation-free: the float lands in the ref's unboxed field and
+      no option or tuple is built — the simulator's hot loop runs on
+      this with a sentinel as [default]. *)
+
+  val next_before : 'a t -> float -> bool
+  (** [next_before t bound] is true iff the queue is non-empty and the
+      earliest time is [<= bound] — {!peek_time} for bounded loops,
+      without the option/boxed-float allocation. *)
+
+  val pop_before : 'a t -> float ref -> bound:float -> 'a -> 'a
+  (** [pop_before t cell ~bound default] is {!pop_into} restricted to
+      events at time [<= bound]: the {!next_before}/{!pop_into} pair of
+      a bounded run loop fused into one call, peeking the key exactly
+      once per event. *)
+
+  val clear : 'a t -> unit
+  val capacity : 'a t -> int
+end
+
+let nan_message = "Scheduler.push: NaN time"
+
+module Heap = struct
+  let name = "heap"
+  let initial_capacity = 64
+
+  (* Unboxed parallel arrays: [times] is a flat float array (OCaml
+     unboxes float arrays), [seqs] a flat int array, so the only
+     allocation a push performs is the amortised storage doubling.  The
+     previous representation ('a entry option array) boxed an option and
+     an entry record per element and re-boxed the whole heap through
+     Array.append on every growth. *)
+  type 'a t = {
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable values : 'a array;
+    mutable len : int;
+    mutable next_seq : int;
+  }
+
+  let create () =
+    { times = [||]; seqs = [||]; values = [||]; len = 0; next_seq = 0 }
+
+  let is_empty t = t.len = 0
+  let size t = t.len
+  let capacity t = Array.length t.times
+
+  let before t i j =
+    let ti = t.times.(i) and tj = t.times.(j) in
+    if ti < tj then true
+    else if tj < ti then false
+    else t.seqs.(i) < t.seqs.(j)
+
+  let swap t i j =
+    let time = t.times.(i) and seq = t.seqs.(i) and value = t.values.(i) in
+    t.times.(i) <- t.times.(j);
+    t.seqs.(i) <- t.seqs.(j);
+    t.values.(i) <- t.values.(j);
+    t.times.(j) <- time;
+    t.seqs.(j) <- seq;
+    t.values.(j) <- value
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && before t l !smallest then smallest := l;
+    if r < t.len && before t r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  (* Grow in place: allocate the doubled arrays once and blit.  The
+     [values] filler is the value being pushed — a sentinel that every
+     slot >= len holds until overwritten, never observed. *)
+  let grow t filler =
+    let cap = Array.length t.times in
+    let cap' = if cap = 0 then initial_capacity else 2 * cap in
+    let times' = Array.make cap' 0. in
+    let seqs' = Array.make cap' 0 in
+    let values' = Array.make cap' filler in
+    Array.blit t.times 0 times' 0 t.len;
+    Array.blit t.seqs 0 seqs' 0 t.len;
+    Array.blit t.values 0 values' 0 t.len;
+    t.times <- times';
+    t.seqs <- seqs';
+    t.values <- values'
+
+  let push t ~time value =
+    if Float.is_nan time then invalid_arg nan_message;
+    if t.len = Array.length t.times then grow t value;
+    let i = t.len in
+    t.times.(i) <- time;
+    t.seqs.(i) <- t.next_seq;
+    t.values.(i) <- value;
+    t.next_seq <- t.next_seq + 1;
+    t.len <- t.len + 1;
+    sift_up t i
+
+  let peek_time t = if t.len = 0 then None else Some t.times.(0)
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let time = t.times.(0) and value = t.values.(0) in
+      let last = t.len - 1 in
+      t.times.(0) <- t.times.(last);
+      t.seqs.(0) <- t.seqs.(last);
+      t.values.(0) <- t.values.(last);
+      (* values.(last) still aliases the element just moved to the root,
+         which is live anyway — no stale retention beyond one slot. *)
+      t.len <- last;
+      if last > 0 then sift_down t 0;
+      Some (time, value)
+    end
+
+  let pop_into t cell default =
+    if t.len = 0 then default
+    else begin
+      let time = t.times.(0) and value = t.values.(0) in
+      let last = t.len - 1 in
+      t.times.(0) <- t.times.(last);
+      t.seqs.(0) <- t.seqs.(last);
+      t.values.(0) <- t.values.(last);
+      t.len <- last;
+      if last > 0 then sift_down t 0;
+      cell := time;
+      value
+    end
+
+  let next_before t bound = t.len > 0 && t.times.(0) <= bound
+
+  let pop_before t cell ~bound default =
+    if t.len = 0 || t.times.(0) > bound then default
+    else pop_into t cell default
+
+  (* A cleared queue is as good as new: sequence numbers restart (a
+     queue reused across thousands of batch runs never overflows them)
+     and the storage is dropped outright — capacity returns to 0 and is
+     lazily re-grown on the next push — so a reused queue keeps neither
+     the high-water allocation nor references to popped values. *)
+  let clear t =
+    t.times <- [||];
+    t.seqs <- [||];
+    t.values <- [||];
+    t.len <- 0;
+    t.next_seq <- 0
+end
+
+module Wheel = struct
+  let name = "wheel"
+
+  (* Hierarchical timing wheel, htsim-style: float times are quantised
+     to integer microticks at enqueue and the tick picks a bucket in one
+     of [levels] wheels.  Level 0 is deliberately wide (2^13 one-tick
+     slots, ~8.2 simulated milliseconds) so that typical event horizons
+     — timer periods, RTTs, slot durations — place directly at the
+     bottom and rarely pay a cascade; levels 1-3 add 2^8 slots each of
+     geometrically coarser width, for a horizon of 2^37 microticks
+     (~38 simulated hours) before spilling into the overflow list.
+
+     Quantisation is bucketing only: every cell carries its original
+     float time, a bucket is sorted by (time, seq) as it is loaded into
+     the drain, and pop returns the float time — so the pop sequence is
+     byte-identical to the heap's even when quantisation collapses
+     distinct times into one tick.
+
+     Cells live in unboxed parallel arrays (same representation trick
+     as {!Heap}) and chains are index-linked through [nexts] with -1 as
+     nil, so a push in steady state allocates nothing: a popped cell's
+     index goes onto an internal free list and is reused by a later
+     push.  The one cost of that reuse is that a free slot keeps its
+     last value reachable until it is overwritten — bounded by the
+     store's high-water mark, and dropped entirely by [clear]. *)
+  let ticks_per_sec = 1_000_000.
+  let levels = 4
+
+  (* Level widths: 13 bits at level 0, 8 at each level above.
+     [shift_of k] is the cumulative width below level k (so a level-k
+     slot spans 2^(shift_of k) ticks), [top_of k] the cumulative width
+     through it, [offset_of k] the level's start in the flat slot
+     array.  Closed forms, not tables: the linter bans module-level
+     array literals, and the multiplies constant-fold anyway. *)
+  let shift_of k = if k = 0 then 0 else (8 * k) + 5
+  let top_of k = (8 * k) + 13
+  let mask_of k = if k = 0 then 8191 else 255
+  let offset_of k = if k = 0 then 0 else 8192 + (256 * (k - 1))
+  let total_slots = 8960
+  let nil = -1
+  let initial_capacity = 64
+
+  type 'a t = {
+    slots : int array;  (** bucket heads into the cell store; [nil] = empty *)
+    level_count : int array;
+    mutable cur : int;  (** cursor: no wheel-resident cell has a smaller tick *)
+    mutable wheel_count : int;  (** cells resident in [slots] *)
+    mutable overflow : int;  (** ticks beyond the top level's horizon *)
+    mutable overflow_count : int;
+    mutable drain : int;  (** current tick's cells, sorted by (time, seq) *)
+    mutable drain_tick : int;  (** -1 until the first bucket is drained *)
+    mutable size : int;  (** total events, drain and overflow included *)
+    mutable next_seq : int;
+    (* cell store: parallel arrays indexed by cell, chained by [nexts] *)
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable ticks : int array;
+    mutable nexts : int array;
+    mutable values : 'a array;
+    mutable free : int;  (** head of the free-slot chain through [nexts] *)
+    mutable scratch : int array;  (** reused by the drain sort *)
+  }
+
+  let create () =
+    {
+      slots = Array.make total_slots nil;
+      level_count = Array.make levels 0;
+      cur = 0;
+      wheel_count = 0;
+      overflow = nil;
+      overflow_count = 0;
+      drain = nil;
+      drain_tick = -1;
+      size = 0;
+      next_seq = 0;
+      times = [||];
+      seqs = [||];
+      ticks = [||];
+      nexts = [||];
+      values = [||];
+      free = nil;
+      scratch = [||];
+    }
+
+  let is_empty t = t.size = 0
+  let size t = t.size
+
+  (* Fixed slot table plus the cell store's high-water mark. *)
+  let capacity t = total_slots + Array.length t.times
+
+  let tick_of_time time =
+    let scaled = time *. ticks_per_sec in
+    if scaled >= float_of_int max_int then max_int else int_of_float scaled
+
+  (* Double the cell store (same in-place growth as {!Heap.grow}) and
+     thread the new slots onto the free list. *)
+  let grow t filler =
+    let cap = Array.length t.times in
+    let cap' = if cap = 0 then initial_capacity else 2 * cap in
+    let times' = Array.make cap' 0. in
+    let seqs' = Array.make cap' 0 in
+    let ticks' = Array.make cap' 0 in
+    let nexts' = Array.make cap' nil in
+    let values' = Array.make cap' filler in
+    Array.blit t.times 0 times' 0 cap;
+    Array.blit t.seqs 0 seqs' 0 cap;
+    Array.blit t.ticks 0 ticks' 0 cap;
+    Array.blit t.nexts 0 nexts' 0 cap;
+    Array.blit t.values 0 values' 0 cap;
+    for i = cap to cap' - 2 do
+      nexts'.(i) <- i + 1
+    done;
+    nexts'.(cap' - 1) <- t.free;
+    t.free <- cap;
+    t.times <- times';
+    t.seqs <- seqs';
+    t.ticks <- ticks';
+    t.nexts <- nexts';
+    t.values <- values'
+
+  let alloc_cell t ~time ~tick value =
+    if t.free = nil then grow t value;
+    let i = t.free in
+    t.free <- t.nexts.(i);
+    t.times.(i) <- time;
+    t.seqs.(i) <- t.next_seq;
+    t.ticks.(i) <- tick;
+    t.values.(i) <- value;
+    t.next_seq <- t.next_seq + 1;
+    i
+
+  let free_cell t i =
+    t.nexts.(i) <- t.free;
+    t.free <- i
+
+  (* Place a cell by the alignment invariant: level k holds exactly the
+     cells whose tick shares the cursor's prefix above level k but not
+     its level-k prefix (those live lower).  The invariant is restored
+     top-down as the cursor crosses slot boundaries, by cascading the
+     entered slot's chain down a level before trusting the levels below.
+
+     Chains are unordered (a slot prepends): level-0 buckets are sorted
+     as they load into the drain, and higher-level chains are re-placed
+     by a cascade before they can drain. *)
+  let place t i =
+    let tick = t.ticks.(i) in
+    let rec level k =
+      if k >= levels then -1
+      else if tick lsr top_of k = t.cur lsr top_of k then k
+      else level (k + 1)
+    in
+    match level 0 with
+    | -1 ->
+        t.nexts.(i) <- t.overflow;
+        t.overflow <- i;
+        t.overflow_count <- t.overflow_count + 1
+    | k ->
+        let idx = offset_of k + ((tick lsr shift_of k) land mask_of k) in
+        t.nexts.(i) <- t.slots.(idx);
+        t.slots.(idx) <- i;
+        t.level_count.(k) <- t.level_count.(k) + 1;
+        t.wheel_count <- t.wheel_count + 1
+
+  (* Detach a chain and re-place each cell (used by cascades and
+     overflow migration; [place] rewrites each cell's link). *)
+  let replace_chain t head =
+    let i = ref head in
+    while !i <> nil do
+      let next = t.nexts.(!i) in
+      place t !i;
+      i := next
+    done
+
+  (* Cell [a] sorts strictly before cell [b] under (time, seq). *)
+  let cell_before t a b =
+    let ta = t.times.(a) and tb = t.times.(b) in
+    if ta < tb then true
+    else if tb < ta then false
+    else t.seqs.(a) < t.seqs.(b)
+
+  (* Load a same-tick bucket into the drain in (time, seq) order: copy
+     the chain's indices into the reused scratch buffer, heapsort them
+     (in place, allocation-free, and O(k log k) even for pathological
+     buckets where every event shares a tick), and relink.  seq is
+     unique so the order is total; NaN times are rejected at push. *)
+  let load_drain_multi t head =
+    let n = ref 0 in
+    let i = ref head in
+    while !i <> nil do
+      if !n >= Array.length t.scratch then begin
+        let grown =
+          Array.make (Stdlib.max 64 (2 * Array.length t.scratch)) 0
+        in
+        Array.blit t.scratch 0 grown 0 !n;
+        t.scratch <- grown
+      end;
+      t.scratch.(!n) <- !i;
+      incr n;
+      i := t.nexts.(!i)
+    done;
+    let n = !n in
+    let a = t.scratch in
+    (* heapsort on a.(0 .. n-1), max-heap so the array ends ascending *)
+    let sift root len =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !r) + 1 in
+        if l >= len then continue := false
+        else begin
+          let child =
+            if l + 1 < len && cell_before t a.(l) a.(l + 1) then l + 1 else l
+          in
+          if cell_before t a.(!r) a.(child) then begin
+            let tmp = a.(!r) in
+            a.(!r) <- a.(child);
+            a.(child) <- tmp;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (n / 2) - 1 downto 0 do
+      sift root n
+    done;
+    for last = n - 1 downto 1 do
+      let tmp = a.(0) in
+      a.(0) <- a.(last);
+      a.(last) <- tmp;
+      sift 0 last
+    done;
+    for j = 0 to n - 2 do
+      t.nexts.(a.(j)) <- a.(j + 1)
+    done;
+    if n > 0 then begin
+      t.nexts.(a.(n - 1)) <- nil;
+      t.drain <- a.(0)
+    end
+    else t.drain <- nil
+
+  (* Single-cell buckets (the common case at realistic densities) skip
+     the scratch/heapsort machinery entirely. *)
+  let load_drain t head =
+    if head <> nil && t.nexts.(head) = nil then t.drain <- head
+    else load_drain_multi t head
+
+  (* Cells that land on the tick currently being drained must
+     interleave with the not-yet-popped drain cells exactly as the heap
+     would order them: sorted insertion, iterative so pathological
+     same-tick chains cost time, never stack. *)
+  let drain_insert t i =
+    if t.drain = nil || cell_before t i t.drain then begin
+      t.nexts.(i) <- t.drain;
+      t.drain <- i
+    end
+    else begin
+      let prev = ref t.drain in
+      while t.nexts.(!prev) <> nil && cell_before t t.nexts.(!prev) i do
+        prev := t.nexts.(!prev)
+      done;
+      t.nexts.(i) <- t.nexts.(!prev);
+      t.nexts.(!prev) <- i
+    end
+
+  let push t ~time value =
+    if Float.is_nan time then invalid_arg nan_message;
+    if time < 0. then invalid_arg "Scheduler.push: negative time (wheel)";
+    let tick = tick_of_time time in
+    let i = alloc_cell t ~time ~tick value in
+    t.size <- t.size + 1;
+    if tick <= t.drain_tick then drain_insert t i else place t i
+
+  (* The wheel proper is empty: rebase the cursor on the earliest
+     overflow tick and re-place every overflow cell (the earliest lands
+     in the wheel by construction). *)
+  let migrate_overflow t =
+    let min_tick = ref max_int in
+    let i = ref t.overflow in
+    while !i <> nil do
+      if t.ticks.(!i) < !min_tick then min_tick := t.ticks.(!i);
+      i := t.nexts.(!i)
+    done;
+    t.cur <- !min_tick;
+    let chain = t.overflow in
+    t.overflow <- nil;
+    t.overflow_count <- 0;
+    replace_chain t chain
+
+  (* Find the earliest occupied bucket and load it into the drain.
+     Precondition: drain empty, size > 0.  Scans the lowest non-empty
+     level from the cursor's slot upward — residents of level k always
+     live in the cursor's current span at slot indices >= the cursor's
+     own, so a linear scan visits them in tick order and cannot come up
+     empty.  Finding a slot at level >= 1 cascades its chain down one
+     level and rescans from the bottom. *)
+  let advance t =
+    if t.wheel_count = 0 then migrate_overflow t;
+    let rec from_level k =
+      if k >= levels then assert false
+      else if t.level_count.(k) = 0 then from_level (k + 1)
+      else if k = 0 then begin
+        (* Level-0 fast path: shift 0, offset 0, mask 8191 folded to
+           constants, and the overwhelmingly common single-cell bucket
+           loads the drain without any chain walk or sort. *)
+        let rec scan idx =
+          if idx > 8191 then assert false
+          else if t.slots.(idx) = nil then scan (idx + 1)
+          else idx
+        in
+        let idx = scan (t.cur land 8191) in
+        let chain = t.slots.(idx) in
+        t.slots.(idx) <- nil;
+        t.cur <- ((t.cur lsr 13) lsl 13) lor idx;
+        t.drain_tick <- t.cur;
+        if t.nexts.(chain) = nil then begin
+          t.level_count.(0) <- t.level_count.(0) - 1;
+          t.wheel_count <- t.wheel_count - 1;
+          t.drain <- chain
+        end
+        else begin
+          let n = ref 0 in
+          let i = ref chain in
+          while !i <> nil do
+            incr n;
+            i := t.nexts.(!i)
+          done;
+          t.level_count.(0) <- t.level_count.(0) - !n;
+          t.wheel_count <- t.wheel_count - !n;
+          load_drain t chain
+        end
+      end
+      else begin
+        let shift = shift_of k in
+        let base = offset_of k in
+        let mask = mask_of k in
+        let rec scan idx =
+          if idx > mask then assert false
+          else if t.slots.(base + idx) = nil then scan (idx + 1)
+          else idx
+        in
+        let idx = scan ((t.cur lsr shift) land mask) in
+        let chain = t.slots.(base + idx) in
+        t.slots.(base + idx) <- nil;
+        let n = ref 0 in
+        let i = ref chain in
+        while !i <> nil do
+          incr n;
+          i := t.nexts.(!i)
+        done;
+        t.level_count.(k) <- t.level_count.(k) - !n;
+        t.wheel_count <- t.wheel_count - !n;
+        let span = top_of k in
+        t.cur <- ((t.cur lsr span) lsl span) lor (idx lsl shift);
+        replace_chain t chain;
+        from_level 0
+      end
+    in
+    from_level 0
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      if t.drain = nil then advance t;
+      let i = t.drain in
+      let time = t.times.(i) and value = t.values.(i) in
+      t.drain <- t.nexts.(i);
+      t.size <- t.size - 1;
+      free_cell t i;
+      Some (time, value)
+    end
+
+  let pop_into t cell default =
+    if t.size = 0 then default
+    else begin
+      if t.drain = nil then advance t;
+      let i = t.drain in
+      let value = t.values.(i) in
+      cell := t.times.(i);
+      t.drain <- t.nexts.(i);
+      t.size <- t.size - 1;
+      free_cell t i;
+      value
+    end
+
+  let peek_time t =
+    if t.size = 0 then None
+    else begin
+      if t.drain = nil then advance t;
+      Some t.times.(t.drain)
+    end
+
+  let next_before t bound =
+    t.size > 0
+    && begin
+         if t.drain = nil then advance t;
+         t.times.(t.drain) <= bound
+       end
+
+  let pop_before t cell ~bound default =
+    if t.size = 0 then default
+    else begin
+      if t.drain = nil then advance t;
+      let i = t.drain in
+      let time = t.times.(i) in
+      if time > bound then default
+      else begin
+        let value = t.values.(i) in
+        cell := time;
+        t.drain <- t.nexts.(i);
+        t.size <- t.size - 1;
+        free_cell t i;
+        value
+      end
+    end
+
+  let clear t =
+    Array.fill t.slots 0 total_slots nil;
+    Array.fill t.level_count 0 levels 0;
+    t.cur <- 0;
+    t.wheel_count <- 0;
+    t.overflow <- nil;
+    t.overflow_count <- 0;
+    t.drain <- nil;
+    t.drain_tick <- -1;
+    t.size <- 0;
+    t.next_seq <- 0;
+    t.times <- [||];
+    t.seqs <- [||];
+    t.ticks <- [||];
+    t.nexts <- [||];
+    t.values <- [||];
+    t.free <- nil;
+    t.scratch <- [||]
+end
+
+type backend = (module S)
+
+let heap : backend = (module Heap)
+let wheel : backend = (module Wheel)
+let all = [ heap; wheel ]
+let backend_name (module B : S) = B.name
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "heap" -> Ok heap
+  | "wheel" -> Ok wheel
+  | other ->
+      Error
+        (Printf.sprintf "unknown scheduler backend %S (expected heap or wheel)"
+           other)
+
+(* The domain-local default backend.  Worker domains start from the
+   initializer (heap), so batch drivers that honour a --sched flag set
+   the default inside the worker body, not before spawning. *)
+let default_key = Domain.DLS.new_key (fun () -> heap)
+let default () = Domain.DLS.get default_key
+let set_default b = Domain.DLS.set default_key b
+
+type 'a queue = {
+  push : time:float -> 'a -> unit;
+  pop : unit -> (float * 'a) option;
+  pop_into : float ref -> 'a -> 'a;
+  pop_before : float ref -> bound:float -> 'a -> 'a;
+  peek_time : unit -> float option;
+  next_before : float -> bool;
+  size : unit -> int;
+  is_empty : unit -> bool;
+  clear : unit -> unit;
+  capacity : unit -> int;
+  backend : string;
+}
+
+let instantiate (module B : S) () =
+  let q = B.create () in
+  {
+    push = (fun ~time v -> B.push q ~time v);
+    pop = (fun () -> B.pop q);
+    pop_into = (fun cell default -> B.pop_into q cell default);
+    pop_before = (fun cell ~bound default -> B.pop_before q cell ~bound default);
+    peek_time = (fun () -> B.peek_time q);
+    next_before = (fun bound -> B.next_before q bound);
+    size = (fun () -> B.size q);
+    is_empty = (fun () -> B.is_empty q);
+    clear = (fun () -> B.clear q);
+    capacity = (fun () -> B.capacity q);
+    backend = B.name;
+  }

@@ -1,16 +1,35 @@
 module Metrics = Mcc_obs.Metrics
 
-type handle = { mutable cancelled : bool; mutable fire : unit -> unit }
+type handle = {
+  mutable cancelled : bool;
+  mutable fire : unit -> unit;
+  (* [post]ed handles never escape to a caller, so the sim recycles
+     them through an internal pool after they fire. *)
+  mutable recycle : bool;
+}
+
+let noop () = ()
 
 type t = {
-  queue : handle Event_queue.t;
+  queue : handle Scheduler.queue;
   mutable clock : float;
   mutable executed : int;
+  (* Hot-loop scratch: [pop_into] writes the event time into
+     [time_cell] (an unboxed store) and returns [sentinel] when the
+     queue is empty, so a step allocates nothing. *)
+  time_cell : float ref;
+  sentinel : handle;
+  (* Free list of recyclable handles: [post]/[post_after] reuse fired
+     records, so steady-state fire-and-forget scheduling allocates
+     nothing.  Stack-backed; the sentinel fills the unused slots. *)
+  mutable pool : handle array;
+  mutable pool_len : int;
   (* Telemetry handles, fetched at creation so the hot loop never does a
      registry lookup; [reported] makes the flush incremental, so several
      sims in one domain sum into "engine.events". *)
   events_metric : Metrics.counter;
   queue_capacity_metric : Metrics.gauge;
+  backend_capacity_metric : Metrics.gauge;
   mutable reported : int;
 }
 
@@ -19,21 +38,56 @@ type t = {
 let flush_metrics t =
   Metrics.incr t.events_metric ~by:(t.executed - t.reported);
   t.reported <- t.executed;
-  Metrics.set t.queue_capacity_metric
-    (float_of_int (Event_queue.capacity t.queue))
+  let capacity = float_of_int (t.queue.Scheduler.capacity ()) in
+  Metrics.set t.queue_capacity_metric capacity;
+  Metrics.set t.backend_capacity_metric capacity
+
 let now t = t.clock
+let sched_name t = t.queue.Scheduler.backend
 
 let schedule t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
-  let h = { cancelled = false; fire = f } in
-  Event_queue.push t.queue ~time:at h;
+  let h = { cancelled = false; fire = f; recycle = false } in
+  t.queue.Scheduler.push ~time:at h;
   h
 
 let schedule_after t ~delay f =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) f
+
+let take_handle t f =
+  if t.pool_len = 0 then { cancelled = false; fire = f; recycle = true }
+  else begin
+    t.pool_len <- t.pool_len - 1;
+    let h = t.pool.(t.pool_len) in
+    t.pool.(t.pool_len) <- t.sentinel;
+    h.cancelled <- false;
+    h.fire <- f;
+    h
+  end
+
+let put_handle t h =
+  (* Drop the closure so a parked handle retains nothing. *)
+  h.fire <- noop;
+  let cap = Array.length t.pool in
+  if t.pool_len = cap then begin
+    let grown = Array.make (if cap = 0 then 64 else 2 * cap) t.sentinel in
+    Array.blit t.pool 0 grown 0 cap;
+    t.pool <- grown
+  end;
+  t.pool.(t.pool_len) <- h;
+  t.pool_len <- t.pool_len + 1
+
+let post t ~at f =
+  if at < t.clock then
+    invalid_arg (Printf.sprintf "Sim.post: at=%g is before now=%g" at t.clock);
+  t.queue.Scheduler.push ~time:at (take_handle t f)
+
+let post_after t ~delay f =
+  if delay < 0. then invalid_arg "Sim.post_after: negative delay";
+  post t ~at:(t.clock +. delay) f
 
 let cancel h = h.cancelled <- true
 let cancelled h = h.cancelled
@@ -42,28 +96,38 @@ let every t ~start ~period f =
   if period <= 0. then invalid_arg "Sim.every: period <= 0";
   (* The outer handle stands for the whole periodic task: cancelling it
      prevents both the pending tick and all future rescheduling. *)
-  let outer = { cancelled = false; fire = (fun () -> ()) } in
+  let outer = { cancelled = false; fire = noop; recycle = false } in
   let rec tick at () =
     if not outer.cancelled then begin
       f ();
       if not outer.cancelled then begin
         let next = at +. period in
-        ignore (schedule t ~at:next (tick next))
+        post t ~at:next (tick next)
       end
     end
   in
-  outer.fire <- (fun () -> ());
-  ignore (schedule t ~at:start (tick start));
+  outer.fire <- noop;
+  post t ~at:start (tick start);
   outer
 
-let create () =
+let create ?sched () =
+  let backend =
+    match sched with Some b -> b | None -> Scheduler.default ()
+  in
+  let queue = Scheduler.instantiate backend () in
   let t =
     {
-      queue = Event_queue.create ();
+      queue;
       clock = 0.;
       executed = 0;
+      time_cell = ref 0.;
+      sentinel = { cancelled = true; fire = noop; recycle = false };
+      pool = [||];
+      pool_len = 0;
       events_metric = Metrics.counter "engine.events";
       queue_capacity_metric = Metrics.gauge "engine.queue_capacity";
+      backend_capacity_metric =
+        Metrics.gauge ("engine.queue_capacity." ^ queue.Scheduler.backend);
       reported = 0;
     }
   in
@@ -82,25 +146,32 @@ let create () =
   t
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, h) ->
-      t.clock <- time;
+  let h = t.queue.Scheduler.pop_into t.time_cell t.sentinel in
+  if h == t.sentinel then false
+  else begin
+    t.clock <- !(t.time_cell);
+    if not h.cancelled then begin
+      t.executed <- t.executed + 1;
+      h.fire ()
+    end;
+    if h.recycle then put_handle t h;
+    true
+  end
+
+let run_until t horizon =
+  let running = ref true in
+  while !running do
+    let h = t.queue.Scheduler.pop_before t.time_cell ~bound:horizon t.sentinel in
+    if h == t.sentinel then running := false
+    else begin
+      t.clock <- !(t.time_cell);
       if not h.cancelled then begin
         t.executed <- t.executed + 1;
         h.fire ()
       end;
-      true
-
-let run_until t horizon =
-  let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= horizon ->
-        ignore (step t);
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+      if h.recycle then put_handle t h
+    end
+  done;
   t.clock <- max t.clock horizon;
   flush_metrics t
 
@@ -111,4 +182,4 @@ let run t =
   flush_metrics t
 
 let events_executed t = t.executed
-let queue_capacity t = Event_queue.capacity t.queue
+let queue_capacity t = t.queue.Scheduler.capacity ()

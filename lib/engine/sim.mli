@@ -7,15 +7,23 @@ type t
 type handle
 (** A scheduled event that can be cancelled. *)
 
-val create : unit -> t
-(** A fresh sim with an empty queue at clock 0.  If this domain has
-    time-series sampling enabled ({!Mcc_obs.Timeseries.enable}), the
-    sim installs a periodic task at the configured [dt] that feeds
-    [Timeseries.sample_all] with the simulated clock, so sampled series
-    are deterministic in simulated time, not wall clock. *)
+val create : ?sched:Scheduler.backend -> unit -> t
+(** A fresh sim with an empty queue at clock 0, on the given scheduler
+    backend (default: this domain's {!Scheduler.default}, initially the
+    heap).  Every backend fires the same events in the same order — see
+    {!Scheduler} — so [?sched] is a performance knob only.
+
+    If this domain has time-series sampling enabled
+    ({!Mcc_obs.Timeseries.enable}), the sim installs a periodic task at
+    the configured [dt] that feeds [Timeseries.sample_all] with the
+    simulated clock, so sampled series are deterministic in simulated
+    time, not wall clock. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
+
+val sched_name : t -> string
+(** {!Scheduler.backend_name} of the backend this sim runs on. *)
 
 val schedule : t -> at:float -> (unit -> unit) -> handle
 (** Schedule a callback at absolute time [at].
@@ -23,6 +31,17 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** Schedule a callback [delay] seconds from now ([delay >= 0]). *)
+
+val post : t -> at:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule}: no handle is returned, so the event
+    cannot be cancelled — in exchange the sim recycles the internal
+    event record through a pool, making steady-state scheduling
+    allocation-free.  Semantically identical to
+    [ignore (schedule t ~at f)] otherwise (same ordering, same
+    validation). *)
+
+val post_after : t -> delay:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule_after}. *)
 
 val cancel : handle -> unit
 (** Cancelling a fired or already-cancelled event is a no-op. *)
@@ -46,9 +65,11 @@ val events_executed : t -> int
 (** Total callbacks fired so far (observability / benchmarks). *)
 
 val queue_capacity : t -> int
-(** Event-queue allocation high-water in slots ({!Event_queue.capacity});
-    the "max heap depth" figure of a run profile.
+(** Event-queue allocation high-water in slots ({!Scheduler.S.capacity}
+    of the backend); the "max heap depth" figure of a run profile.
 
     [run] and [run_until] also publish both counts to this domain's
-    {!Mcc_obs.Metrics} registry on return, as the "engine.events"
-    counter and "engine.queue_capacity" gauge. *)
+    {!Mcc_obs.Metrics} registry on return: the "engine.events" counter,
+    the backend-neutral "engine.queue_capacity" gauge, and the
+    per-backend "engine.queue_capacity.heap" / "engine.queue_capacity.wheel"
+    gauge for whichever backend the sim runs on. *)

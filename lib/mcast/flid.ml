@@ -224,11 +224,10 @@ let sender_slot_tick s () =
                  ~decrease:(Layered.decrease_field st ~group:g))
         | None -> None
       in
-      ignore
-        (Sim.schedule sim
+      Sim.post sim
            ~at:(tick_now +. phase +. (float_of_int i *. spacing))
            (fun () ->
-             emit_packet s ~group:g ~slot ~seq ~last ~mask ~delta:(delta ()) ()))
+             emit_packet s ~group:g ~slot ~seq ~last ~mask ~delta:(delta ()) ())
     done
   done
 
@@ -670,8 +669,7 @@ let rec schedule_eval r =
       +. (config.processing_margin *. config.slot_duration)
     in
     let at = Float.max at (Sim.now sim) in
-    ignore
-      (Sim.schedule sim ~at (fun () ->
+    Sim.post sim ~at (fun () ->
            if not r.r_stopped then begin
              if r.r_next_eval = slot then begin
                eval_slot r slot;
@@ -679,7 +677,7 @@ let rec schedule_eval r =
                try_eval r
              end;
              schedule_eval r
-           end))
+           end)
   end
 
 let on_data r pkt =
@@ -773,12 +771,11 @@ let receiver_start ?(at = 0.) ?(behavior = Well_behaved) topo ~host ~prng
   for g = 1 to n do
     Node.subscribe_local host ~group:(group_addr config g) (on_data r)
   done;
-  ignore
-    (Sim.schedule (Topology.sim topo) ~at (fun () ->
+  Sim.post (Topology.sim topo) ~at (fun () ->
          match (config.mode, r.r_client) with
          | Plain, _ ->
              Multicast.host_join topo ~host ~group:(group_addr config 1)
          | Robust, Some client ->
              Client.session_join client ~group:(group_addr config 1)
-         | Robust, None -> ()));
+         | Robust, None -> ());
   r

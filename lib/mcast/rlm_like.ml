@@ -260,8 +260,7 @@ let sender_slot_tick s () =
     for i = 0 to count - 1 do
       let last = i = count - 1 in
       let repair = i >= originals.(g - 1) in
-      ignore
-        (Sim.schedule sim
+      Sim.post sim
            ~at:(tick_now +. phase +. (float_of_int i *. spacing))
            (fun () ->
              if config.mode = Flid.Robust then
@@ -284,7 +283,7 @@ let sender_slot_tick s () =
                          top_shares = [];
                          inc_shares = [];
                        }))
-             end))
+             end)
     done
   done
 
@@ -593,8 +592,7 @@ let rec schedule_eval r =
       +. (config.processing_margin *. config.slot_duration)
     in
     let at = Float.max at (Sim.now sim) in
-    ignore
-      (Sim.schedule sim ~at (fun () ->
+    Sim.post sim ~at (fun () ->
            if not r.r_stopped then begin
              if r.r_next_eval = slot then begin
                eval_slot r slot;
@@ -602,7 +600,7 @@ let rec schedule_eval r =
                try_eval r
              end;
              schedule_eval r
-           end))
+           end)
   end
 
 let on_data r pkt =
@@ -709,12 +707,11 @@ let receiver_start ?(at = 0.) topo ~host ~prng config =
   for g = 1 to n do
     Node.subscribe_local host ~group:(group_addr config g) (on_data r)
   done;
-  ignore
-    (Sim.schedule (Topology.sim topo) ~at (fun () ->
+  Sim.post (Topology.sim topo) ~at (fun () ->
          match (config.mode, r.r_client) with
          | Flid.Plain, _ ->
              Multicast.host_join topo ~host ~group:(group_addr config 1)
          | Flid.Robust, Some client ->
              Client.session_join client ~group:(group_addr config 1)
-         | Flid.Robust, None -> ()));
+         | Flid.Robust, None -> ());
   r

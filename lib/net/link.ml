@@ -53,7 +53,7 @@ type t = {
   ecn_threshold_bytes : int option;
   mutable red : Red.t option;
   sim : Sim.t;
-  queue : Packet.t Queue.t;
+  queue : Packet.t Pool.Fifo.t;
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable rev : t option;
@@ -88,7 +88,9 @@ let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
       ecn_threshold_bytes;
       red = None;
       sim;
-      queue = Queue.create ();
+      (* Ring buffer, not Stdlib.Queue: the FIFO is entirely internal to
+         the link, and the ring allocates nothing per enqueue. *)
+      queue = Pool.Fifo.create ();
       queued_bytes = 0;
       busy = false;
       rev = None;
@@ -152,20 +154,18 @@ let rec start_tx t pkt =
   Metrics.incr t.metrics.m_tx;
   Metrics.incr t.metrics.m_tx_bytes ~by:pkt.Packet.size;
   note t Tx_start pkt;
-  ignore
-    (Sim.schedule_after t.sim ~delay:(tx_time t pkt) (fun () ->
+  Sim.post_after t.sim ~delay:(tx_time t pkt) (fun () ->
          (* Serialization finished: launch propagation, then service the
             next queued packet. *)
-         ignore
-           (Sim.schedule_after t.sim ~delay:t.delay_s (fun () ->
-                note t Delivered pkt;
-                t.deliver pkt));
-         if Queue.is_empty t.queue then t.busy <- false
+         Sim.post_after t.sim ~delay:t.delay_s (fun () ->
+             note t Delivered pkt;
+             t.deliver pkt);
+         if Pool.Fifo.is_empty t.queue then t.busy <- false
          else begin
-           let next = Queue.pop t.queue in
+           let next = Pool.Fifo.pop t.queue in
            t.queued_bytes <- t.queued_bytes - next.Packet.size;
            start_tx t next
-         end))
+         end)
 
 let mark t pkt =
   pkt.Packet.ecn <- true;
@@ -178,10 +178,13 @@ let mark t pkt =
 let send t pkt =
   let packet_room =
     match t.buffer_packets with
-    | Some cap -> Queue.length t.queue < cap
+    | Some cap -> Pool.Fifo.length t.queue < cap
     | None -> true
   in
-  if not t.busy then start_tx t pkt
+  if not t.busy then begin
+    start_tx t pkt;
+    true
+  end
   else if packet_room && t.queued_bytes + pkt.Packet.size <= t.buffer_bytes
   then begin
     (match t.red with
@@ -191,21 +194,24 @@ let send t pkt =
         match t.ecn_threshold_bytes with
         | Some thr when t.queued_bytes >= thr -> mark t pkt
         | Some _ | None -> ()));
-    Queue.push pkt t.queue;
+    Pool.Fifo.push t.queue pkt;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.size;
     t.enqueues <- t.enqueues + 1;
     t.enqueue_bytes <- t.enqueue_bytes + pkt.Packet.size;
     Metrics.incr t.metrics.m_enqueues;
     Metrics.incr t.metrics.m_enqueue_bytes ~by:pkt.Packet.size;
-    note t Enqueued pkt
+    note t Enqueued pkt;
+    true
   end
   else begin
     t.drops <- t.drops + 1;
     t.drop_bytes <- t.drop_bytes + pkt.Packet.size;
     Metrics.incr t.metrics.m_drops;
     Metrics.incr t.metrics.m_drop_bytes ~by:pkt.Packet.size;
-    note t Dropped pkt
+    note t Dropped pkt;
+    false
   end
 
+let observed t = Option.is_some t.on_event
 let occupancy_bytes t = t.queued_bytes
 let control_delay t = t.delay_s

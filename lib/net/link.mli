@@ -43,7 +43,7 @@ type t = {
       (** probabilistic marking; takes precedence over the fixed
           threshold when installed (see {!Red}) *)
   sim : Mcc_engine.Sim.t;
-  queue : Packet.t Queue.t;
+  queue : Packet.t Pool.Fifo.t;  (** drop-tail FIFO, ring-buffer backed *)
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable rev : t option;  (** reverse direction of a duplex pair *)
@@ -77,8 +77,16 @@ val create :
   t
 (** @raise Invalid_argument on non-positive rate or negative delay. *)
 
-val send : t -> Packet.t -> unit
-(** Transmit, queue, or drop the packet. *)
+val send : t -> Packet.t -> bool
+(** Transmit or queue the packet ([true]), or drop it ([false]).  A
+    [false] return is synchronous: the link holds no reference to the
+    packet, which lets the multicast fan-out recycle unobserved branch
+    copies ({!Packet.release}). *)
+
+val observed : t -> bool
+(** Whether an [on_event] tap is installed.  A tap may retain packets
+    (the {!Trace} ring does), so the forwarding path only recycles
+    dropped copies on unobserved links. *)
 
 val occupancy_bytes : t -> int
 (** Bytes currently queued (not counting the packet in service). *)

@@ -17,10 +17,9 @@ let rec graft topo ~node ~group ~down =
         | None -> ()
         | Some rev ->
             let parent = Topology.node topo up.Link.dst in
-            ignore
-              (Sim.schedule_after (Topology.sim topo)
+            Sim.post_after (Topology.sim topo)
                  ~delay:(Link.control_delay up) (fun () ->
-                   graft topo ~node:parent ~group ~down:rev)))
+                   graft topo ~node:parent ~group ~down:rev))
 
 let rec prune topo ~node ~group ~down =
   let became_empty = Node.remove_downstream node ~group down in
@@ -32,10 +31,9 @@ let rec prune topo ~node ~group ~down =
         | None -> ()
         | Some rev ->
             let parent = Topology.node topo up.Link.dst in
-            ignore
-              (Sim.schedule_after (Topology.sim topo)
+            Sim.post_after (Topology.sim topo)
                  ~delay:(Link.control_delay up) (fun () ->
-                   prune topo ~node:parent ~group ~down:rev)))
+                   prune topo ~node:parent ~group ~down:rev))
 
 let propagate_graft topo ~(node : Node.t) ~group =
   match upstream_link topo ~node ~group with
@@ -45,10 +43,9 @@ let propagate_graft topo ~(node : Node.t) ~group =
       | None -> ()
       | Some rev ->
           let parent = Topology.node topo up.Link.dst in
-          ignore
-            (Sim.schedule_after (Topology.sim topo)
+          Sim.post_after (Topology.sim topo)
                ~delay:(Link.control_delay up) (fun () ->
-                 graft topo ~node:parent ~group ~down:rev)))
+                 graft topo ~node:parent ~group ~down:rev))
 
 let graft_local topo ~(node : Node.t) ~group =
   let on_tree =
@@ -70,10 +67,9 @@ let prune_local topo ~(node : Node.t) ~group =
           | None -> ()
           | Some rev ->
               let parent = Topology.node topo up.Link.dst in
-              ignore
-                (Sim.schedule_after (Topology.sim topo)
+              Sim.post_after (Topology.sim topo)
                    ~delay:(Link.control_delay up) (fun () ->
-                     prune topo ~node:parent ~group ~down:rev)))
+                     prune topo ~node:parent ~group ~down:rev))
   end
 
 let router_of topo (host : Node.t) =
@@ -112,17 +108,15 @@ let host_join ?latency topo ~host ~group =
       let delay =
         match latency with Some l -> l | None -> Link.control_delay down
       in
-      ignore
-        (Sim.schedule_after (Topology.sim topo) ~delay (fun () ->
+      Sim.post_after (Topology.sim topo) ~delay (fun () ->
              if not (Hashtbl.mem router.Node.protected_groups group) then
-               graft topo ~node:router ~group ~down))
+               graft topo ~node:router ~group ~down)
   | _, _ -> ()
 
 let host_leave ?(latency = 0.05) topo ~host ~group =
   match router_of topo host with
   | Some router, Some down ->
-      ignore
-        (Sim.schedule_after (Topology.sim topo) ~delay:latency (fun () ->
+      Sim.post_after (Topology.sim topo) ~delay:latency (fun () ->
              if not (Hashtbl.mem router.Node.protected_groups group) then
-               prune topo ~node:router ~group ~down))
+               prune topo ~node:router ~group ~down)
   | _, _ -> ()

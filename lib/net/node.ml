@@ -88,14 +88,22 @@ let may_forward_on t ~group link pkt =
     | Some f when host_facing -> f group link
     | Some _ | None -> true
 
+(* Branch copies come from the packet pool, and a copy that dies in a
+   synchronous drop goes straight back — provided nothing could have
+   kept a reference: no on_forward hook saw it and the link carries no
+   observability tap. *)
 let forward_multicast t ~from ~group pkt =
   let same_link l = match from with Some f -> l == f | None -> false in
   List.iter
     (fun link ->
       if (not (same_link link)) && may_forward_on t ~group link pkt then begin
-        let fresh = Packet.copy pkt in
+        let fresh = Packet.copy_pooled pkt in
         (match t.on_forward with Some h -> h group link fresh | None -> ());
-        Link.send link fresh
+        if
+          (not (Link.send link fresh))
+          && Option.is_none t.on_forward
+          && not (Link.observed link)
+        then Packet.release fresh
       end)
     (downstream t ~group)
 
@@ -108,7 +116,12 @@ let receive t ~from pkt =
         match from with Some f -> l.Link.dst = f.Link.src | None -> false
       in
       List.iter
-        (fun link -> if not (leads_back link) then Link.send link (Packet.copy pkt))
+        (fun link ->
+          if not (leads_back link) then begin
+            let fresh = Packet.copy_pooled pkt in
+            if (not (Link.send link fresh)) && not (Link.observed link) then
+              Packet.release fresh
+          end)
         t.links
   | Host ->
       (match t.promiscuous with Some h -> h pkt | None -> ());
@@ -121,7 +134,7 @@ let receive t ~from pkt =
       | Packet.Unicast id ->
           if id <> t.id then (
             match Hashtbl.find_opt t.fib id with
-            | Some link -> Link.send link pkt
+            | Some link -> ignore (Link.send link pkt)
             | None -> ())
       | Packet.Multicast g -> forward_multicast t ~from ~group:g pkt)
 
@@ -131,7 +144,7 @@ let originate t pkt =
       if id = t.id then deliver_local t pkt
       else
         match Hashtbl.find_opt t.fib id with
-        | Some link -> Link.send link pkt
+        | Some link -> ignore (Link.send link pkt)
         | None -> ())
   | Packet.Multicast g ->
       deliver_local t pkt;

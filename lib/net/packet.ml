@@ -1,12 +1,15 @@
 type dst = Unicast of int | Multicast of int
 
+(* All fields are mutable so a recycled record can be re-initialised in
+   place ([copy_pooled]); outside the pool the identity fields are
+   treated as immutable, exactly as before. *)
 type t = {
-  uid : int;
-  src : int;
-  dst : dst;
-  size : int;
+  mutable uid : int;
+  mutable src : int;
+  mutable dst : dst;
+  mutable size : int;
   mutable ecn : bool;
-  router_alert : bool;
+  mutable router_alert : bool;
   mutable payload : Payload.t;
 }
 
@@ -24,6 +27,30 @@ let make ?(router_alert = false) ~src ~dst ~size payload =
   { uid = !counter; src; dst; size; ecn = false; router_alert; payload }
 
 let copy t = { t with uid = t.uid }
+
+(* Multicast fan-out allocates one copy per downstream branch, and under
+   the congestion the attack figures live in, most of those copies die
+   synchronously in a full link buffer.  Recycling them through a
+   domain-local free list turns that steady state allocation-free.  The
+   pool is bounded, so a run that never releases behaves exactly as
+   before. *)
+let pool = Domain.DLS.new_key (fun () -> Pool.Freelist.create ~cap:4096 ())
+
+let copy_pooled src =
+  match Pool.Freelist.take (Domain.DLS.get pool) with
+  | None -> copy src
+  | Some pkt ->
+      pkt.uid <- src.uid;
+      pkt.src <- src.src;
+      pkt.dst <- src.dst;
+      pkt.size <- src.size;
+      pkt.ecn <- src.ecn;
+      pkt.router_alert <- src.router_alert;
+      pkt.payload <- src.payload;
+      pkt
+
+let release pkt = Pool.Freelist.put (Domain.DLS.get pool) pkt
+let pooled () = Pool.Freelist.length (Domain.DLS.get pool)
 let is_multicast t = match t.dst with Multicast _ -> true | Unicast _ -> false
 
 let pp fmt t =

@@ -8,24 +8,45 @@
 type dst = Unicast of int | Multicast of int
 
 type t = {
-  uid : int;  (** unique per original packet; shared by multicast copies *)
-  src : int;  (** originating node id *)
-  dst : dst;
-  size : int;  (** bytes on the wire *)
+  mutable uid : int;
+      (** unique per original packet; shared by multicast copies *)
+  mutable src : int;  (** originating node id *)
+  mutable dst : dst;
+  mutable size : int;  (** bytes on the wire *)
   mutable ecn : bool;  (** explicit congestion notification mark *)
-  router_alert : bool;
+  mutable router_alert : bool;
       (** SIGMA special packets: intercepted by edge routers, never
           forwarded onto host-facing interfaces *)
   mutable payload : Payload.t;
       (** mutable so a per-branch copy can swap in a rewritten payload
           (ECN component scrubbing) without aliasing other branches *)
 }
+(** All fields are mutable so pooled records can be re-initialised in
+    place; outside {!copy_pooled} the identity fields (uid, src, dst,
+    size, router_alert) are never written after {!make}. *)
 
 val make : ?router_alert:bool -> src:int -> dst:dst -> size:int -> Payload.t -> t
 (** Allocates a fresh uid.  @raise Invalid_argument if [size <= 0]. *)
 
 val copy : t -> t
 (** Same uid and fields; independent mutable state. *)
+
+val copy_pooled : t -> t
+(** {!copy} drawing the record from this domain's free list when one is
+    available.  Semantically identical to [copy]; exists so the
+    multicast fan-out can recycle branch copies (see {!release}). *)
+
+val release : t -> unit
+(** Returns a packet to this domain's free list for reuse by
+    {!copy_pooled}.  The caller asserts no live references remain — the
+    forwarding path only releases copies it allocated itself that died
+    in a synchronous, unobserved drop.  The list is bounded (further
+    releases are dropped on the floor), so never releasing is merely the
+    pre-pool allocation behaviour. *)
+
+val pooled : unit -> int
+(** Number of packets currently parked in this domain's free list
+    (observability / tests). *)
 
 val is_multicast : t -> bool
 

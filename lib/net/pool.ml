@@ -1,0 +1,75 @@
+(* Allocation arenas for the packet hot path.
+
+   Both structures store elements in flat arrays grown by doubling, so
+   steady-state operation allocates nothing: the link FIFO replaces
+   Stdlib.Queue (one cons cell per enqueue) and the free list backs
+   Packet recycling.  Slots beyond the live region may keep stale
+   references to previously stored elements until overwritten — callers
+   hold recyclable or short-lived values, and [clear] drops the storage
+   outright. *)
+
+module Fifo = struct
+  type 'a t = { mutable buf : 'a array; mutable head : int; mutable len : int }
+
+  let initial_capacity = 16
+
+  let create () = { buf = [||]; head = 0; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+  let capacity t = Array.length t.buf
+
+  (* Unwraps the ring while copying, so [head] restarts at 0; the filler
+     is the element being pushed, immediately overwritten. *)
+  let grow t filler =
+    let cap = Array.length t.buf in
+    let cap' = if cap = 0 then initial_capacity else 2 * cap in
+    let buf' = Array.make cap' filler in
+    for i = 0 to t.len - 1 do
+      buf'.(i) <- t.buf.((t.head + i) mod cap)
+    done;
+    t.buf <- buf';
+    t.head <- 0
+
+  let push t v =
+    if t.len = Array.length t.buf then grow t v;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
+    t.len <- t.len + 1
+
+  let pop t =
+    if t.len = 0 then invalid_arg "Pool.Fifo.pop: empty";
+    let v = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    v
+
+  let clear t =
+    t.buf <- [||];
+    t.head <- 0;
+    t.len <- 0
+end
+
+module Freelist = struct
+  type 'a t = { mutable store : 'a array; mutable len : int; cap : int }
+
+  let create ~cap () = { store = [||]; len = 0; cap }
+  let length t = t.len
+
+  let put t v =
+    if t.len < t.cap then begin
+      if t.len = Array.length t.store then begin
+        let cap' = min t.cap (max 64 (2 * Array.length t.store)) in
+        let store' = Array.make cap' v in
+        Array.blit t.store 0 store' 0 t.len;
+        t.store <- store'
+      end;
+      t.store.(t.len) <- v;
+      t.len <- t.len + 1
+    end
+
+  let take t =
+    if t.len = 0 then None
+    else begin
+      t.len <- t.len - 1;
+      Some t.store.(t.len)
+    end
+end

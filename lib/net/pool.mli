@@ -1,0 +1,48 @@
+(** Allocation arenas for the packet hot path.
+
+    Flat-array structures grown by doubling: in steady state neither
+    allocates per operation, unlike [Stdlib.Queue] (a cons cell per
+    enqueue) or fresh records per recycled object.  Slots beyond the
+    live region may retain stale references until overwritten; both
+    structures are domain-confined, like everything else in the
+    simulator's data plane. *)
+
+(** Array-backed growable ring buffer: the drop-tail FIFO inside
+    {!Link}. *)
+module Fifo : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  (** Storage is allocated lazily on the first push. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val capacity : 'a t -> int
+  (** Current backing-array length (observability / tests). *)
+
+  val push : 'a t -> 'a -> unit
+  (** Appends at the tail; amortised O(1), allocation only on
+      doubling. *)
+
+  val pop : 'a t -> 'a
+  (** Removes the head.  @raise Invalid_argument when empty. *)
+
+  val clear : 'a t -> unit
+  (** Empties the buffer and drops its storage. *)
+end
+
+(** Bounded LIFO free list: the recycling store behind
+    {!Packet.release}. *)
+module Freelist : sig
+  type 'a t
+
+  val create : cap:int -> unit -> 'a t
+  (** At most [cap] elements are retained; further {!put}s are dropped
+      on the floor (the GC reclaims them as usual). *)
+
+  val length : 'a t -> int
+
+  val put : 'a t -> 'a -> unit
+  val take : 'a t -> 'a option
+end

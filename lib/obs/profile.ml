@@ -1,4 +1,5 @@
 type t = {
+  sched : string;
   events : int;
   queue_capacity : int;
   wall_s : float;
@@ -15,8 +16,9 @@ let with_wall_clock f =
   let r = f () in
   (r, now () -. t0)
 
-let make ~events ~queue_capacity ~wall_s =
+let make ?(sched = "heap") ~events ~queue_capacity ~wall_s () =
   {
+    sched;
     events;
     queue_capacity;
     wall_s;
@@ -28,6 +30,7 @@ let make ~events ~queue_capacity ~wall_s =
 let to_json t =
   Json.Obj
     [
+      ("sched", Json.String t.sched);
       ("events", Json.Int t.events);
       ("queue_capacity", Json.Int t.queue_capacity);
       ("wall_s", Json.Float t.wall_s);
@@ -35,5 +38,6 @@ let to_json t =
     ]
 
 let pp fmt t =
-  Format.fprintf fmt "%d events in %.3f s (%.0f events/s, queue capacity %d)"
-    t.events t.wall_s t.events_per_sec t.queue_capacity
+  Format.fprintf fmt
+    "%d events in %.3f s (%.0f events/s, %s scheduler, queue capacity %d)"
+    t.events t.wall_s t.events_per_sec t.sched t.queue_capacity

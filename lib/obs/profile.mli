@@ -8,14 +8,17 @@
     byte-for-byte. *)
 
 type t = {
+  sched : string;  (** scheduler backend the run executed on *)
   events : int;  (** event-loop callbacks fired *)
   queue_capacity : int;  (** event-queue allocation high-water, in slots *)
   wall_s : float;
   events_per_sec : float;
 }
 
-val make : events:int -> queue_capacity:int -> wall_s:float -> t
-(** Derives [events_per_sec] (0 when [wall_s] is 0). *)
+val make :
+  ?sched:string -> events:int -> queue_capacity:int -> wall_s:float -> unit -> t
+(** Derives [events_per_sec] (0 when [wall_s] is 0).  [sched] defaults
+    to ["heap"], the engine's default backend. *)
 
 val with_wall_clock : (unit -> 'a) -> 'a * float
 (** [with_wall_clock f] runs [f] and returns its result paired with the

@@ -43,9 +43,8 @@ let distribute ?(scheme = Fec.Repetition 2) ?(max_per_packet = 16) topo ~sender
         Packet.make ~router_alert:true ~src:sender.Node.id
           ~dst:(Packet.Multicast via_group) ~size:c.Fec.wire_bytes payload
       in
-      ignore
-        (Sim.schedule_after sim ~delay:(float_of_int i *. spacing) (fun () ->
-             Node.originate sender pkt)))
+      Sim.post_after sim ~delay:(float_of_int i *. spacing) (fun () ->
+             Node.originate sender pkt))
     sorted;
   let total_chunks =
     match coded with [] -> 0 | (c : Fec.coded) :: _ -> c.Fec.total_chunks

@@ -259,10 +259,9 @@ let start ?(config = default_config) ?(at = 0.) topo ~flow ~src ~dst () =
           on_ack t ack;
           true
       | _ -> false);
-  ignore
-    (Sim.schedule sim ~at (fun () ->
+  Sim.post sim ~at (fun () ->
          t.running <- true;
-         fill_window t));
+         fill_window t);
   t
 
 let stop t =

@@ -1,61 +1,183 @@
-module Event_queue = Mcc_engine.Event_queue
+module Scheduler = Mcc_engine.Scheduler
 module Sim = Mcc_engine.Sim
 
+(* Queue-contract tests run against every backend: the Scheduler
+   interface promises byte-identical pop sequences, so the same
+   assertions must hold for heap and wheel alike. *)
+let backends = Scheduler.all
+
+let each_backend check f =
+  List.iter
+    (fun b ->
+      let name = Scheduler.backend_name b in
+      f name (Scheduler.instantiate b ()))
+    check
+
 let test_queue_order () =
-  let q = Event_queue.create () in
-  Event_queue.push q ~time:3. "c";
-  Event_queue.push q ~time:1. "a";
-  Event_queue.push q ~time:2. "b";
-  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
-  let first = pop () in
-  let second = pop () in
-  let third = pop () in
-  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
-    [ first; second; third ]
+  each_backend backends (fun name q ->
+      q.Scheduler.push ~time:3. "c";
+      q.Scheduler.push ~time:1. "a";
+      q.Scheduler.push ~time:2. "b";
+      let pop () =
+        match q.Scheduler.pop () with Some (_, v) -> v | None -> "?"
+      in
+      let first = pop () in
+      let second = pop () in
+      let third = pop () in
+      Alcotest.(check (list string))
+        (name ^ " sorted")
+        [ "a"; "b"; "c" ]
+        [ first; second; third ])
 
 let test_queue_fifo_ties () =
-  let q = Event_queue.create () in
-  for i = 0 to 9 do
-    Event_queue.push q ~time:1. i
-  done;
-  let out = ref [] in
-  let rec drain () =
-    match Event_queue.pop q with
-    | Some (_, v) ->
-        out := v :: !out;
-        drain ()
-    | None -> ()
-  in
-  drain ();
-  Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
-    (List.rev !out)
+  each_backend backends (fun name q ->
+      for i = 0 to 9 do
+        q.Scheduler.push ~time:1. i
+      done;
+      let out = ref [] in
+      let rec drain () =
+        match q.Scheduler.pop () with
+        | Some (_, v) ->
+            out := v :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Alcotest.(check (list int))
+        (name ^ " fifo ties")
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (List.rev !out))
 
 let test_queue_nan () =
-  let q = Event_queue.create () in
-  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: NaN time")
-    (fun () -> Event_queue.push q ~time:Float.nan ())
+  each_backend backends (fun name q ->
+      Alcotest.check_raises (name ^ " nan")
+        (Invalid_argument "Scheduler.push: NaN time") (fun () ->
+          q.Scheduler.push ~time:Float.nan ()))
+
+let test_wheel_negative_time () =
+  let q = Scheduler.instantiate Scheduler.wheel () in
+  Alcotest.check_raises "wheel negative"
+    (Invalid_argument "Scheduler.push: negative time (wheel)") (fun () ->
+      q.Scheduler.push ~time:(-1e-9) ())
 
 let prop_queue_sorted =
-  QCheck.Test.make ~name:"event queue pops in time order" ~count:200
+  QCheck.Test.make ~name:"schedulers pop in time order" ~count:200
     QCheck.(list_of_size Gen.(int_range 0 200) (float_bound_inclusive 1000.))
     (fun times ->
-      let q = Event_queue.create () in
-      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
-      let rec drain last =
-        match Event_queue.pop q with
-        | None -> true
-        | Some (t, ()) -> t >= last && drain t
+      List.for_all
+        (fun b ->
+          let q = Scheduler.instantiate b () in
+          List.iter (fun t -> q.Scheduler.push ~time:t ()) times;
+          let rec drain last =
+            match q.Scheduler.pop () with
+            | None -> true
+            | Some (t, ()) -> t >= last && drain t
+          in
+          drain neg_infinity)
+        backends)
+
+(* The wheel spans its levels: sub-microsecond ticks land on level 0,
+   minutes-scale delays cascade down from upper levels, and times beyond
+   the 2^32-microtick horizon take the overflow path — all of it must
+   drain in exactly sorted order. *)
+let test_wheel_level_span () =
+  let times =
+    [ 0.; 1e-7; 3e-6; 0.9; 250.; 251.00000025; 4000.; 4294.97; 100000.; 1e9 ]
+  in
+  let q = Scheduler.instantiate Scheduler.wheel () in
+  List.iter (fun t -> q.Scheduler.push ~time:t ()) (List.rev times);
+  let rec drain acc =
+    match q.Scheduler.pop () with
+    | Some (t, ()) -> drain (t :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (float 0.))) "level span sorted" times (drain [])
+
+let test_queue_clear_resets () =
+  each_backend backends (fun name q ->
+      for i = 0 to 199 do
+        q.Scheduler.push ~time:(float_of_int (i mod 7)) i
+      done;
+      q.Scheduler.clear ();
+      Alcotest.(check int) (name ^ " empty after clear") 0 (q.Scheduler.size ());
+      (* Same-time pushes after clear drain in insertion order, exactly
+         as they would in a fresh queue (next_seq restarted). *)
+      for i = 0 to 9 do
+        q.Scheduler.push ~time:1. i
+      done;
+      let out = ref [] in
+      let rec drain () =
+        match q.Scheduler.pop () with
+        | Some (_, v) ->
+            out := v :: !out;
+            drain ()
+        | None -> ()
       in
-      drain neg_infinity)
+      drain ();
+      Alcotest.(check (list int))
+        (name ^ " fifo restarts")
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (List.rev !out))
+
+(* The heap grows in place by doubling from a lazy empty start: the
+   capacity trajectory is exactly 0, 64, 128, 256, ... with one
+   reallocation per doubling, and clear drops back to 0. *)
+let test_heap_capacity_trajectory () =
+  let q = Scheduler.instantiate Scheduler.heap () in
+  Alcotest.(check int) "lazy start" 0 (q.Scheduler.capacity ());
+  let trajectory = ref [ 0 ] in
+  for i = 1 to 300 do
+    q.Scheduler.push ~time:(float_of_int i) i;
+    let c = q.Scheduler.capacity () in
+    if c <> List.hd !trajectory then trajectory := c :: !trajectory
+  done;
+  Alcotest.(check (list int))
+    "doubling trajectory" [ 0; 64; 128; 256; 512 ]
+    (List.rev !trajectory);
+  (* Growth points: capacity changes only when a push finds the arrays
+     full, i.e. after pushes 1, 65, 129, 257 — four reallocations for
+     300 elements, against 300 under the old Array.append regime. *)
+  q.Scheduler.clear ();
+  Alcotest.(check int) "clear drops storage" 0 (q.Scheduler.capacity ());
+  q.Scheduler.push ~time:1. 1;
+  Alcotest.(check int) "regrows lazily" 64 (q.Scheduler.capacity ())
+
+let test_of_name () =
+  (match Scheduler.of_name "WHEEL" with
+  | Ok b ->
+      Alcotest.(check string) "of_name wheel" "wheel" (Scheduler.backend_name b)
+  | Error e -> Alcotest.fail e);
+  match Scheduler.of_name "splay" with
+  | Ok _ -> Alcotest.fail "splay accepted"
+  | Error _ -> ()
 
 let test_sim_order_and_clock () =
+  List.iter
+    (fun sched ->
+      let sim = Sim.create ~sched () in
+      let log = ref [] in
+      ignore (Sim.schedule sim ~at:2. (fun () -> log := ("b", Sim.now sim) :: !log));
+      ignore (Sim.schedule sim ~at:1. (fun () -> log := ("a", Sim.now sim) :: !log));
+      Sim.run sim;
+      Alcotest.(check (list (pair string (float 0.))))
+        (Scheduler.backend_name sched ^ " order & clock")
+        [ ("a", 1.); ("b", 2.) ]
+        (List.rev !log))
+    backends
+
+let test_sim_default_backend () =
   let sim = Sim.create () in
-  let log = ref [] in
-  ignore (Sim.schedule sim ~at:2. (fun () -> log := ("b", Sim.now sim) :: !log));
-  ignore (Sim.schedule sim ~at:1. (fun () -> log := ("a", Sim.now sim) :: !log));
-  Sim.run sim;
-  Alcotest.(check (list (pair string (float 0.)))) "order & clock"
-    [ ("a", 1.); ("b", 2.) ] (List.rev !log)
+  Alcotest.(check string) "default is heap" "heap" (Sim.sched_name sim);
+  let prev = Scheduler.default () in
+  Scheduler.set_default Scheduler.wheel;
+  Fun.protect
+    ~finally:(fun () -> Scheduler.set_default prev)
+    (fun () ->
+      let sim = Sim.create () in
+      Alcotest.(check string) "domain default applies" "wheel"
+        (Sim.sched_name sim);
+      let sim = Sim.create ~sched:Scheduler.heap () in
+      Alcotest.(check string) "?sched wins" "heap" (Sim.sched_name sim))
 
 let test_sim_cancel () =
   let sim = Sim.create () in
@@ -77,14 +199,17 @@ let test_sim_past () =
      with Invalid_argument _ -> true)
 
 let test_sim_every () =
-  let sim = Sim.create () in
-  let count = ref 0 in
-  let h = Sim.every sim ~start:0. ~period:1. (fun () -> incr count) in
-  Sim.run_until sim 5.5;
-  Alcotest.(check int) "six ticks in [0,5]" 6 !count;
-  Sim.cancel h;
-  Sim.run_until sim 10.;
-  Alcotest.(check int) "no ticks after cancel" 6 !count
+  List.iter
+    (fun sched ->
+      let sim = Sim.create ~sched () in
+      let count = ref 0 in
+      let h = Sim.every sim ~start:0. ~period:1. (fun () -> incr count) in
+      Sim.run_until sim 5.5;
+      Alcotest.(check int) "six ticks in [0,5]" 6 !count;
+      Sim.cancel h;
+      Sim.run_until sim 10.;
+      Alcotest.(check int) "no ticks after cancel" 6 !count)
+    backends
 
 let test_sim_run_until_clock () =
   let sim = Sim.create () in
@@ -92,42 +217,44 @@ let test_sim_run_until_clock () =
   Alcotest.(check (float 0.)) "clock advances to horizon" 3. (Sim.now sim)
 
 let test_sim_nested_schedule () =
-  let sim = Sim.create () in
-  let log = ref [] in
-  ignore
-    (Sim.schedule sim ~at:1. (fun () ->
-         log := 1 :: !log;
-         ignore (Sim.schedule_after sim ~delay:0.5 (fun () -> log := 2 :: !log))));
-  Sim.run sim;
-  Alcotest.(check (list int)) "nested" [ 1; 2 ] (List.rev !log)
+  List.iter
+    (fun sched ->
+      let sim = Sim.create ~sched () in
+      let log = ref [] in
+      ignore
+        (Sim.schedule sim ~at:1. (fun () ->
+             log := 1 :: !log;
+             ignore
+               (Sim.schedule_after sim ~delay:0.5 (fun () -> log := 2 :: !log))));
+      Sim.run sim;
+      Alcotest.(check (list int))
+        (Scheduler.backend_name sched ^ " nested")
+        [ 1; 2 ]
+        (List.rev !log))
+    backends
 
-let test_queue_clear_resets () =
-  let q = Event_queue.create () in
-  (* Grow past the initial 64 slots, then clear: the heap must shrink
-     back and the FIFO tie-break sequence must restart from zero. *)
-  for i = 0 to 199 do
-    Event_queue.push q ~time:(float_of_int (i mod 7)) i
-  done;
-  Alcotest.(check bool) "heap grew" true (Event_queue.capacity q > 64);
-  Event_queue.clear q;
-  Alcotest.(check int) "empty after clear" 0 (Event_queue.size q);
-  Alcotest.(check int) "capacity back to initial" 64 (Event_queue.capacity q);
-  (* Same-time pushes after clear drain in insertion order, exactly as
-     they would in a fresh queue (next_seq restarted). *)
-  for i = 0 to 9 do
-    Event_queue.push q ~time:1. i
-  done;
-  let out = ref [] in
-  let rec drain () =
-    match Event_queue.pop q with
-    | Some (_, v) ->
-        out := v :: !out;
-        drain ()
-    | None -> ()
-  in
-  drain ();
-  Alcotest.(check (list int)) "fifo restarts" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
-    (List.rev !out)
+(* The deprecated Event_queue alias must keep compiling and behaving as
+   the heap backend for one release; this module is its one sanctioned
+   in-tree use. *)
+module Alias = struct
+  [@@@warning "-3"]
+
+  module Event_queue = Mcc_engine.Event_queue
+
+  let test_alias () =
+    let q = Event_queue.create () in
+    Event_queue.push q ~time:2. "b";
+    Event_queue.push q ~time:1. "a";
+    Alcotest.(check string) "alias name" "heap" Event_queue.name;
+    Alcotest.(check int) "alias size" 2 (Event_queue.size q);
+    Alcotest.(check (option (float 0.))) "alias peek" (Some 1.)
+      (Event_queue.peek_time q);
+    (match Event_queue.pop q with
+    | Some (_, v) -> Alcotest.(check string) "alias pop" "a" v
+    | None -> Alcotest.fail "alias pop");
+    Event_queue.clear q;
+    Alcotest.(check bool) "alias clear" true (Event_queue.is_empty q)
+end
 
 let suite =
   ( "engine",
@@ -135,9 +262,16 @@ let suite =
       Alcotest.test_case "queue order" `Quick test_queue_order;
       Alcotest.test_case "queue fifo ties" `Quick test_queue_fifo_ties;
       Alcotest.test_case "queue nan" `Quick test_queue_nan;
+      Alcotest.test_case "wheel negative time" `Quick test_wheel_negative_time;
+      Alcotest.test_case "wheel level span" `Quick test_wheel_level_span;
       Alcotest.test_case "queue clear resets" `Quick test_queue_clear_resets;
+      Alcotest.test_case "heap capacity trajectory" `Quick
+        test_heap_capacity_trajectory;
+      Alcotest.test_case "backend of_name" `Quick test_of_name;
+      Alcotest.test_case "event_queue alias" `Quick Alias.test_alias;
       QCheck_alcotest.to_alcotest prop_queue_sorted;
       Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
+      Alcotest.test_case "sim default backend" `Quick test_sim_default_backend;
       Alcotest.test_case "sim cancel" `Quick test_sim_cancel;
       Alcotest.test_case "sim rejects past" `Quick test_sim_past;
       Alcotest.test_case "sim periodic" `Quick test_sim_every;

@@ -202,15 +202,19 @@ let test_record_json_omits_empty_attrs () =
 (* --- profile ------------------------------------------------------------ *)
 
 let test_profile_json_field_order () =
-  let p = Profile.make ~events:100 ~queue_capacity:16 ~wall_s:0.5 in
+  let p =
+    Profile.make ~sched:"wheel" ~events:100 ~queue_capacity:16 ~wall_s:0.5 ()
+  in
   Alcotest.(check (float 1e-9)) "derived rate" 200. p.Profile.events_per_sec;
   let s = Json.to_string (Profile.to_json p) in
-  (* The deterministic fields must precede "wall_s" (the runner tests
-     byte-compare jsonl lines truncated at that marker). *)
+  (* The deterministic fields (sched included) must precede "wall_s"
+     (the runner tests byte-compare jsonl lines truncated at that
+     marker). *)
   Alcotest.(check string) "wall-clock fields last"
-    {|{"events":100,"queue_capacity":16,"wall_s":0.5,"events_per_sec":200}|}
+    {|{"sched":"wheel","events":100,"queue_capacity":16,"wall_s":0.5,"events_per_sec":200}|}
     s;
-  let z = Profile.make ~events:5 ~queue_capacity:4 ~wall_s:0. in
+  let z = Profile.make ~events:5 ~queue_capacity:4 ~wall_s:0. () in
+  Alcotest.(check string) "default backend" "heap" z.Profile.sched;
   Alcotest.(check (float 0.)) "zero wall, zero rate" 0. z.Profile.events_per_sec
 
 (* --- json escaping ------------------------------------------------------ *)

@@ -1,0 +1,242 @@
+(* Differential tests for the scheduler backends.
+
+   The Scheduler contract promises that every backend pops the same
+   (time, value) sequence for the same pushes — the backend choice is a
+   performance knob, never a semantics knob.  These tests drive heap
+   and wheel through randomized push/pop interleavings (with deliberate
+   ties, sub-tick spacings and multi-level horizons) and require the
+   sequences to match element for element, then check the same promise
+   end-to-end: a Runner batch must emit byte-identical deterministic
+   output whichever backend and job count it runs on. *)
+
+module Scheduler = Mcc_engine.Scheduler
+module Runner = Mcc_core.Runner
+module Sink = Mcc_core.Sink
+module Spec = Mcc_core.Spec
+module Flid = Mcc_mcast.Flid
+module Prng = Mcc_util.Prng
+
+(* Draw times that stress every ordering path: exact ties (same float),
+   sub-tick ties (distinct floats quantising to one wheel bucket),
+   level-0 neighbours, higher wheel levels, and the overflow horizon. *)
+let random_time prng =
+  match Prng.int prng 6 with
+  | 0 -> 1e-3 *. float_of_int (Prng.int prng 20) (* exact ties *)
+  | 1 -> 1e-3 +. (1e-8 *. float_of_int (Prng.int prng 50)) (* sub-tick *)
+  | 2 -> Prng.float prng *. 8e-3 (* level 0 *)
+  | 3 -> Prng.float prng *. 2. (* levels 1-2 *)
+  | 4 -> Prng.float prng *. 3600. (* level 3 *)
+  | _ -> 140000. +. (Prng.float prng *. 40000.) (* overflow *)
+
+let drain q =
+  let rec go acc =
+    match q.Scheduler.pop () with
+    | None -> List.rev acc
+    | Some (t, v) -> go ((t, v) :: acc)
+  in
+  go []
+
+let check_same_event msg (t1, v1) (t2, v2) =
+  Alcotest.(check (float 0.)) (msg ^ " time") t1 t2;
+  Alcotest.(check int) (msg ^ " value") v1 v2
+
+(* Random push/pop interleavings, including a mid-trial clear-then-reuse
+   on some trials: both backends must pop identical sequences at every
+   step, and tie-break sequence numbers must restart identically after
+   [clear]. *)
+let test_differential_interleaved () =
+  let prng = Prng.create 2003 in
+  for trial = 1 to 40 do
+    let h = Scheduler.instantiate Scheduler.heap () in
+    let w = Scheduler.instantiate Scheduler.wheel () in
+    let next = ref 0 in
+    let ops = 200 + Prng.int prng 200 in
+    for op = 1 to ops do
+      match Prng.int prng 10 with
+      | 0 | 1 | 2 ->
+          (* pop from both, compare *)
+          let ph = h.Scheduler.pop () and pw = w.Scheduler.pop () in
+          (match (ph, pw) with
+          | None, None -> ()
+          | Some e1, Some e2 ->
+              check_same_event
+                (Printf.sprintf "trial %d op %d" trial op)
+                e1 e2
+          | _ ->
+              Alcotest.failf "trial %d op %d: one backend empty" trial op)
+      | 3 when trial mod 7 = 0 ->
+          h.Scheduler.clear ();
+          w.Scheduler.clear ();
+          Alcotest.(check bool)
+            "both empty after clear" true
+            (h.Scheduler.is_empty () && w.Scheduler.is_empty ())
+      | _ ->
+          let t = random_time prng in
+          incr next;
+          h.Scheduler.push ~time:t !next;
+          w.Scheduler.push ~time:t !next
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d sizes" trial)
+      (h.Scheduler.size ()) (w.Scheduler.size ());
+    let dh = drain h and dw = drain w in
+    List.iter2 (check_same_event (Printf.sprintf "trial %d drain" trial)) dh dw
+  done
+
+(* Heavy same-bucket batches: thousands of events inside one wheel tick
+   exercise the drain heapsort and the sorted drain_insert path (pushes
+   landing on the tick currently draining). *)
+let test_differential_same_tick () =
+  let prng = Prng.create 411 in
+  let h = Scheduler.instantiate Scheduler.heap () in
+  let w = Scheduler.instantiate Scheduler.wheel () in
+  for i = 1 to 2000 do
+    let t = 5e-3 +. (1e-9 *. float_of_int (Prng.int prng 300)) in
+    h.Scheduler.push ~time:t i;
+    w.Scheduler.push ~time:t i
+  done;
+  (* pop half, then push more onto the draining tick *)
+  for _ = 1 to 1000 do
+    match (h.Scheduler.pop (), w.Scheduler.pop ()) with
+    | Some e1, Some e2 -> check_same_event "same-tick pop" e1 e2
+    | _ -> Alcotest.fail "same-tick: unexpected empty"
+  done;
+  for i = 2001 to 2500 do
+    let t = 5e-3 +. (1e-9 *. float_of_int (Prng.int prng 300)) in
+    h.Scheduler.push ~time:t i;
+    w.Scheduler.push ~time:t i
+  done;
+  List.iter2 (check_same_event "same-tick drain") (drain h) (drain w)
+
+(* pop_into / pop_before / next_before agree with pop on both backends,
+   and leave the cell untouched when they decline. *)
+let test_bounded_pop_contract () =
+  List.iter
+    (fun backend ->
+      let name = Scheduler.backend_name backend in
+      let q = Scheduler.instantiate backend () in
+      let cell = ref (-1.) in
+      Alcotest.(check int)
+        (name ^ " empty pop_into default")
+        0
+        (q.Scheduler.pop_into cell 0);
+      Alcotest.(check (float 0.)) (name ^ " cell untouched") (-1.) !cell;
+      q.Scheduler.push ~time:2. 22;
+      q.Scheduler.push ~time:1. 11;
+      q.Scheduler.push ~time:3. 33;
+      Alcotest.(check bool)
+        (name ^ " next_before 0.5") false
+        (q.Scheduler.next_before 0.5);
+      Alcotest.(check bool)
+        (name ^ " next_before 1.0") true
+        (q.Scheduler.next_before 1.0);
+      Alcotest.(check int)
+        (name ^ " pop_before declines")
+        0
+        (q.Scheduler.pop_before cell ~bound:0.5 0);
+      Alcotest.(check (float 0.)) (name ^ " cell still untouched") (-1.) !cell;
+      Alcotest.(check int)
+        (name ^ " pop_before pops")
+        11
+        (q.Scheduler.pop_before cell ~bound:1.5 0);
+      Alcotest.(check (float 0.)) (name ^ " cell time") 1. !cell;
+      Alcotest.(check int)
+        (name ^ " pop_into pops")
+        22
+        (q.Scheduler.pop_into cell 0);
+      Alcotest.(check (float 0.)) (name ^ " cell time 2") 2. !cell;
+      Alcotest.(check int) (name ^ " one left") 1 (q.Scheduler.size ()))
+    Scheduler.all
+
+(* A bounded loop over random times pops exactly the events <= bound,
+   identically on both backends. *)
+let test_pop_before_differential () =
+  let prng = Prng.create 77 in
+  let h = Scheduler.instantiate Scheduler.heap () in
+  let w = Scheduler.instantiate Scheduler.wheel () in
+  for i = 1 to 500 do
+    let t = random_time prng in
+    h.Scheduler.push ~time:t i;
+    w.Scheduler.push ~time:t i
+  done;
+  let cell_h = ref 0. and cell_w = ref 0. in
+  List.iter
+    (fun bound ->
+      let continue = ref true in
+      while !continue do
+        let vh = h.Scheduler.pop_before cell_h ~bound 0 in
+        let vw = w.Scheduler.pop_before cell_w ~bound 0 in
+        Alcotest.(check int) "bounded value" vh vw;
+        if vh = 0 then continue := false
+        else Alcotest.(check (float 0.)) "bounded time" !cell_h !cell_w
+      done)
+    [ 1e-3; 5e-3; 1.; 3600.; infinity ];
+  Alcotest.(check bool) "heap drained" true (h.Scheduler.is_empty ());
+  Alcotest.(check bool) "wheel drained" true (w.Scheduler.is_empty ())
+
+(* End-to-end: a Runner batch's sink output must not depend on the
+   scheduler backend or the job count.  Everything before the profile is
+   the deterministic record; the profile legitimately differs (it names
+   the backend and its queue capacity), so each line is cut there. *)
+let strip_profile s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let marker = ",\"profile\":" in
+         let m = String.length marker in
+         let rec find i =
+           if i + m > String.length line then line
+           else if String.sub line i m = marker then String.sub line 0 i
+           else find (i + 1)
+         in
+         find 0)
+  |> String.concat "\n"
+
+let batch () =
+  List.map
+    (fun (name, spec) ->
+      { Runner.name; group = name; doc = name;
+        spec = Spec.scale_time spec ~factor:0.1 })
+    [
+      ("attack", Spec.Attack { Spec.default_attack with Spec.mode = Flid.Robust });
+      ("sweep2", Spec.Sweep { Spec.default_sweep with Spec.sessions = 2 });
+    ]
+
+let capture ~jobs ~sched =
+  let jsonl = Buffer.create 4096 in
+  ignore
+    (Runner.run_batch ~jobs ~sched
+       ~sinks:[ Sink.jsonl (Buffer.add_string jsonl) ]
+       (batch ()));
+  Buffer.contents jsonl
+
+let test_runner_backend_identical () =
+  let outputs =
+    List.concat_map
+      (fun sched ->
+        List.map (fun jobs -> strip_profile (capture ~jobs ~sched)) [ 1; 4 ])
+      Scheduler.all
+  in
+  match outputs with
+  | first :: rest ->
+      Alcotest.(check bool) "output non-empty" true (String.length first > 0);
+      List.iteri
+        (fun i other ->
+          Alcotest.(check string)
+            (Printf.sprintf "backend/jobs combination %d matches" (i + 1))
+            first other)
+        rest
+  | [] -> Alcotest.fail "no outputs"
+
+let suite =
+  ( "scheduler",
+    [
+      Alcotest.test_case "differential: random interleavings" `Quick
+        test_differential_interleaved;
+      Alcotest.test_case "differential: same-tick batches" `Quick
+        test_differential_same_tick;
+      Alcotest.test_case "bounded pop contract" `Quick test_bounded_pop_contract;
+      Alcotest.test_case "differential: pop_before" `Quick
+        test_pop_before_differential;
+      Alcotest.test_case "runner output backend-independent" `Slow
+        test_runner_backend_identical;
+    ] )
