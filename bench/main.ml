@@ -587,6 +587,30 @@ let matrix () =
     rows;
   Format.fprintf fmt "%s@." (Mcc_attack.Scorecard.to_string rows)
 
+(* Self-profiler overhead: the matrix inflate cell — every Prof span
+   site and Lineage hop site compiled in — with instrumentation left
+   disabled, as an events/s figure the baseline gate tracks.  This is
+   the zero-cost-when-off claim in the regression harness: a disabled
+   span is one DLS read and an integer compare, so the figure must stay
+   within noise of the same cell before the instrumentation existed
+   (the acceptance bar is 2% plus measurement noise; the committed
+   cross-machine gate is necessarily looser). *)
+let profile_overhead () =
+  Report.heading fmt
+    "Profiler overhead: matrix inflate cell, span sites compiled in, \
+     instrumentation off";
+  Gc.compact ();
+  match run_spec (Spec.Adversary Spec.default_adversary) with
+  | E.Adversary r ->
+      Report.row fmt "honest receiver"
+        [
+          ("before_kbps", r.E.honest_before_kbps);
+          ("after_kbps", r.E.honest_after_kbps);
+        ];
+      Report.row fmt "attacker"
+        [ ("kbps", r.E.attacker_kbps); ("gain", r.E.attacker_gain) ]
+  | _ -> assert false
+
 (* --- scheduler churn stress -------------------------------------------- *)
 
 (* The workload the calendar queue exists for: a hot set of
@@ -767,6 +791,7 @@ let all_figs =
     ("ablation-grace", ablation_grace);
     ("ablation-slot", ablation_slot);
     ("ablation-threshold", ablation_threshold);
+    ("profile-overhead", profile_overhead);
     ("churn-heap", churn_heap);
     ("churn-wheel", churn_wheel);
     ("micro", micro);

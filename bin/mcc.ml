@@ -13,6 +13,8 @@
      mcc run --only fig1 --series=fig1.jsonl --sample-dt 0.5 --quiet
      mcc trace --only fig1 --quick --filter sigma,link --out trace.jsonl
      mcc report --series fig1.jsonl --trace trace.jsonl
+     mcc profile matrix-inflate-flid-delta+sigma --quick --folded out.folded
+     mcc report --series fig1.jsonl --profile prof.json
      mcc attack --mode robust --duration 200
      mcc sweep --mode plain --sessions 1,2,4,8
      mcc responsiveness --mode robust
@@ -637,6 +639,160 @@ let matrix_cmd =
       $ duration Spec.default_adversary.Spec.duration
       $ attack_at $ attacks $ protocols $ defences $ json $ csv $ out $ quiet)
 
+let profile_cmd =
+  (* `mcc profile` accepts anything `mcc run --only` does, plus matrix
+     cells — the interesting profiles are attack cells, which live in
+     the matrix grid rather than the figure registry. *)
+  let find_entry name =
+    match Runner.lookup name with
+    | Some e -> e
+    | None -> (
+        match
+          List.find_opt
+            (fun (e : Runner.entry) -> e.Runner.name = name)
+            (Mcc_attack.Matrix.entries ())
+        with
+        | Some e -> e
+        | None ->
+            Printf.eprintf
+              "mcc profile: unknown entry %S (try `mcc list`, or a matrix \
+               cell such as matrix-inflate-flid-delta+sigma)\n"
+              name;
+            exit 2)
+  in
+  let sched_stats_section fmt (p : Profile.t) =
+    match p.Profile.sched_stats with
+    | None -> ()
+    | Some s ->
+        Format.fprintf fmt "@.## Scheduler backend (%s)@.@." p.Profile.sched;
+        Format.fprintf fmt "| stat | value |@.|---|---|@.";
+        let row name v = Format.fprintf fmt "| %s | %s |@." name v in
+        row "events pushed" (string_of_int s.Profile.pushes);
+        row "queue size high-water" (string_of_int s.Profile.max_size);
+        row "capacity trajectory"
+          (match s.Profile.capacities with
+          | [] -> "(no growth)"
+          | l -> String.concat " -> " (List.map string_of_int l));
+        (match s.Profile.level_places with
+        | [] -> ()
+        | places ->
+            row "placements per wheel level"
+              (String.concat ", "
+                 (List.mapi (fun i n -> Printf.sprintf "L%d:%d" i n) places));
+            row "overflow placements" (string_of_int s.Profile.overflow);
+            row "draining-tick inserts" (string_of_int s.Profile.drain_inserts);
+            row "cell free-list hits / misses"
+              (Printf.sprintf "%d / %d" s.Profile.free_hits
+                 s.Profile.free_misses));
+        row "timer-handle pool hits / misses"
+          (Printf.sprintf "%d / %d" s.Profile.pool_hits s.Profile.pool_misses)
+  in
+  let run name sched quick out folded json_path =
+    let entry = find_entry name in
+    let spec =
+      if quick then Spec.scale_time entry.Runner.spec ~factor:0.25
+      else entry.Runner.spec
+    in
+    let inst = Runner.run_spec_instrumented ?sched spec in
+    let attack_at =
+      match spec with
+      | Spec.Attack p -> Some p.Spec.attack_at
+      | Spec.Partial p -> Some p.Spec.attack_at
+      | Spec.Adversary p -> Some p.Spec.attack_at
+      | _ -> None
+    in
+    let containment_s =
+      match inst.Runner.i_result with
+      | E.Adversary r -> r.E.containment_s
+      | _ -> None
+    in
+    let p = inst.Runner.i_profile in
+    let buf = Buffer.create 4096 in
+    let bfmt = Format.formatter_of_buffer buf in
+    Format.fprintf bfmt "# Profile: %s (%s)@.@." entry.Runner.name
+      (Spec.kind spec);
+    Format.fprintf bfmt "spec: `%s`@.@." (Json.to_string (Spec.to_json spec));
+    Format.fprintf bfmt
+      "%d events in %.3f s wall (%.0f events/s) on the %s scheduler@.@."
+      p.Profile.events p.Profile.wall_s p.Profile.events_per_sec
+      p.Profile.sched;
+    Format.fprintf bfmt "## Self time@.@.%s"
+      (Mcc_obs.Prof.to_markdown ~wall_s:p.Profile.wall_s inst.Runner.i_prof);
+    sched_stats_section bfmt p;
+    Forensics.render_lineage ?attack_at ?containment_s bfmt
+      inst.Runner.i_lineage;
+    Format.pp_print_flush bfmt ();
+    let write, close = output_writer ~cmd:"profile" out in
+    write (Buffer.contents buf);
+    close ();
+    (match folded with
+    | None -> ()
+    | Some path ->
+        let write, close = output_writer ~cmd:"profile" path in
+        write (Mcc_obs.Prof.folded inst.Runner.i_prof);
+        close ());
+    match json_path with
+    | None -> ()
+    | Some path ->
+        let write, close = output_writer ~cmd:"profile" path in
+        write
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("name", Json.String entry.Runner.name);
+                  ("kind", Json.String (Spec.kind spec));
+                  ("spec", Spec.to_json spec);
+                  ("prof", Mcc_obs.Prof.to_json inst.Runner.i_prof);
+                  ("lineage", Mcc_obs.Lineage.to_json inst.Runner.i_lineage);
+                  (* wall-clock fields stay last in the document *)
+                  ("profile", Profile.to_json p);
+                ])
+          ^ "\n");
+        close ()
+  in
+  let entry_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ENTRY"
+          ~doc:
+            "Registry entry (see $(b,mcc list)) or matrix cell \
+             ($(b,matrix-<attack>-<protocol>-<defence>)).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Markdown profile destination; $(b,-) (default) = stdout.")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"PATH"
+          ~doc:
+            "Write folded stacks ($(b,component;child <self-us>) per line) \
+             for flamegraph.pl, inferno or speedscope.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the whole profile — span tree, scheduler stats, packet \
+             lineage — as one JSON document ($(b,mcc report --profile) \
+             input).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one experiment under the engine self-profiler and packet \
+          lineage, and render the component self-time table, scheduler \
+          introspection and the containment critical path.")
+    Term.(const run $ entry_arg $ sched_arg $ quick_arg $ out $ folded $ json)
+
 let report_cmd =
   let read_lines path =
     match open_in path with
@@ -653,7 +809,7 @@ let report_cmd =
         Printf.eprintf "mcc report: cannot open %s: %s\n" path msg;
         exit 2
   in
-  let run series trace only width =
+  let run series trace profile only width =
     let runs =
       match Forensics.parse_series_lines (read_lines series) with
       | Ok runs -> runs
@@ -691,6 +847,28 @@ let report_cmd =
         if i > 0 then Format.fprintf fmt "@.---@.@.";
         Forensics.render ~width ~trace:trace_events fmt run)
       runs;
+    (match profile with
+    | None -> ()
+    | Some path -> (
+        match Json.of_string (String.concat "\n" (read_lines path)) with
+        | Error msg ->
+            Printf.eprintf "mcc report: %s: invalid JSON: %s\n" path msg;
+            exit 2
+        | Ok json -> (
+            let attack_at =
+              Option.bind
+                (Option.bind (Json.member "spec" json)
+                   (Json.member "attack_at"))
+                Json.to_float_opt
+            in
+            let lineage =
+              Option.value (Json.member "lineage" json) ~default:Json.Null
+            in
+            match Forensics.lineage_of_json lineage with
+            | Error msg ->
+                Printf.eprintf "mcc report: %s: %s\n" path msg;
+                exit 2
+            | Ok summary -> Forensics.render_lineage ?attack_at fmt summary)));
     Format.fprintf fmt "@."
   in
   let series =
@@ -709,6 +887,16 @@ let report_cmd =
             "Trace JSONL written by $(b,mcc trace); adds the key-failure \
              spans to the SIGMA timeline.")
   in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"PATH"
+          ~doc:
+            "Profile JSON written by $(b,mcc profile --json); appends the \
+             per-hop containment-latency table and the containment \
+             critical path.")
+  in
   let width =
     Arg.(
       value & opt int 60
@@ -721,7 +909,7 @@ let report_cmd =
          "Render an attack-forensics report (sparklines, SIGMA timeline, \
           throughput recovery) from saved series and trace files, without \
           rerunning anything.")
-    Term.(const run $ series $ trace $ only_arg $ width)
+    Term.(const run $ series $ trace $ profile $ only_arg $ width)
 
 let main =
   Cmd.group
@@ -732,6 +920,7 @@ let main =
     [
       run_cmd;
       trace_cmd;
+      profile_cmd;
       report_cmd;
       list_cmd;
       attack_cmd;

@@ -67,6 +67,40 @@ print("series smoke ok")
 EOF
 fi
 
+# Profiler smoke: a profiled matrix attack cell must produce a
+# self-time table, non-empty folded stacks, valid JSON, and a
+# containment critical path that names the first rejected key; the
+# offline report path must render the per-hop latency section from the
+# saved JSON alone.
+dune exec bin/mcc.exe -- profile matrix-inflate-flid-delta+sigma --quick \
+  -o /tmp/profile.md --folded /tmp/profile.folded --json /tmp/profile.json
+test -s /tmp/profile.md
+test -s /tmp/profile.folded
+test -s /tmp/profile.json
+grep -q "## Self time" /tmp/profile.md
+grep -q "Containment critical path" /tmp/profile.md
+grep -q "key 0x" /tmp/profile.md
+dune exec bin/mcc.exe -- report --series /tmp/series.jsonl \
+  --profile /tmp/profile.json > /tmp/report2.md
+grep -q "Per-hop containment latency" /tmp/report2.md
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("/tmp/profile.json") as f:
+    doc = json.load(f)
+assert doc["name"] == "matrix-inflate-flid-delta+sigma", doc["name"]
+assert doc["prof"], "empty span tree"
+assert doc["lineage"]["transitions"], "no hop transitions"
+assert any(c["kind"] == "key_reject" for c in doc["lineage"]["cases"])
+assert doc["profile"]["sched_stats"]["pushes"] > 0
+with open("/tmp/profile.folded") as f:
+    folded = [l for l in f if l.strip()]
+assert folded and all(l.rsplit(" ", 1)[1].strip().isdigit() for l in folded)
+print("profiler smoke ok")
+EOF
+fi
+
 # Attack-matrix smoke: a tiny grid at full duration (containment needs
 # the real horizon), scorecard showing the paper's headline, and the
 # JSONL byte-identical across job counts.
@@ -92,9 +126,9 @@ grep -q "DELTA+SIGMA contains every attack" /tmp/scorecard.md
 # loose threshold — events/s moves a lot between host machines, so it
 # only catches catastrophic slowdowns; tight tracking is for a baseline
 # saved on the same machine.
-dune exec bench/main.exe -- --quick fig9b churn-heap churn-wheel \
-  --save-baseline /tmp/bench-baseline.json
-dune exec bench/main.exe -- --quick fig9b churn-heap churn-wheel \
-  --baseline /tmp/bench-baseline.json --threshold 0.5
-dune exec bench/main.exe -- --quick churn-heap churn-wheel --baseline \
-  --threshold 0.9
+dune exec bench/main.exe -- --quick fig9b profile-overhead churn-heap \
+  churn-wheel --save-baseline /tmp/bench-baseline.json
+dune exec bench/main.exe -- --quick fig9b profile-overhead churn-heap \
+  churn-wheel --baseline /tmp/bench-baseline.json --threshold 0.5
+dune exec bench/main.exe -- --quick profile-overhead churn-heap churn-wheel \
+  --baseline --threshold 0.9

@@ -13,6 +13,7 @@ module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
 module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
+module Prof = Mcc_obs.Prof
 
 type instance = {
   label : string;
@@ -404,8 +405,9 @@ let launch_bare ?(at = 0.) ?feed topo ~host ~prng ~target ~kind inst =
       let hold = Float.max (0.5 *. slot_d) (period -. (0.25 *. slot_d)) in
       ignore
         (Sim.every sim ~start:at ~period (fun () ->
+             let sp = Prof.span "attack" in
              let time = Sim.now sim in
-             if inst.active ~time then begin
+             (if inst.active ~time then begin
                Metrics.tick "attack.churn_cycles";
                trace ~time "churn_join" (fun () ->
                    [ ("hold_s", Json.Float hold) ]);
@@ -418,26 +420,30 @@ let launch_bare ?(at = 0.) ?feed topo ~host ~prng ~target ~kind inst =
                       | Some client ->
                           Client.unsubscribe client ~groups:[ minimal ]
                       | None -> leave_all ())
-             end))
+             end);
+             Prof.finish sp))
   | _, None ->
       (* Legacy IGMP edge: claiming a group is joining it. *)
       ignore
         (Sim.every sim ~start:at ~period:slot_d (fun () ->
+             let sp = Prof.span "attack" in
              let time = Sim.now sim in
-             if inst.active ~time then begin
-               if not !joined then begin
-                 Metrics.tick "attack.submissions";
-                 trace ~time "igmp_join_all" (fun () ->
-                     [ ("groups", Json.Int (List.length target.tgt_groups)) ])
-               end;
-               join_all ()
-             end
-             else leave_all ()))
+             (if inst.active ~time then begin
+                if not !joined then begin
+                  Metrics.tick "attack.submissions";
+                  trace ~time "igmp_join_all" (fun () ->
+                      [ ("groups", Json.Int (List.length target.tgt_groups)) ])
+                end;
+                join_all ()
+              end
+              else leave_all ());
+             Prof.finish sp))
   | _, Some client ->
       ignore
         (Sim.every sim ~start:at ~period:slot_d (fun () ->
+             let sp = Prof.span "attack" in
              let time = Sim.now sim in
-             if inst.active ~time then begin
+             (if inst.active ~time then begin
                (* Keep knocking on the session door: ignored while the
                   interface is locked out, otherwise worth a grace
                   window. *)
@@ -455,6 +461,7 @@ let launch_bare ?(at = 0.) ?feed topo ~host ~prng ~target ~kind inst =
                  }
                in
                submit client (inst.on_slot ctx)
-             end)))
+             end);
+             Prof.finish sp)))
   |> ignore;
   { bare_meter = meter }

@@ -157,6 +157,149 @@ let recovery_time points ~from ~threshold =
     (fun (t, v) -> if t >= from && v >= threshold then Some t else None)
     points
 
+(* --- packet lineage ----------------------------------------------------- *)
+
+module Lineage = Mcc_obs.Lineage
+
+(* Inverse of [Lineage.to_json]: read a saved lineage summary back so
+   [mcc report --profile] can render containment latency without
+   rerunning the simulation. *)
+let lineage_of_json json =
+  let int field j ~default =
+    match Option.bind (Json.member field j) Json.to_float_opt with
+    | Some f -> int_of_float f
+    | None -> default
+  in
+  let flt field j ~default =
+    match Option.bind (Json.member field j) Json.to_float_opt with
+    | Some f -> f
+    | None -> default
+  in
+  let str field j ~default =
+    match Option.bind (Json.member field j) Json.to_string_opt with
+    | Some s -> s
+    | None -> default
+  in
+  let transition j =
+    {
+      Lineage.from_comp = str "from" j ~default:"?";
+      to_comp = str "to" j ~default:"?";
+      t_count = int "count" j ~default:0;
+      t_total_s = flt "total_s" j ~default:0.;
+      t_max_s = flt "max_s" j ~default:0.;
+    }
+  in
+  let hop = function
+    | Json.List [ t; Json.String comp ] ->
+        Some (Option.value (Json.to_float_opt t) ~default:0., comp)
+    | _ -> None
+  in
+  let case j =
+    {
+      Lineage.c_kind = str "kind" j ~default:"?";
+      c_time = flt "t" j ~default:0.;
+      c_attrs =
+        (match Json.member "attrs" j with
+        | Some (Json.Obj fields) -> fields
+        | _ -> []);
+      c_session = int "session" j ~default:(-1);
+      c_level = int "level" j ~default:(-1);
+      c_born = flt "born" j ~default:0.;
+      c_hops =
+        (match Json.member "hops" j with
+        | Some (Json.List hops) -> List.filter_map hop hops
+        | _ -> []);
+    }
+  in
+  let list field j =
+    match Json.member field j with Some (Json.List l) -> l | _ -> []
+  in
+  match json with
+  | Json.Obj _ ->
+      Ok
+        {
+          Lineage.s_transitions = List.map transition (list "transitions" json);
+          s_cases = List.map case (list "cases" json);
+          s_retired = int "retired" json ~default:0;
+          s_allocated = int "allocated" json ~default:0;
+          s_pool_hits = int "pool_hits" json ~default:0;
+          s_cases_dropped = int "cases_dropped" json ~default:0;
+        }
+  | _ -> Error "lineage summary is not a JSON object"
+
+let ms s = s *. 1e3
+
+let render_lineage ?attack_at ?containment_s fmt (s : Lineage.summary) =
+  let pf f = Format.fprintf fmt f in
+  if s.Lineage.s_transitions <> [] then begin
+    pf "@.## Per-hop containment latency@.@.";
+    pf "| hop | count | total (s) | mean (ms) | max (ms) |@.";
+    pf "|---|---|---|---|---|@.";
+    List.iter
+      (fun tr ->
+        let mean_ms =
+          if tr.Lineage.t_count = 0 then 0.
+          else ms (tr.Lineage.t_total_s /. float_of_int tr.Lineage.t_count)
+        in
+        pf "| `%s -> %s` | %d | %.6g | %.4g | %.4g |@." tr.Lineage.from_comp
+          tr.Lineage.to_comp tr.Lineage.t_count tr.Lineage.t_total_s mean_ms
+          (ms tr.Lineage.t_max_s))
+      s.Lineage.s_transitions;
+    pf "@.%d chains retired (%d records allocated, %d pool hits%s)@."
+      s.Lineage.s_retired s.Lineage.s_allocated s.Lineage.s_pool_hits
+      (if s.Lineage.s_cases_dropped > 0 then
+         Printf.sprintf ", %d cases dropped" s.Lineage.s_cases_dropped
+       else "")
+  end;
+  (* The critical path: the first preserved key-rejection chain walks the
+     attacker's packet from origin to the SIGMA denial, hop by hop. *)
+  match
+    List.find_opt (fun c -> c.Lineage.c_kind = "key_reject") s.Lineage.s_cases
+  with
+  | None -> ()
+  | Some c ->
+      pf "@.## Containment critical path@.@.";
+      let attr name =
+        match List.assoc_opt name c.Lineage.c_attrs with
+        | Some (Json.String s) -> s
+        | Some v -> Json.to_string v
+        | None -> "?"
+      in
+      pf "First rejected key: receiver %s submitted key %s for group %s \
+          (slot %s, %s pair%s rejected) at t=%.6g.@."
+        (attr "receiver") (attr "key") (attr "group") (attr "slot")
+        (attr "rejected")
+        (if attr "rejected" = "1" then "" else "s")
+        c.Lineage.c_time;
+      (match attack_at with
+      | Some a when c.Lineage.c_time >= a ->
+          pf "The rejection lands %.6g s after the attack begins at t=%g.@."
+            (c.Lineage.c_time -. a) a
+      | _ -> ());
+      pf "@.";
+      pf "- t=%-12.6g +%-8s origin (session %d, level %d)@." c.Lineage.c_born
+        "0 ms" c.Lineage.c_session c.Lineage.c_level;
+      let prev = ref c.Lineage.c_born in
+      List.iter
+        (fun (t, comp) ->
+          pf "- t=%-12.6g +%-8s %s@." t
+            (Printf.sprintf "%.4g ms" (ms (t -. !prev)))
+            comp;
+          prev := t)
+        c.Lineage.c_hops;
+      pf "- t=%-12.6g +%-8s key rejected — containment begins@."
+        c.Lineage.c_time
+        (Printf.sprintf "%.4g ms" (ms (c.Lineage.c_time -. !prev)));
+      (match (attack_at, containment_s) with
+      | Some a, Some cs ->
+          pf "@.Onset t=%g -> first rejection t=%.6g (+%.6g s) -> full \
+              containment %.6g s after onset.@."
+            a c.Lineage.c_time
+            (c.Lineage.c_time -. a)
+            cs
+      | _, Some cs -> pf "@.Full containment %.6g s after onset.@." cs
+      | _, None -> ())
+
 (* --- report ------------------------------------------------------------ *)
 
 let spec_float field run = Option.bind (Json.member field run.spec) Json.to_float_opt

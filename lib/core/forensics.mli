@@ -39,6 +39,26 @@ val sparkline : ?width:int -> (float * float) list -> string
     positive series renders at full height, a constant zero one at the
     lowest mark. *)
 
+val lineage_of_json : Json.t -> (Mcc_obs.Lineage.summary, string) result
+(** Inverse of {!Mcc_obs.Lineage.to_json}: read a saved lineage summary
+    back (missing fields default to zero/empty), so [mcc report
+    --profile] can render containment latency from a profile file
+    without rerunning the simulation. *)
+
+val render_lineage :
+  ?attack_at:float ->
+  ?containment_s:float ->
+  Format.formatter ->
+  Mcc_obs.Lineage.summary ->
+  unit
+(** The containment-latency sections of a profiled run: a per-hop
+    Markdown table over the aggregated transitions (count, total, mean
+    and max latency per [from -> to] pair) and — when the summary
+    preserved a "key_reject" case — the containment critical path: the
+    attacker's first rejected key (receiver, group, key as captured, one
+    line per hop with its latency delta), anchored against [attack_at]
+    and [containment_s] when known. *)
+
 val render :
   ?width:int -> ?trace:trace_event list -> Format.formatter -> run -> unit
 (** The Markdown report: a sparkline block per dotted series family, a

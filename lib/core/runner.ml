@@ -272,6 +272,42 @@ let preregister () =
     (Metrics.histogram "tcp.rtt_ms"
        ~bounds:(Metrics.exponential_bounds ~base:10. ~count:8))
 
+(* Shared profile assembly: lift the engine counters (and the backend
+   stats probe the sim parked on this domain) out of the snapshot into
+   the profile record.  Queue capacity is a property of the scheduler
+   backend, not of the simulated system: the heap's high-water mark
+   follows peak event population while the wheel's slot table is a
+   constant.  It travels in the profile (with [sched] and the wall
+   clock), and dropping the gauges from the snapshot keeps sink records
+   byte-identical across --sched. *)
+let finish_profile ?sched metrics wall_s =
+  let events =
+    match List.assoc_opt "engine.events" metrics with
+    | Some (Metrics.Counter n) -> n
+    | Some _ | None -> 0
+  in
+  let queue_capacity =
+    match List.assoc_opt "engine.queue_capacity" metrics with
+    | Some (Metrics.Gauge v) -> int_of_float v
+    | Some _ | None -> 0
+  in
+  let metrics =
+    List.filter
+      (fun (name, _) ->
+        not (String.starts_with ~prefix:"engine.queue_capacity" name))
+      metrics
+  in
+  let sched_name =
+    Mcc_engine.Scheduler.backend_name
+      (match sched with
+      | Some b -> b
+      | None -> Mcc_engine.Scheduler.default ())
+  in
+  let sched_stats = Profile.take_sched_stats () in
+  ( metrics,
+    Profile.make ~sched:sched_name ?sched_stats ~events ~queue_capacity
+      ~wall_s () )
+
 (* The registry is reset on both sides of the run: entering clean keeps
    the snapshot to this one spec, and leaving clean keeps a later run in
    the same domain (or the caller's own metrics) from inheriting stale
@@ -295,40 +331,53 @@ let run_spec_profiled ?sched ?sample_dt spec =
   in
   Timeseries.disable ();
   Metrics.reset ();
-  let events =
-    match List.assoc_opt "engine.events" metrics with
-    | Some (Metrics.Counter n) -> n
-    | Some _ | None -> 0
-  in
-  let queue_capacity =
-    match List.assoc_opt "engine.queue_capacity" metrics with
-    | Some (Metrics.Gauge v) -> int_of_float v
-    | Some _ | None -> 0
-  in
-  (* Queue capacity is a property of the scheduler backend, not of the
-     simulated system: the heap's high-water mark follows peak event
-     population while the wheel's slot table is a constant.  It travels
-     in the profile (with [sched] and the wall clock), and dropping the
-     gauges here keeps sink records byte-identical across --sched. *)
-  let metrics =
-    List.filter
-      (fun (name, _) ->
-        not (String.starts_with ~prefix:"engine.queue_capacity" name))
-      metrics
-  in
-  let sched_name =
-    Mcc_engine.Scheduler.backend_name
-      (match sched with
-      | Some b -> b
-      | None -> Mcc_engine.Scheduler.default ())
-  in
-  ( result,
-    metrics,
-    series,
-    Profile.make ~sched:sched_name ~events ~queue_capacity ~wall_s () )
+  let metrics, profile = finish_profile ?sched metrics wall_s in
+  (result, metrics, series, profile)
 
 let run_specs_profiled ?(jobs = 1) ?sched ?sample_dt specs =
   parallel_map ~jobs (run_spec_profiled ?sched ?sample_dt) specs
+
+(* --- instrumented execution (mcc profile) ------------------------------- *)
+
+type instrumented = {
+  i_result : Experiments.result;
+  i_metrics : (string * Metrics.value) list;
+  i_profile : Profile.t;
+  i_prof : Mcc_obs.Prof.entry list;
+  i_lineage : Mcc_obs.Lineage.summary;
+}
+
+(* Like [run_spec_profiled], but with the self-profiler and packet
+   lineage collecting.  Prof/Lineage state is domain-local, so both the
+   run and the snapshots happen inside this one call, on the caller's
+   domain — there is deliberately no batch variant.  The root "run"
+   span brackets the whole experiment, so the snapshot's self times sum
+   to (almost exactly) the measured wall time; opening it here keeps
+   every span site inside lib/, where the lint prof-span rule wants
+   them. *)
+let run_spec_instrumented ?sched ?sample_dt spec =
+  Metrics.reset ();
+  preregister ();
+  (match sample_dt with
+  | Some dt -> Timeseries.enable ~dt ()
+  | None -> ());
+  Mcc_obs.Prof.enable ();
+  Mcc_obs.Lineage.enable ();
+  let result, wall_s =
+    Profile.with_wall_clock (fun () ->
+        with_sched sched (fun () ->
+            Mcc_obs.Prof.with_span "run" (fun () -> Experiments.run spec)))
+  in
+  let prof = Mcc_obs.Prof.snapshot () in
+  let lineage = Mcc_obs.Lineage.summary () in
+  Mcc_obs.Prof.disable ();
+  Mcc_obs.Lineage.disable ();
+  let metrics = Metrics.snapshot () in
+  Timeseries.disable ();
+  Metrics.reset ();
+  let metrics, profile = finish_profile ?sched metrics wall_s in
+  { i_result = result; i_metrics = metrics; i_profile = profile;
+    i_prof = prof; i_lineage = lineage }
 
 type row = {
   entry : entry;

@@ -86,6 +86,28 @@ val run_specs_profiled :
     bleed counts into each other and [--jobs N] series are
     byte-identical to serial ones. *)
 
+type instrumented = {
+  i_result : Experiments.result;
+  i_metrics : (string * Mcc_obs.Metrics.value) list;
+  i_profile : Mcc_obs.Profile.t;
+  i_prof : Mcc_obs.Prof.entry list;  (** self-profiler component tree *)
+  i_lineage : Mcc_obs.Lineage.summary;  (** per-hop latency + case log *)
+}
+
+val run_spec_instrumented :
+  ?sched:Mcc_engine.Scheduler.backend ->
+  ?sample_dt:float ->
+  Spec.t ->
+  instrumented
+(** {!run_spec_profiled} with the {!Mcc_obs.Prof} self-profiler and
+    {!Mcc_obs.Lineage} packet-lineage collection enabled for the run
+    (both are restored to off before returning).  The whole experiment
+    executes under a root "run" span, so the snapshot's self times sum
+    to the span-covered share of the measured wall time.  Prof and
+    Lineage state is domain-local; the run and both snapshots happen on
+    the calling domain, which is why there is no batch variant — [mcc
+    profile] runs one entry at a time. *)
+
 type row = {
   entry : entry;
   result : Experiments.result;

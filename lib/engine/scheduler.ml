@@ -39,6 +39,13 @@ module type S = sig
 
   val clear : 'a t -> unit
   val capacity : 'a t -> int
+
+  val stats : 'a t -> Mcc_obs.Profile.sched_stats
+  (** Backend introspection: push/occupancy counters, the capacity
+      trajectory, and (wheel) bucket-placement histogram and free-list
+      hit rates.  All counts are of simulated work — deterministic for
+      a deterministic schedule.  The engine-side [pool_*] fields are 0
+      here; {!Sim} fills them in before publishing. *)
 end
 
 let nan_message = "Scheduler.push: NaN time"
@@ -59,10 +66,20 @@ module Heap = struct
     mutable values : 'a array;
     mutable len : int;
     mutable next_seq : int;
+    mutable max_len : int;
+    mutable growth_caps : int list;  (** newest first; reversed by [stats] *)
   }
 
   let create () =
-    { times = [||]; seqs = [||]; values = [||]; len = 0; next_seq = 0 }
+    {
+      times = [||];
+      seqs = [||];
+      values = [||];
+      len = 0;
+      next_seq = 0;
+      max_len = 0;
+      growth_caps = [];
+    }
 
   let is_empty t = t.len = 0
   let size t = t.len
@@ -116,7 +133,8 @@ module Heap = struct
     Array.blit t.values 0 values' 0 t.len;
     t.times <- times';
     t.seqs <- seqs';
-    t.values <- values'
+    t.values <- values';
+    t.growth_caps <- cap' :: t.growth_caps
 
   let push t ~time value =
     if Float.is_nan time then invalid_arg nan_message;
@@ -127,6 +145,7 @@ module Heap = struct
     t.values.(i) <- value;
     t.next_seq <- t.next_seq + 1;
     t.len <- t.len + 1;
+    if t.len > t.max_len then t.max_len <- t.len;
     sift_up t i
 
   let peek_time t = if t.len = 0 then None else Some t.times.(0)
@@ -176,7 +195,25 @@ module Heap = struct
     t.seqs <- [||];
     t.values <- [||];
     t.len <- 0;
-    t.next_seq <- 0
+    t.next_seq <- 0;
+    t.max_len <- 0;
+    t.growth_caps <- []
+
+  (* next_seq increments exactly once per push, so it doubles as the
+     push counter. *)
+  let stats t =
+    {
+      Mcc_obs.Profile.pushes = t.next_seq;
+      max_size = t.max_len;
+      capacities = List.rev t.growth_caps;
+      level_places = [];
+      overflow = 0;
+      drain_inserts = 0;
+      free_hits = 0;
+      free_misses = 0;
+      pool_hits = 0;
+      pool_misses = 0;
+    }
 end
 
 module Wheel = struct
@@ -240,6 +277,14 @@ module Wheel = struct
     mutable values : 'a array;
     mutable free : int;  (** head of the free-slot chain through [nexts] *)
     mutable scratch : int array;  (** reused by the drain sort *)
+    (* introspection counters (simulated work only — deterministic) *)
+    mutable max_size : int;
+    places : int array;  (** placements per level, cascades included *)
+    mutable overflow_places : int;
+    mutable drain_inserted : int;
+    mutable free_hits : int;  (** cell allocs served by the free list *)
+    mutable free_misses : int;  (** cell allocs that forced a store growth *)
+    mutable growth_caps : int list;  (** newest first; reversed by [stats] *)
   }
 
   let create () =
@@ -261,6 +306,13 @@ module Wheel = struct
       values = [||];
       free = nil;
       scratch = [||];
+      max_size = 0;
+      places = Array.make levels 0;
+      overflow_places = 0;
+      drain_inserted = 0;
+      free_hits = 0;
+      free_misses = 0;
+      growth_caps = [];
     }
 
   let is_empty t = t.size = 0
@@ -297,10 +349,15 @@ module Wheel = struct
     t.seqs <- seqs';
     t.ticks <- ticks';
     t.nexts <- nexts';
-    t.values <- values'
+    t.values <- values';
+    t.growth_caps <- cap' :: t.growth_caps
 
   let alloc_cell t ~time ~tick value =
-    if t.free = nil then grow t value;
+    if t.free = nil then begin
+      grow t value;
+      t.free_misses <- t.free_misses + 1
+    end
+    else t.free_hits <- t.free_hits + 1;
     let i = t.free in
     t.free <- t.nexts.(i);
     t.times.(i) <- time;
@@ -334,13 +391,15 @@ module Wheel = struct
     | -1 ->
         t.nexts.(i) <- t.overflow;
         t.overflow <- i;
-        t.overflow_count <- t.overflow_count + 1
+        t.overflow_count <- t.overflow_count + 1;
+        t.overflow_places <- t.overflow_places + 1
     | k ->
         let idx = offset_of k + ((tick lsr shift_of k) land mask_of k) in
         t.nexts.(i) <- t.slots.(idx);
         t.slots.(idx) <- i;
         t.level_count.(k) <- t.level_count.(k) + 1;
-        t.wheel_count <- t.wheel_count + 1
+        t.wheel_count <- t.wheel_count + 1;
+        t.places.(k) <- t.places.(k) + 1
 
   (* Detach a chain and re-place each cell (used by cascades and
      overflow migration; [place] rewrites each cell's link). *)
@@ -450,7 +509,12 @@ module Wheel = struct
     let tick = tick_of_time time in
     let i = alloc_cell t ~time ~tick value in
     t.size <- t.size + 1;
-    if tick <= t.drain_tick then drain_insert t i else place t i
+    if t.size > t.max_size then t.max_size <- t.size;
+    if tick <= t.drain_tick then begin
+      drain_insert t i;
+      t.drain_inserted <- t.drain_inserted + 1
+    end
+    else place t i
 
   (* The wheel proper is empty: rebase the cursor on the earliest
      overflow tick and re-place every overflow cell (the earliest lands
@@ -612,7 +676,28 @@ module Wheel = struct
     t.nexts <- [||];
     t.values <- [||];
     t.free <- nil;
-    t.scratch <- [||]
+    t.scratch <- [||];
+    t.max_size <- 0;
+    Array.fill t.places 0 levels 0;
+    t.overflow_places <- 0;
+    t.drain_inserted <- 0;
+    t.free_hits <- 0;
+    t.free_misses <- 0;
+    t.growth_caps <- []
+
+  let stats t =
+    {
+      Mcc_obs.Profile.pushes = t.next_seq;
+      max_size = t.max_size;
+      capacities = List.rev t.growth_caps;
+      level_places = Array.to_list t.places;
+      overflow = t.overflow_places;
+      drain_inserts = t.drain_inserted;
+      free_hits = t.free_hits;
+      free_misses = t.free_misses;
+      pool_hits = 0;
+      pool_misses = 0;
+    }
 end
 
 type backend = (module S)
@@ -649,6 +734,7 @@ type 'a queue = {
   is_empty : unit -> bool;
   clear : unit -> unit;
   capacity : unit -> int;
+  stats : unit -> Mcc_obs.Profile.sched_stats;
   backend : string;
 }
 
@@ -665,5 +751,6 @@ let instantiate (module B : S) () =
     is_empty = (fun () -> B.is_empty q);
     clear = (fun () -> B.clear q);
     capacity = (fun () -> B.capacity q);
+    stats = (fun () -> B.stats q);
     backend = B.name;
   }

@@ -7,10 +7,7 @@
     the backend choice is purely a performance knob and never a
     semantics knob.  {!Sim.create} selects a backend per simulation; the
     [--sched heap|wheel] CLI flag and the batch drivers route through
-    {!set_default}.
-
-    This module supersedes [Event_queue], which remains as a thin
-    deprecated alias of the {!Heap} backend for one release. *)
+    {!set_default}. *)
 
 (** Interface every backend implements. *)
 module type S = sig
@@ -69,6 +66,17 @@ module type S = sig
       [clear] — storage is lazily allocated on first push); for {!Wheel}
       it is the fixed slot-table size plus the cell store's high-water
       mark. *)
+
+  val stats : 'a t -> Mcc_obs.Profile.sched_stats
+  (** Backend introspection since the last [create]/[clear]: pushes,
+      size high-water and the capacity trajectory for every backend;
+      {!Wheel} additionally fills the per-level bucket-placement
+      histogram (cascade re-placements included), overflow placements,
+      draining-tick inserts and cell free-list hit/miss counters.  All
+      counts are of simulated work, so they are deterministic for a
+      deterministic schedule.  The engine-side [pool_hits]/[pool_misses]
+      fields are 0 here; {!Sim} fills them in before publishing the
+      record through {!Mcc_obs.Profile.note_sched_stats}. *)
 end
 
 module Heap : S
@@ -129,6 +137,7 @@ type 'a queue = {
   is_empty : unit -> bool;
   clear : unit -> unit;
   capacity : unit -> int;
+  stats : unit -> Mcc_obs.Profile.sched_stats;
   backend : string;  (** {!backend_name} of the backend instantiated *)
 }
 (** A backend instance closed over its state: what {!Sim} actually

@@ -24,6 +24,8 @@ type t = {
      nothing.  Stack-backed; the sentinel fills the unused slots. *)
   mutable pool : handle array;
   mutable pool_len : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
   (* Telemetry handles, fetched at creation so the hot loop never does a
      registry lookup; [reported] makes the flush incremental, so several
      sims in one domain sum into "engine.events". *)
@@ -40,7 +42,15 @@ let flush_metrics t =
   t.reported <- t.executed;
   let capacity = float_of_int (t.queue.Scheduler.capacity ()) in
   Metrics.set t.queue_capacity_metric capacity;
-  Metrics.set t.backend_capacity_metric capacity
+  Metrics.set t.backend_capacity_metric capacity;
+  (* Park the backend probe (plus this sim's handle-pool counters) for
+     whoever builds the run profile on this domain. *)
+  Mcc_obs.Profile.note_sched_stats
+    {
+      (t.queue.Scheduler.stats ()) with
+      Mcc_obs.Profile.pool_hits = t.pool_hits;
+      pool_misses = t.pool_misses;
+    }
 
 let now t = t.clock
 let sched_name t = t.queue.Scheduler.backend
@@ -58,8 +68,12 @@ let schedule_after t ~delay f =
   schedule t ~at:(t.clock +. delay) f
 
 let take_handle t f =
-  if t.pool_len = 0 then { cancelled = false; fire = f; recycle = true }
+  if t.pool_len = 0 then begin
+    t.pool_misses <- t.pool_misses + 1;
+    { cancelled = false; fire = f; recycle = true }
+  end
   else begin
+    t.pool_hits <- t.pool_hits + 1;
     t.pool_len <- t.pool_len - 1;
     let h = t.pool.(t.pool_len) in
     t.pool.(t.pool_len) <- t.sentinel;
@@ -124,6 +138,8 @@ let create ?sched () =
       sentinel = { cancelled = true; fire = noop; recycle = false };
       pool = [||];
       pool_len = 0;
+      pool_hits = 0;
+      pool_misses = 0;
       events_metric = Metrics.counter "engine.events";
       queue_capacity_metric = Metrics.gauge "engine.queue_capacity";
       backend_capacity_metric =
@@ -158,10 +174,19 @@ let step t =
     true
   end
 
-let run_until t horizon =
+(* The profiled loop variants live apart from the plain ones so the
+   disabled path stays byte-for-byte the existing loop: [run]/[run_until]
+   branch ONCE on [Prof.enabled] at entry, never per event.  Inside the
+   instrumented loop, scheduler time (pop + requeue bookkeeping) accrues
+   to "engine.sched" and callback time to whatever spans the components
+   open; the remainder is the engine's own self time. *)
+let run_until_profiled t horizon =
+  let root = Mcc_obs.Prof.span "engine" in
   let running = ref true in
   while !running do
+    let sp = Mcc_obs.Prof.span "engine.sched" in
     let h = t.queue.Scheduler.pop_before t.time_cell ~bound:horizon t.sentinel in
+    Mcc_obs.Prof.finish sp;
     if h == t.sentinel then running := false
     else begin
       t.clock <- !(t.time_cell);
@@ -172,13 +197,55 @@ let run_until t horizon =
       if h.recycle then put_handle t h
     end
   done;
+  Mcc_obs.Prof.finish root
+
+let run_until t horizon =
+  if Mcc_obs.Prof.enabled () then run_until_profiled t horizon
+  else begin
+    let running = ref true in
+    while !running do
+      let h =
+        t.queue.Scheduler.pop_before t.time_cell ~bound:horizon t.sentinel
+      in
+      if h == t.sentinel then running := false
+      else begin
+        t.clock <- !(t.time_cell);
+        if not h.cancelled then begin
+          t.executed <- t.executed + 1;
+          h.fire ()
+        end;
+        if h.recycle then put_handle t h
+      end
+    done
+  end;
   t.clock <- max t.clock horizon;
   flush_metrics t
 
-let run t =
-  while step t do
-    ()
+let run_profiled t =
+  let root = Mcc_obs.Prof.span "engine" in
+  let running = ref true in
+  while !running do
+    let sp = Mcc_obs.Prof.span "engine.sched" in
+    let h = t.queue.Scheduler.pop_into t.time_cell t.sentinel in
+    Mcc_obs.Prof.finish sp;
+    if h == t.sentinel then running := false
+    else begin
+      t.clock <- !(t.time_cell);
+      if not h.cancelled then begin
+        t.executed <- t.executed + 1;
+        h.fire ()
+      end;
+      if h.recycle then put_handle t h
+    end
   done;
+  Mcc_obs.Prof.finish root
+
+let run t =
+  if Mcc_obs.Prof.enabled () then run_profiled t
+  else
+    while step t do
+      ()
+    done;
   flush_metrics t
 
 let events_executed t = t.executed

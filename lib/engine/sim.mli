@@ -72,4 +72,11 @@ val queue_capacity : t -> int
     {!Mcc_obs.Metrics} registry on return: the "engine.events" counter,
     the backend-neutral "engine.queue_capacity" gauge, and the
     per-backend "engine.queue_capacity.heap" / "engine.queue_capacity.wheel"
-    gauge for whichever backend the sim runs on. *)
+    gauge for whichever backend the sim runs on.  They additionally park
+    the backend's {!Scheduler.S.stats} probe — with this sim's
+    timer-handle pool hit/miss counters merged in — via
+    {!Mcc_obs.Profile.note_sched_stats} for the run-profile builder; and
+    when {!Mcc_obs.Prof} is collecting, the event loop runs an
+    instrumented variant attributing pop time to the "engine.sched" span
+    under "engine" (selected once at entry, so the disabled path is the
+    unmodified loop). *)

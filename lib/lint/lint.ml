@@ -11,6 +11,7 @@ type rule =
   | Shared_mutable_toplevel
   | Float_poly_compare
   | Mli_coverage
+  | Prof_span
 
 let all_rules =
   [
@@ -19,6 +20,7 @@ let all_rules =
     Shared_mutable_toplevel;
     Float_poly_compare;
     Mli_coverage;
+    Prof_span;
   ]
 
 let rule_id = function
@@ -27,6 +29,7 @@ let rule_id = function
   | Shared_mutable_toplevel -> "shared-mutable-toplevel"
   | Float_poly_compare -> "float-poly-compare"
   | Mli_coverage -> "mli-coverage"
+  | Prof_span -> "prof-span"
 
 let rule_of_id s =
   List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
@@ -46,6 +49,10 @@ let rule_doc = function
        Float.equal/Float.compare/String.compare so comparisons stay \
        monomorphic"
   | Mli_coverage -> "every library .ml must have a sibling .mli"
+  | Prof_span ->
+      "self-profiler span sites (Prof.span / Prof.with_span) must stay \
+       in lib/ modules with an interface, so every instrumentation \
+       point is part of a documented surface"
 
 type finding = {
   rule : rule;
@@ -209,6 +216,14 @@ let mutable_creators =
 let eq_ops = [ "="; "<>"; "=="; "!=" ]
 let bare_compares = [ "compare"; "Stdlib.compare"; "Pervasives.compare" ]
 
+let prof_span_idents =
+  [
+    "Prof.span";
+    "Prof.with_span";
+    "Mcc_obs.Prof.span";
+    "Mcc_obs.Prof.with_span";
+  ]
+
 let rec lid_to_list = function
   | Longident.Lident s -> Some [ s ]
   | Longident.Ldot (l, s) ->
@@ -327,6 +342,18 @@ let make_iterator ctx =
               report ctx Float_poly_compare e.pexp_loc
                 "bare polymorphic compare; use a monomorphic comparison \
                  (Float.compare, Int.compare, String.compare, ...)"
+            else if
+              List.mem name prof_span_idents
+              && not
+                   (has_prefix ~prefix:"lib/" (normalize_path ctx.path)
+                   && Sys.file_exists (ctx.path ^ "i"))
+            then
+              report ctx Prof_span e.pexp_loc
+                (Printf.sprintf
+                   "%s outside an interfaced lib/ module; span sites are \
+                    instrumentation surface — keep them in lib/ behind an \
+                    .mli"
+                   name)
         | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args)
           when List.mem (lid_name txt) eq_ops
                && List.exists (fun (_, a) -> is_floatish a) args ->

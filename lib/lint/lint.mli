@@ -35,6 +35,12 @@
       [Float.compare], [String.compare], ... so comparisons stay
       monomorphic and NaN handling is explicit.
     - [mli-coverage]: a [.ml] file with no sibling [.mli].
+    - [prof-span]: a self-profiler span site ([Prof.span],
+      [Prof.with_span], or the [Mcc_obs.Prof]-qualified spellings)
+      outside [lib/], or in a [lib/] module without a sibling [.mli].
+      Instrumentation points are part of a module's documented surface;
+      keeping them behind interfaces is what makes the span tree a
+      stable, reviewable component taxonomy.
 
     {2 Suppression}
 
@@ -55,13 +61,15 @@ type rule =
   | Shared_mutable_toplevel
   | Float_poly_compare
   | Mli_coverage
+  | Prof_span
 
 val all_rules : rule list
 
 val rule_id : rule -> string
 (** The stable kebab-case identifier used in pragmas, allowlists, CLI
     flags and the JSON report ([wall-clock], [ambient-randomness],
-    [shared-mutable-toplevel], [float-poly-compare], [mli-coverage]). *)
+    [shared-mutable-toplevel], [float-poly-compare], [mli-coverage],
+    [prof-span]). *)
 
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string

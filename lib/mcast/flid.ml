@@ -148,6 +148,9 @@ let emit_packet s ~group ~slot ~seq ~last ~mask ~delta () =
     in
     s.s_stats.data_bits <- s.s_stats.data_bits + (config.packet_size * 8);
     s.s_stats.delta_bits <- s.s_stats.delta_bits + (field_bytes * 8);
+    Mcc_obs.Lineage.set_origin pkt.Packet.lineage ~session:config.id
+      ~level:group
+      ~time:(Sim.now (Topology.sim s.s_topo));
     Node.originate s.s_node pkt
   end
 
@@ -156,7 +159,7 @@ let emit_packet s ~group ~slot ~seq ~last ~mask ~delta () =
    SIGMA, and schedule every data packet of the slot.  Each packet's
    fields are computed at its own emission instant from state captured
    here, so slot boundaries involve no shared mutable state. *)
-let sender_slot_tick s () =
+let sender_slot_tick_body s () =
   let config = s.s_config in
   let sim = Topology.sim s.s_topo in
   let tick_now = Sim.now sim in
@@ -230,6 +233,11 @@ let sender_slot_tick s () =
              emit_packet s ~group:g ~slot ~seq ~last ~mask ~delta:(delta ()) ())
     done
   done
+
+let sender_slot_tick s () =
+  let prof = Mcc_obs.Prof.span "flid" in
+  sender_slot_tick_body s ();
+  Mcc_obs.Prof.finish prof
 
 let sender_start ?(at = 0.) topo ~node ~prng config =
   let n = config.layering.Layering.groups in

@@ -3,6 +3,8 @@ module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
 module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
+module Prof = Mcc_obs.Prof
+module Lineage = Mcc_obs.Lineage
 
 type dst_kind = To_host | To_router | To_lan
 
@@ -143,7 +145,18 @@ let trace t event pkt =
           ("mcast", Json.Bool (Packet.is_multicast pkt));
         ])
 
+(* Lineage hop labels: constant strings, so stamping a hop allocates
+   nothing.  RED/ECN marks are credited to "red" — in a latency
+   breakdown they are the AQM's doing, not the FIFO's. *)
+let hop_name = function
+  | Tx_start -> "link.tx"
+  | Enqueued -> "link.enq"
+  | Dropped -> "link.drop"
+  | Marked -> "red.mark"
+  | Delivered -> "link.rx"
+
 let note t event pkt =
+  Lineage.hop pkt.Packet.lineage ~time:(Sim.now t.sim) (hop_name event);
   emit t event pkt;
   trace t event pkt
 
@@ -157,15 +170,19 @@ let rec start_tx t pkt =
   Sim.post_after t.sim ~delay:(tx_time t pkt) (fun () ->
          (* Serialization finished: launch propagation, then service the
             next queued packet. *)
+         let sp = Prof.span "link" in
          Sim.post_after t.sim ~delay:t.delay_s (fun () ->
+             let sp = Prof.span "link" in
              note t Delivered pkt;
+             Prof.finish sp;
              t.deliver pkt);
          if Pool.Fifo.is_empty t.queue then t.busy <- false
          else begin
            let next = Pool.Fifo.pop t.queue in
            t.queued_bytes <- t.queued_bytes - next.Packet.size;
            start_tx t next
-         end)
+         end;
+         Prof.finish sp)
 
 let mark t pkt =
   pkt.Packet.ecn <- true;
@@ -175,7 +192,7 @@ let mark t pkt =
   Metrics.incr t.metrics.m_mark_bytes ~by:pkt.Packet.size;
   note t Marked pkt
 
-let send t pkt =
+let send_body t pkt =
   let packet_room =
     match t.buffer_packets with
     | Some cap -> Pool.Fifo.length t.queue < cap
@@ -211,6 +228,12 @@ let send t pkt =
     note t Dropped pkt;
     false
   end
+
+let send t pkt =
+  let sp = Prof.span "link" in
+  let accepted = send_body t pkt in
+  Prof.finish sp;
+  accepted
 
 let observed t = Option.is_some t.on_event
 let occupancy_bytes t = t.queued_bytes

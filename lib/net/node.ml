@@ -1,3 +1,6 @@
+module Prof = Mcc_obs.Prof
+module Lineage = Mcc_obs.Lineage
+
 type kind = Host | Edge_router | Core_router | Lan
 
 type t = {
@@ -98,6 +101,8 @@ let forward_multicast t ~from ~group pkt =
     (fun link ->
       if (not (same_link link)) && may_forward_on t ~group link pkt then begin
         let fresh = Packet.copy_pooled pkt in
+        Lineage.hop fresh.Packet.lineage ~time:(Mcc_engine.Sim.now t.sim)
+          "node.fwd";
         (match t.on_forward with Some h -> h group link fresh | None -> ());
         if
           (not (Link.send link fresh))
@@ -107,7 +112,7 @@ let forward_multicast t ~from ~group pkt =
       end)
     (downstream t ~group)
 
-let receive t ~from pkt =
+let receive_body t ~from pkt =
   match t.kind with
   | Lan ->
       (* Repeat onto every attached link except the one leading back to
@@ -124,6 +129,9 @@ let receive t ~from pkt =
           end)
         t.links
   | Host ->
+      (* End of the causal chain: fold the hop record into the domain's
+         per-hop latency aggregates before the application sees it. *)
+      Lineage.retire pkt.Packet.lineage ~time:(Mcc_engine.Sim.now t.sim);
       (match t.promiscuous with Some h -> h pkt | None -> ());
       deliver_local t pkt
   | Edge_router | Core_router -> (
@@ -137,6 +145,11 @@ let receive t ~from pkt =
             | Some link -> ignore (Link.send link pkt)
             | None -> ())
       | Packet.Multicast g -> forward_multicast t ~from ~group:g pkt)
+
+let receive t ~from pkt =
+  let sp = Prof.span "node" in
+  receive_body t ~from pkt;
+  Prof.finish sp
 
 let originate t pkt =
   match pkt.Packet.dst with

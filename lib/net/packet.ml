@@ -11,6 +11,7 @@ type t = {
   mutable ecn : bool;
   mutable router_alert : bool;
   mutable payload : Payload.t;
+  mutable lineage : Mcc_obs.Lineage.t;
 }
 
 (* Domain-local so concurrent simulations (the batch runner farms runs
@@ -24,9 +25,20 @@ let make ?(router_alert = false) ~src ~dst ~size payload =
   if size <= 0 then invalid_arg "Packet.make: size <= 0";
   let counter = Domain.DLS.get next_uid in
   incr counter;
-  { uid = !counter; src; dst; size; ecn = false; router_alert; payload }
+  {
+    uid = !counter;
+    src;
+    dst;
+    size;
+    ecn = false;
+    router_alert;
+    payload;
+    lineage = Mcc_obs.Lineage.fresh ();
+  }
 
-let copy t = { t with uid = t.uid }
+(* A copy is a distinct causal object (one multicast branch), so it
+   gets its own lineage record seeded with the parent's history. *)
+let copy t = { t with lineage = Mcc_obs.Lineage.clone t.lineage }
 
 (* Multicast fan-out allocates one copy per downstream branch, and under
    the congestion the attack figures live in, most of those copies die
@@ -47,9 +59,15 @@ let copy_pooled src =
       pkt.ecn <- src.ecn;
       pkt.router_alert <- src.router_alert;
       pkt.payload <- src.payload;
+      pkt.lineage <- Mcc_obs.Lineage.clone src.lineage;
       pkt
 
-let release pkt = Pool.Freelist.put (Domain.DLS.get pool) pkt
+let release pkt =
+  (* The lineage goes back to its own pool; the packet keeps a stale
+     pointer that [copy_pooled] overwrites before the record is seen
+     again. *)
+  Mcc_obs.Lineage.release pkt.lineage;
+  Pool.Freelist.put (Domain.DLS.get pool) pkt
 let pooled () = Pool.Freelist.length (Domain.DLS.get pool)
 let is_multicast t = match t.dst with Multicast _ -> true | Unicast _ -> false
 

@@ -20,6 +20,11 @@ type t = {
   mutable payload : Payload.t;
       (** mutable so a per-branch copy can swap in a rewritten payload
           (ECN component scrubbing) without aliasing other branches *)
+  mutable lineage : Mcc_obs.Lineage.t;
+      (** causal hop record; the shared sentinel (all mutators no-op)
+          unless {!Mcc_obs.Lineage} collection is enabled.  [copy]/
+          [copy_pooled] clone it per branch; [release] returns it to
+          the lineage pool *)
 }
 (** All fields are mutable so pooled records can be re-initialised in
     place; outside {!copy_pooled} the identity fields (uid, src, dst,

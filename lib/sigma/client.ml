@@ -65,6 +65,12 @@ let send_control t payload ~size =
     Packet.make ~src:t.host.Node.id ~dst:(Packet.Unicast t.router.Node.id)
       ~size payload
   in
+  (* Control packets originate at the receiver: session = the sending
+     host, level 0 — distinguishable from data lineages, whose session
+     is the FLID session id and level >= 1. *)
+  Mcc_obs.Lineage.set_origin pkt.Packet.lineage ~session:t.host.Node.id
+    ~level:0
+    ~time:(Sim.now (Topology.sim t.topo));
   Node.originate t.host pkt
 
 let rec transmit_pending t pending =

@@ -10,6 +10,8 @@ module Metrics = Mcc_obs.Metrics
 module Tracer = Mcc_obs.Tracer
 module Timeseries = Mcc_obs.Timeseries
 module Json = Mcc_obs.Json
+module Prof = Mcc_obs.Prof
+module Lineage = Mcc_obs.Lineage
 
 let log_src = Logs.Src.create "mcc.sigma" ~doc:"SIGMA edge-router agent"
 
@@ -566,11 +568,14 @@ let send_ack t ~receiver ~slot ~pairs =
   in
   Node.originate t.node pkt
 
-let handle_subscribe t ~receiver ~slot ~pairs =
+let handle_subscribe_body ?lineage t ~receiver ~slot ~pairs =
   match iface_toward t receiver with
   | None -> ()
   | Some iface ->
       let time = now t in
+      (match lineage with
+      | Some lin -> Lineage.hop lin ~time "sigma.subscribe"
+      | None -> ());
       t.tallies.t_subscriptions <- t.tallies.t_subscriptions + 1;
       Metrics.incr t.tallies.m_subscriptions;
       Metrics.observe t.tallies.h_subscribe_pairs
@@ -614,6 +619,29 @@ let handle_subscribe t ~receiver ~slot ~pairs =
             ("accepted", Json.Int (List.length accepted));
             ("rejected", Json.Int denied);
           ]);
+      (* The subscribe's causal chain ends here: preserve it whole when
+         keys were rejected (forensics pins the attack's critical path
+         to the first such case), then fold it into the hop table. *)
+      (match lineage with
+      | Some lin ->
+          (if denied > 0 then
+             let rejected =
+               List.filter (fun pair -> not (List.memq pair accepted)) pairs
+             in
+             match rejected with
+             | (group, key) :: _ ->
+                 Lineage.note_case lin ~kind:"key_reject" ~time
+                   ~attrs:
+                     [
+                       ("receiver", Json.Int receiver);
+                       ("slot", Json.Int slot);
+                       ("group", Json.Int group);
+                       ("key", Json.String (Printf.sprintf "0x%04x" key));
+                       ("rejected", Json.Int denied);
+                     ]
+             | [] -> ());
+          Lineage.retire lin ~time
+      | None -> ());
       if denied > 0 then
         Log.debug (fun m ->
             m "t=%.3f router %d: %d invalid key(s) from receiver %d for slot %d"
@@ -676,6 +704,11 @@ let handle_subscribe t ~receiver ~slot ~pairs =
         Metrics.incr t.tallies.m_acks;
         send_ack t ~receiver ~slot ~pairs:accepted
       end
+
+let handle_subscribe ?lineage t ~receiver ~slot ~pairs =
+  let sp = Prof.span "sigma" in
+  handle_subscribe_body ?lineage t ~receiver ~slot ~pairs;
+  Prof.finish sp
 
 let handle_unsubscribe t ~receiver ~groups =
   match iface_toward t receiver with
@@ -811,7 +844,7 @@ let sweep t =
 let on_unicast t pkt =
   match pkt.Packet.payload with
   | Messages.Subscribe { receiver; slot; pairs } ->
-      handle_subscribe t ~receiver ~slot ~pairs;
+      handle_subscribe ~lineage:pkt.Packet.lineage t ~receiver ~slot ~pairs;
       true
   | Messages.Unsubscribe { receiver; groups } ->
       handle_unsubscribe t ~receiver ~groups;

@@ -142,7 +142,17 @@ val known_groups : t -> int list
     entry points are exposed for tests. *)
 
 val handle_subscribe :
-  t -> receiver:int -> slot:int -> pairs:(int * Mcc_delta.Key.t) list -> unit
+  ?lineage:Mcc_obs.Lineage.t ->
+  t ->
+  receiver:int ->
+  slot:int ->
+  pairs:(int * Mcc_delta.Key.t) list ->
+  unit
+(** [?lineage] is the subscribe packet's causal record: the agent
+    stamps a "sigma.subscribe" hop, preserves the whole chain as a
+    "key_reject" case when any key is denied (first rejected
+    [(group, key)] pair in the attrs, key rendered [0x%04x]), and
+    retires it.  Omitted by direct test callers. *)
 
 val handle_unsubscribe : t -> receiver:int -> groups:int list -> unit
 val handle_session_join : t -> receiver:int -> group:int -> unit

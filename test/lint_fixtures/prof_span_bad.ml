@@ -1,0 +1,9 @@
+(* lint: allow mli-coverage — fixtures carry no interfaces *)
+(* Fixture: prof-span.  Lines 4-5 violate (span sites outside lib/);
+   line 8 is the suppressed twin. *)
+let bad () = Prof.span "fixture"
+let also_bad f = Mcc_obs.Prof.with_span "fixture" f
+
+(* lint: allow prof-span — suppressed twin *)
+let ok () = Prof.span "fixture"
+let uses = (bad, also_bad, ok)

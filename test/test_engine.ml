@@ -233,28 +233,54 @@ let test_sim_nested_schedule () =
         (List.rev !log))
     backends
 
-(* The deprecated Event_queue alias must keep compiling and behaving as
-   the heap backend for one release; this module is its one sanctioned
-   in-tree use. *)
-module Alias = struct
-  [@@@warning "-3"]
+(* Backend stats probes: deterministic counts of simulated work. *)
+let test_heap_stats () =
+  let q = Scheduler.Heap.create () in
+  for i = 0 to 99 do
+    Scheduler.Heap.push q ~time:(float_of_int i) i
+  done;
+  for _ = 0 to 49 do
+    ignore (Scheduler.Heap.pop q)
+  done;
+  let s = Scheduler.Heap.stats q in
+  Alcotest.(check int) "heap pushes" 100 s.Mcc_obs.Profile.pushes;
+  Alcotest.(check int) "heap max size" 100 s.Mcc_obs.Profile.max_size;
+  Alcotest.(check (list int))
+    "heap capacity trajectory" [ 64; 128 ] s.Mcc_obs.Profile.capacities;
+  Alcotest.(check (list int))
+    "heap has no levels" [] s.Mcc_obs.Profile.level_places;
+  Scheduler.Heap.clear q;
+  let s = Scheduler.Heap.stats q in
+  Alcotest.(check int) "heap stats cleared" 0 s.Mcc_obs.Profile.pushes
 
-  module Event_queue = Mcc_engine.Event_queue
-
-  let test_alias () =
-    let q = Event_queue.create () in
-    Event_queue.push q ~time:2. "b";
-    Event_queue.push q ~time:1. "a";
-    Alcotest.(check string) "alias name" "heap" Event_queue.name;
-    Alcotest.(check int) "alias size" 2 (Event_queue.size q);
-    Alcotest.(check (option (float 0.))) "alias peek" (Some 1.)
-      (Event_queue.peek_time q);
-    (match Event_queue.pop q with
-    | Some (_, v) -> Alcotest.(check string) "alias pop" "a" v
-    | None -> Alcotest.fail "alias pop");
-    Event_queue.clear q;
-    Alcotest.(check bool) "alias clear" true (Event_queue.is_empty q)
-end
+let test_wheel_stats () =
+  let q = Scheduler.Wheel.create () in
+  (* 3 level-0 placements, 1 higher-level, 1 beyond the 2^37 horizon. *)
+  Scheduler.Wheel.push q ~time:0.000001 "a";
+  Scheduler.Wheel.push q ~time:0.000002 "b";
+  Scheduler.Wheel.push q ~time:0.000003 "c";
+  Scheduler.Wheel.push q ~time:1.0 "d";
+  Scheduler.Wheel.push q ~time:1e12 "overflow";
+  let s = Scheduler.Wheel.stats q in
+  Alcotest.(check int) "wheel pushes" 5 s.Mcc_obs.Profile.pushes;
+  Alcotest.(check int) "wheel max size" 5 s.Mcc_obs.Profile.max_size;
+  Alcotest.(check int) "wheel levels" 4
+    (List.length s.Mcc_obs.Profile.level_places);
+  Alcotest.(check int) "wheel level-0 places" 3
+    (List.nth s.Mcc_obs.Profile.level_places 0);
+  Alcotest.(check int) "wheel overflow places" 1 s.Mcc_obs.Profile.overflow;
+  Alcotest.(check bool) "wheel grew once" true
+    (s.Mcc_obs.Profile.free_misses >= 1);
+  (* Drain everything: the recycled cells show up as free-list hits on
+     the next batch of pushes. *)
+  let rec drain () =
+    match Scheduler.Wheel.pop q with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Scheduler.Wheel.push q ~time:2.0 "e";
+  let s = Scheduler.Wheel.stats q in
+  Alcotest.(check bool) "wheel free-list hit" true
+    (s.Mcc_obs.Profile.free_hits >= 1)
 
 let suite =
   ( "engine",
@@ -268,7 +294,8 @@ let suite =
       Alcotest.test_case "heap capacity trajectory" `Quick
         test_heap_capacity_trajectory;
       Alcotest.test_case "backend of_name" `Quick test_of_name;
-      Alcotest.test_case "event_queue alias" `Quick Alias.test_alias;
+      Alcotest.test_case "heap stats" `Quick test_heap_stats;
+      Alcotest.test_case "wheel stats" `Quick test_wheel_stats;
       QCheck_alcotest.to_alcotest prop_queue_sorted;
       Alcotest.test_case "sim order and clock" `Quick test_sim_order_and_clock;
       Alcotest.test_case "sim default backend" `Quick test_sim_default_backend;

@@ -1,0 +1,128 @@
+(* Causal packet lineage (Mcc_obs.Lineage): the determinism contract —
+   a run's hop records are a pure function of the spec, so the summary
+   JSON is byte-identical across repeated runs, across scheduler
+   backends, and across domains (the --jobs axis: a worker domain's
+   records match the main domain's) — plus pooled-record reuse (steady
+   state allocates nothing) and the sentinel's zero-cost-off rule. *)
+
+module Lineage = Mcc_obs.Lineage
+module Json = Mcc_obs.Json
+module Runner = Mcc_core.Runner
+module Spec = Mcc_core.Spec
+module Scheduler = Mcc_engine.Scheduler
+
+(* A small matrix attack cell: 12 simulated seconds of persistent
+   inflation against DELTA+SIGMA — long enough to cross the attack
+   onset and collect key_reject cases, short enough for a test. *)
+let cell_spec () =
+  Spec.scale_time (Spec.Adversary Spec.default_adversary) ~factor:0.1
+
+let lineage_json ?sched () =
+  let inst = Runner.run_spec_instrumented ?sched (cell_spec ()) in
+  Json.to_string (Lineage.to_json inst.Runner.i_lineage)
+
+let has needle s =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_repeatable () =
+  let a = lineage_json () and b = lineage_json () in
+  Alcotest.(check string) "byte-identical across repeated runs" a b;
+  Alcotest.(check bool) "records sigma subscribe hops" true
+    (has "sigma.subscribe" a);
+  Alcotest.(check bool) "preserves a key_reject case" true
+    (has "key_reject" a)
+
+let test_sched_independent () =
+  let heap = lineage_json ~sched:Scheduler.heap ()
+  and wheel = lineage_json ~sched:Scheduler.wheel () in
+  Alcotest.(check string) "heap and wheel runs byte-identical" heap wheel
+
+let test_domain_independent () =
+  (* The --jobs axis: Lineage state is domain-local, so a worker
+     domain running the same spec must produce the same bytes the main
+     domain does. *)
+  let main = lineage_json () in
+  let worker = Domain.join (Domain.spawn (fun () -> lineage_json ())) in
+  Alcotest.(check string) "worker-domain run byte-identical" main worker
+
+let test_disabled_sentinel () =
+  Lineage.reset ();
+  let t = Lineage.fresh () in
+  Alcotest.(check bool) "fresh is the sentinel when off" true
+    (t == Lineage.none ());
+  Lineage.set_origin t ~session:1 ~level:2 ~time:3.;
+  Lineage.hop t ~time:4. "link.tx";
+  Lineage.retire t ~time:5.;
+  Lineage.release t;
+  Alcotest.(check (list (pair (float 0.) string))) "mutators no-op" []
+    (Lineage.hops t);
+  Alcotest.(check int) "nothing allocated" 0 (Lineage.allocated ());
+  Alcotest.(check bool) "clone of the sentinel is the sentinel" true
+    (Lineage.clone t == Lineage.none ())
+
+let test_pool_reuse () =
+  Lineage.enable ();
+  let cycle () =
+    let t = Lineage.fresh () in
+    Lineage.set_origin t ~session:1 ~level:1 ~time:0.;
+    Lineage.hop t ~time:0.1 "link.tx";
+    Lineage.hop t ~time:0.2 "link.rx";
+    Lineage.retire t ~time:0.3;
+    Lineage.release t
+  in
+  for _ = 1 to 5 do cycle () done;
+  let warm = Lineage.allocated () in
+  Alcotest.(check bool) "pool warmed with at least one record" true (warm >= 1);
+  for _ = 1 to 500 do cycle () done;
+  Alcotest.(check int) "steady state allocates nothing" warm
+    (Lineage.allocated ());
+  Alcotest.(check bool) "released records sit in the pool" true
+    (Lineage.pooled () >= 1);
+  (* Clones are pooled records too: a fan-out burst reuses them. *)
+  let t = Lineage.fresh () in
+  Lineage.hop t ~time:0.1 "node.fwd";
+  let c = Lineage.clone t in
+  Alcotest.(check (list (pair (float 1e-9) string))) "clone copies hops"
+    (Lineage.hops t) (Lineage.hops c);
+  Lineage.release t;
+  Lineage.release c;
+  let after_clone = Lineage.allocated () in
+  for _ = 1 to 100 do
+    let t = Lineage.fresh () in
+    let c = Lineage.clone t in
+    Lineage.release t;
+    Lineage.release c
+  done;
+  Alcotest.(check int) "clone bursts reuse the pool" after_clone
+    (Lineage.allocated ());
+  Lineage.disable ();
+  Lineage.reset ()
+
+let test_hop_cap () =
+  Lineage.enable ();
+  let t = Lineage.fresh () in
+  for i = 1 to 40 do
+    Lineage.hop t ~time:(float_of_int i) "link.tx"
+  done;
+  Alcotest.(check bool) "hop buffer is bounded" true
+    (List.length (Lineage.hops t) < 40);
+  Alcotest.(check int) "overflow counted as lost" 40
+    (List.length (Lineage.hops t) + Lineage.lost t);
+  Lineage.release t;
+  Lineage.disable ();
+  Lineage.reset ()
+
+let suite =
+  ( "lineage",
+    [
+      Alcotest.test_case "repeatable run" `Quick test_repeatable;
+      Alcotest.test_case "scheduler-independent" `Quick test_sched_independent;
+      Alcotest.test_case "domain-independent" `Quick test_domain_independent;
+      Alcotest.test_case "disabled sentinel" `Quick test_disabled_sentinel;
+      Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+      Alcotest.test_case "hop cap" `Quick test_hop_cap;
+    ] )

@@ -63,6 +63,16 @@ let test_mli_coverage () =
   Alcotest.(check int) "exit 1" 1
     (exit_for [ Lint.Mli_coverage ] [ "no_mli.ml" ])
 
+let test_prof_span () =
+  let fs = check [ Lint.Prof_span ] "prof_span_bad.ml" in
+  Alcotest.(check (list string)) "rule ids"
+    [ "prof-span"; "prof-span" ]
+    (ids fs);
+  Alcotest.(check (list int)) "span sites outside lib/ flagged; twin suppressed"
+    [ 4; 5 ] (lines fs);
+  Alcotest.(check int) "exit 1" 1
+    (exit_for [ Lint.Prof_span ] [ "prof_span_bad.ml" ])
+
 let test_exit_codes () =
   Alcotest.(check int) "clean file exits 0" 0
     (exit_for Lint.all_rules [ "clean.ml" ]);
@@ -153,6 +163,7 @@ let suite =
         test_shared_toplevel;
       Alcotest.test_case "float-poly-compare fixture" `Quick test_float_compare;
       Alcotest.test_case "mli-coverage fixture" `Quick test_mli_coverage;
+      Alcotest.test_case "prof-span fixture" `Quick test_prof_span;
       Alcotest.test_case "exit codes" `Quick test_exit_codes;
       Alcotest.test_case "allowlist" `Quick test_allowlist;
       Alcotest.test_case "json report" `Quick test_json_report;

@@ -1,0 +1,196 @@
+(* The self-profiler (Mcc_obs.Prof) and the run-profile field-order
+   contract (Mcc_obs.Profile): span nesting and accounting, the
+   zero-cost disabled path, folded-stack output, and the rule that
+   wall-clock fields render last so profile JSON stays byte-comparable
+   across --jobs up to its deterministic prefix. *)
+
+module Prof = Mcc_obs.Prof
+module Profile = Mcc_obs.Profile
+module Json = Mcc_obs.Json
+
+let paths entries = List.map (fun (e : Prof.entry) -> e.Prof.path) entries
+
+let entry entries path =
+  match
+    List.find_opt (fun (e : Prof.entry) -> e.Prof.path = path) entries
+  with
+  | Some e -> e
+  | None ->
+      Alcotest.failf "no entry for path %s" (String.concat ";" path)
+
+let test_disabled () =
+  Prof.reset ();
+  Alcotest.(check bool) "off by default" false (Prof.enabled ());
+  let sp = Prof.span "hot" in
+  Alcotest.(check bool) "disabled token" true (sp == Prof.disabled);
+  Prof.finish sp;
+  Alcotest.(check int) "with_span is just f ()" 3
+    (Prof.with_span "hot" (fun () -> 3));
+  Alcotest.(check (list (list string))) "nothing recorded" []
+    (paths (Prof.snapshot ()))
+
+let test_nesting () =
+  Prof.enable ();
+  Prof.with_span "a" (fun () ->
+      Prof.with_span "b" (fun () -> ignore (Sys.opaque_identity 1));
+      Prof.with_span "b" (fun () -> ignore (Sys.opaque_identity 2));
+      Prof.with_span "c" (fun () -> ()));
+  Prof.with_span "a" (fun () -> ());
+  let entries = Prof.snapshot () in
+  Prof.disable ();
+  Alcotest.(check (list (list string)))
+    "preorder, creation order, same name under one parent merged"
+    [ [ "a" ]; [ "a"; "b" ]; [ "a"; "c" ] ]
+    (paths entries);
+  let a = entry entries [ "a" ] and b = entry entries [ "a"; "b" ] in
+  Alcotest.(check int) "a opened twice" 2 a.Prof.count;
+  Alcotest.(check int) "b opened twice" 2 b.Prof.count;
+  Alcotest.(check int) "b depth" 1 b.Prof.depth;
+  Alcotest.(check bool) "totals are non-negative" true
+    (a.Prof.total_s >= 0. && a.Prof.self_s >= 0.);
+  Alcotest.(check bool) "parent total covers child total" true
+    (a.Prof.total_s +. 1e-9 >= b.Prof.total_s);
+  (* self_total telescopes back to root_total by construction. *)
+  Alcotest.(check bool) "self sums to root total" true
+    (Float.abs (Prof.self_total entries -. Prof.root_total entries) < 1e-9)
+
+let test_exception_unwind () =
+  Prof.enable ();
+  (try
+     Prof.with_span "outer" (fun () ->
+         let _inner = Prof.span "inner" in
+         raise Exit)
+   with Exit -> ());
+  let entries = Prof.snapshot () in
+  Prof.disable ();
+  Alcotest.(check (list (list string)))
+    "finish closed the abandoned inner span too"
+    [ [ "outer" ]; [ "outer"; "inner" ] ]
+    (paths entries);
+  (* The tree is well-formed again: a fresh root span nests at depth 0. *)
+  Prof.enable ();
+  Prof.with_span "again" (fun () -> ());
+  Alcotest.(check (list (list string))) "clean tree after re-enable"
+    [ [ "again" ] ]
+    (paths (Prof.snapshot ()));
+  Prof.disable ()
+
+let test_folded () =
+  Prof.enable ();
+  Prof.with_span "run" (fun () ->
+      Prof.with_span "engine" (fun () -> ignore (Sys.opaque_identity 1)));
+  let entries = Prof.snapshot () in
+  Prof.disable ();
+  let lines = String.split_on_char '\n' (String.trim (Prof.folded entries)) in
+  Alcotest.(check int) "one line per node" 2 (List.length lines);
+  List.iter2
+    (fun line prefix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S starts with %S" line prefix)
+        true
+        (String.length line > String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix);
+      (* ... and ends in a non-negative integer microsecond count. *)
+      let n =
+        String.sub line
+          (String.length prefix + 1)
+          (String.length line - String.length prefix - 1)
+      in
+      match int_of_string_opt n with
+      | Some us -> Alcotest.(check bool) "self-us >= 0" true (us >= 0)
+      | None -> Alcotest.failf "%S: %S is not an integer" line n)
+    lines [ "run"; "run;engine" ]
+
+let test_markdown () =
+  Prof.enable ();
+  Prof.with_span "run" (fun () -> Prof.with_span "engine" (fun () -> ()));
+  let entries = Prof.snapshot () in
+  Prof.disable ();
+  let md = Prof.to_markdown ~wall_s:(Prof.root_total entries) entries in
+  let has needle =
+    let nl = String.length needle and ml = String.length md in
+    let rec go i = i + nl <= ml && (String.sub md i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table header" true (has "| component |");
+  Alcotest.(check bool) "coverage line against wall time" true (has "cover");
+  Alcotest.(check bool) "child row indented" true (has "&nbsp;&nbsp;`engine`")
+
+(* Satellite regression: Profile.to_json must render every
+   deterministic field (sched, events, queue_capacity, sched_stats)
+   before the wall-clock fields, and omit sched_stats entirely when
+   absent — that prefix rule is what keeps --jobs 1 and --jobs N
+   metrics JSONL comparable up to the wall-clock suffix. *)
+let find_sub s needle =
+  let nl = String.length needle in
+  let rec go i =
+    if i + nl > String.length s then None
+    else if String.sub s i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_profile_field_order () =
+  let stats =
+    {
+      Profile.pushes = 10;
+      max_size = 4;
+      capacities = [ 64 ];
+      level_places = [ 3; 1; 0; 0 ];
+      overflow = 1;
+      drain_inserts = 2;
+      free_hits = 5;
+      free_misses = 6;
+      pool_hits = 7;
+      pool_misses = 8;
+    }
+  in
+  let render wall_s =
+    Json.to_string
+      (Profile.to_json
+         (Profile.make ~sched:"wheel" ~sched_stats:stats ~events:100
+            ~queue_capacity:64 ~wall_s ()))
+  in
+  let a = render 0.5 and b = render 0.25 in
+  let wall_at s =
+    match find_sub s "\"wall_s\"" with
+    | Some i -> i
+    | None -> Alcotest.failf "no wall_s field in %s" s
+  in
+  Alcotest.(check string)
+    "deterministic prefix is byte-identical across different wall clocks"
+    (String.sub a 0 (wall_at a))
+    (String.sub b 0 (wall_at b));
+  let stats_at =
+    match find_sub a "\"sched_stats\"" with
+    | Some i -> i
+    | None -> Alcotest.fail "sched_stats missing when provided"
+  in
+  Alcotest.(check bool) "sched_stats renders before wall_s" true
+    (stats_at < wall_at a);
+  (match find_sub a "\"events_per_sec\"" with
+  | Some i -> Alcotest.(check bool) "events_per_sec after wall_s" true (i > wall_at a)
+  | None -> Alcotest.fail "events_per_sec missing");
+  let bare =
+    Json.to_string
+      (Profile.to_json
+         (Profile.make ~sched:"heap" ~events:100 ~queue_capacity:64
+            ~wall_s:0.5 ()))
+  in
+  Alcotest.(check (option int)) "sched_stats omitted entirely when absent"
+    None
+    (find_sub bare "sched_stats");
+  match Json.of_string a with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "profile JSON does not parse: %s" e
+
+let suite =
+  ( "prof",
+    [
+      Alcotest.test_case "disabled is inert" `Quick test_disabled;
+      Alcotest.test_case "nesting and accounting" `Quick test_nesting;
+      Alcotest.test_case "exception unwind" `Quick test_exception_unwind;
+      Alcotest.test_case "folded stacks" `Quick test_folded;
+      Alcotest.test_case "markdown table" `Quick test_markdown;
+      Alcotest.test_case "profile field order" `Quick test_profile_field_order;
+    ] )
