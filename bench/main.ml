@@ -20,7 +20,12 @@
 
    --sched heap|wheel runs every figure on that scheduler backend; the
    churn-heap/churn-wheel pair always pins its own backend and prints
-   the wheel/heap speedup. *)
+   the wheel/heap speedup.
+
+   --record appends this invocation's figures to the run ledger
+   (.mcc/ledger, override with MCC_LEDGER), so `mcc history` renders
+   the events/s trajectory across bench runs and `mcc diff` compares
+   any two of them. *)
 
 module E = Mcc_core.Experiments
 module Report = Mcc_core.Report
@@ -41,6 +46,7 @@ let requested : string list ref = ref []
 let baseline_path : string option ref = ref None
 let save_baseline_path : string option ref = ref None
 let threshold = ref 0.25
+let record = ref false
 
 let duration full = if !quick then full /. 4. else full
 
@@ -905,6 +911,9 @@ let () =
     | "--threshold" :: f :: rest ->
         threshold := float_of_string f;
         parse rest
+    | "--record" :: rest ->
+        record := true;
+        parse rest
     | name :: rest ->
         requested := name :: !requested;
         parse rest
@@ -949,6 +958,48 @@ let () =
     (match !save_baseline_path with
     | Some path -> save_baseline path rates
     | None -> ());
+    (* --record appends this invocation to the run ledger so `mcc
+       history`/`mcc diff` see the bench trajectory.  The figure names
+       and configuration are the deterministic payload; the events/s
+       figures are wall-derived and live in the wall suffix, like every
+       other host-timing field. *)
+    if !record then begin
+      let dir = Mcc_obs.Ledger.default_dir () in
+      let selection =
+        match !requested with [] -> "all" | l -> String.concat "," (List.rev l)
+      in
+      let payload =
+        Json.Obj
+          [
+            ( "config",
+              Json.Obj
+                [
+                  ("command", Json.String "bench");
+                  ("selection", Json.String selection);
+                  ("quick", Json.Bool !quick);
+                  ( "figures",
+                    Json.List
+                      (List.map (fun (n, _) -> Json.String n) rates) );
+                ] );
+          ]
+      in
+      let wall =
+        [
+          ("recorded_unix_s", Json.Float (Profile.now ()));
+          ( "figures",
+            Json.Obj (List.map (fun (n, r) -> (n, Json.Float r)) rates) );
+        ]
+      in
+      match
+        Mcc_obs.Ledger.append ~dir ~kind:"bench" ~label:selection ~payload
+          ~wall ()
+      with
+      | Ok entry ->
+          Format.fprintf fmt "[recorded as ledger entry #%d in %s]@."
+            entry.Mcc_obs.Ledger.seq
+            (Mcc_obs.Ledger.file ~dir)
+      | Error msg -> Format.eprintf "bench: ledger: %s (continuing)@." msg
+    end;
     match !baseline_path with
     | Some path -> compare_baseline path rates
     | None -> ()

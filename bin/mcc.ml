@@ -35,6 +35,9 @@ module Json = Mcc_core.Json
 module Metrics = Mcc_obs.Metrics
 module Profile = Mcc_obs.Profile
 module Tracer = Mcc_obs.Tracer
+module Ledger = Mcc_obs.Ledger
+module Progress = Mcc_obs.Progress
+module Crossrun = Mcc_core.Crossrun
 
 let fmt = Format.std_formatter
 
@@ -249,22 +252,54 @@ let partial_cmd =
 (* --- registry batch commands -------------------------------------------- *)
 
 let list_cmd =
-  let run () =
-    Format.fprintf fmt "%-12s %-10s %-14s %s@." "NAME" "GROUP" "KIND" "DOC";
-    List.iter
-      (fun (e : Runner.entry) ->
-        Format.fprintf fmt "%-12s %-10s %-14s %s@." e.Runner.name
-          e.Runner.group
-          (Spec.kind e.Runner.spec)
-          e.Runner.doc)
-      (Runner.all ());
-    Format.fprintf fmt "@.%d experiments; groups: %s@."
-      (List.length (Runner.all ()))
-      (String.concat ", " (Runner.groups ()))
+  let run json =
+    if json then
+      (* One machine-readable document so external tooling (and ledger
+         filters) can enumerate specs without scraping columns. *)
+      print_string
+        (Json.to_string
+           (Json.Obj
+              [
+                ( "experiments",
+                  Json.List
+                    (List.map
+                       (fun (e : Runner.entry) ->
+                         Json.Obj
+                           [
+                             ("name", Json.String e.Runner.name);
+                             ("group", Json.String e.Runner.group);
+                             ("kind", Json.String (Spec.kind e.Runner.spec));
+                             ("doc", Json.String e.Runner.doc);
+                           ])
+                       (Runner.all ())) );
+                ( "groups",
+                  Json.List
+                    (List.map (fun g -> Json.String g) (Runner.groups ())) );
+              ])
+        ^ "\n")
+    else begin
+      Format.fprintf fmt "%-12s %-10s %-14s %s@." "NAME" "GROUP" "KIND" "DOC";
+      List.iter
+        (fun (e : Runner.entry) ->
+          Format.fprintf fmt "%-12s %-10s %-14s %s@." e.Runner.name
+            e.Runner.group
+            (Spec.kind e.Runner.spec)
+            e.Runner.doc)
+        (Runner.all ());
+      Format.fprintf fmt "@.%d experiments; groups: %s@."
+        (List.length (Runner.all ()))
+        (String.concat ", " (Runner.groups ()))
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON document instead of the pretty table.")
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List every registered experiment spec.")
-    Term.(const run $ const ())
+    Term.(const run $ json)
 
 (* Shared by `run` and `trace`: resolve --all/--only into registry
    entries and apply --quick. *)
@@ -345,8 +380,57 @@ let output_writer ~cmd path =
         Printf.eprintf "mcc %s: cannot open %s: %s\n" cmd path msg;
         exit 2
 
+(* --- run ledger + live telemetry (shared by run/matrix/profile) --------- *)
+
+let no_ledger_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ]
+        ~doc:
+          "Do not record this invocation in the run ledger \
+           ($(b,.mcc/ledger), overridable via $(b,MCC_LEDGER)).")
+
+(* Recording is telemetry: a ledger failure warns and never fails the
+   run that produced the results. *)
+let record_ledger ~no_ledger ~kind ~label ~payload ~wall =
+  if not no_ledger then begin
+    let dir = Ledger.default_dir () in
+    match Ledger.append ~dir ~kind ~label ~payload ~wall () with
+    | Ok _ -> ()
+    | Error msg -> Printf.eprintf "mcc %s: ledger: %s (continuing)\n" kind msg
+  end
+
+let progress_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "progress" ]
+              ~doc:"Force the live stderr progress meter on." );
+          ( Some false,
+            info [ "no-progress" ]
+              ~doc:"Force the live stderr progress meter off." );
+        ])
+
+(* Meter default: on when stderr is a terminal.  The meter is
+   stderr-only and ephemeral — sinks are fed after the batch in entry
+   order, so their bytes are identical with the meter on or off. *)
+let progress_callback progress =
+  let enabled =
+    match progress with Some b -> b | None -> Unix.isatty Unix.stderr
+  in
+  if not enabled then None
+  else
+    Some
+      (fun (s : Progress.sample) ->
+        output_string stderr ("\r" ^ Progress.render s);
+        if s.Progress.final then output_string stderr "\n";
+        flush stderr)
+
 let run_cmd =
-  let run all only jobs sched quick json csv metrics series sample_dt quiet =
+  let run all only jobs sched quick json csv metrics metrics_format series
+      sample_dt quiet progress no_ledger =
     if sample_dt <= 0. then begin
       Printf.eprintf "mcc run: --sample-dt must be positive\n";
       exit 2
@@ -372,28 +456,43 @@ let run_cmd =
     let sample_dt = Option.map (fun _ -> sample_dt) series in
     let rows, elapsed =
       Profile.with_wall_clock (fun () ->
-          Runner.run_batch ~jobs ?sched ?sample_dt ~sinks entries)
+          Runner.run_batch ~jobs ?sched ?sample_dt ~sinks
+            ?on_progress:(progress_callback progress) entries)
     in
     List.iter Sink.close sinks;
     (match series_writer with Some (_, close) -> close () | None -> ());
     (match metrics with
     | None -> ()
-    | Some path ->
+    | Some path -> (
         let write, close = output_writer ~cmd:"run" path in
-        List.iter
-          (fun (row : Runner.row) ->
+        (match metrics_format with
+        | `Json ->
+            List.iter
+              (fun (row : Runner.row) ->
+                write
+                  (Json.to_string
+                     (Json.Obj
+                        [
+                          ("name", Json.String row.Runner.entry.Runner.name);
+                          ("metrics", Metrics.values_json row.Runner.metrics);
+                          (* wall-clock fields stay last on the line *)
+                          ("profile", Profile.to_json row.Runner.profile);
+                        ])
+                  ^ "\n"))
+              rows
+        | `Openmetrics ->
             write
-              (Json.to_string
-                 (Json.Obj
-                    [
-                      ("name", Json.String row.Runner.entry.Runner.name);
-                      ("metrics", Metrics.values_json row.Runner.metrics);
-                      (* wall-clock fields stay last on the line *)
-                      ("profile", Profile.to_json row.Runner.profile);
-                    ])
-              ^ "\n"))
-          rows;
-        close ());
+              (Metrics.openmetrics_page
+                 (List.map
+                    (fun (row : Runner.row) ->
+                      ( [ ("run", row.Runner.entry.Runner.name) ],
+                        row.Runner.metrics ))
+                    rows)));
+        close ()));
+    record_ledger ~no_ledger ~kind:"run"
+      ~label:(if all then "all" else String.concat "," only)
+      ~payload:(Crossrun.run_payload ~command:"run" ~config:[] rows)
+      ~wall:(Crossrun.run_wall ~recorded:(Profile.now ()) rows);
     if not quiet then
       Format.fprintf fmt "@.[%d experiments in %.1fs, jobs=%d]@."
         (List.length rows) elapsed jobs
@@ -407,8 +506,29 @@ let run_cmd =
       & opt ~vopt:(Some "-") (some string) None
       & info [ "metrics" ] ~docv:"PATH"
           ~doc:
-            "Write one JSON line per run with its full metric snapshot \
-             and event-loop profile; $(docv) defaults to $(b,-) (stdout).")
+            "Write the metric snapshots; $(docv) defaults to $(b,-) \
+             (stdout).  The default format is one JSON line per run with \
+             snapshot and event-loop profile; see $(b,--metrics-format).")
+  in
+  let metrics_format =
+    let parse = function
+      | "json" -> Ok `Json
+      | "openmetrics" -> Ok `Openmetrics
+      | s ->
+          Error (`Msg (Printf.sprintf "unknown format %S (json|openmetrics)" s))
+    in
+    let print ppf v =
+      Format.pp_print_string ppf
+        (match v with `Json -> "json" | `Openmetrics -> "openmetrics")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Json
+      & info [ "metrics-format" ] ~docv:"FORMAT"
+          ~doc:
+            "$(b,--metrics) format: $(b,json) (default; one line per run, \
+             profile last) or $(b,openmetrics) (one scrape-able text \
+             exposition, runs distinguished by a $(b,run) label).")
   in
   let json =
     Arg.(
@@ -451,7 +571,8 @@ let run_cmd =
           CSV, metrics and time-series sinks.")
     Term.(
       const run $ all $ only_arg $ jobs $ sched_arg $ quick_arg $ json $ csv
-      $ metrics $ series $ sample_dt $ quiet)
+      $ metrics $ metrics_format $ series $ sample_dt $ quiet $ progress_arg
+      $ no_ledger_arg)
 
 let trace_cmd =
   let run only out filters level quick =
@@ -528,7 +649,9 @@ let matrix_cmd =
           names
   in
   let run jobs sched quick seed duration attack_at attacks protocols defences
-      json csv out quiet =
+      json csv out quiet progress no_ledger =
+    let attack_names = attacks and protocol_names = protocols
+    and defence_names = defences in
     let attacks =
       pick ~what:"attack" ~str:Spec.attack_str
         ~catalogue:Mcc_attack.Matrix.default_attacks attacks
@@ -563,12 +686,20 @@ let matrix_cmd =
     in
     let rows, elapsed =
       Profile.with_wall_clock (fun () ->
-          Mcc_attack.Matrix.run ~jobs ?sched ~sinks entries)
+          Mcc_attack.Matrix.run ~jobs ?sched ~sinks
+            ?on_progress:(progress_callback progress) entries)
     in
     List.iter Sink.close sinks;
     let write, close = output_writer ~cmd:"matrix" out in
     write (Mcc_attack.Scorecard.to_string rows);
     close ();
+    let selection names = match names with [] -> "all" | l -> String.concat "," l in
+    record_ledger ~no_ledger ~kind:"matrix"
+      ~label:
+        (Printf.sprintf "%s/%s/%s" (selection attack_names)
+           (selection protocol_names) (selection defence_names))
+      ~payload:(Crossrun.run_payload ~command:"matrix" ~config:[] rows)
+      ~wall:(Crossrun.run_wall ~recorded:(Profile.now ()) rows);
     if not quiet then
       Format.fprintf fmt "[%d matrix cells in %.1fs, jobs=%d%s]@."
         (List.length rows) elapsed jobs
@@ -637,7 +768,8 @@ let matrix_cmd =
       const run $ jobs $ sched_arg $ quick_arg
       $ seed Spec.default_adversary.Spec.seed
       $ duration Spec.default_adversary.Spec.duration
-      $ attack_at $ attacks $ protocols $ defences $ json $ csv $ out $ quiet)
+      $ attack_at $ attacks $ protocols $ defences $ json $ csv $ out $ quiet
+      $ progress_arg $ no_ledger_arg)
 
 let profile_cmd =
   (* `mcc profile` accepts anything `mcc run --only` does, plus matrix
@@ -687,7 +819,7 @@ let profile_cmd =
         row "timer-handle pool hits / misses"
           (Printf.sprintf "%d / %d" s.Profile.pool_hits s.Profile.pool_misses)
   in
-  let run name sched quick out folded json_path =
+  let run name sched quick out folded json_path no_ledger =
     let entry = find_entry name in
     let spec =
       if quick then Spec.scale_time entry.Runner.spec ~factor:0.25
@@ -731,7 +863,7 @@ let profile_cmd =
         let write, close = output_writer ~cmd:"profile" path in
         write (Mcc_obs.Prof.folded inst.Runner.i_prof);
         close ());
-    match json_path with
+    (match json_path with
     | None -> ()
     | Some path ->
         let write, close = output_writer ~cmd:"profile" path in
@@ -748,7 +880,23 @@ let profile_cmd =
                   ("profile", Profile.to_json p);
                 ])
           ^ "\n");
-        close ()
+        close ());
+    (* An instrumented run recorded as a one-row batch, with the
+       self-profiler table joining the wall suffix. *)
+    let row =
+      {
+        Runner.entry = { entry with Runner.spec };
+        result = inst.Runner.i_result;
+        metrics = inst.Runner.i_metrics;
+        series = [];
+        profile = p;
+      }
+    in
+    record_ledger ~no_ledger ~kind:"profile" ~label:entry.Runner.name
+      ~payload:(Crossrun.run_payload ~command:"profile" ~config:[] [ row ])
+      ~wall:
+        (Crossrun.run_wall ~recorded:(Profile.now ()) [ row ]
+        @ Crossrun.prof_wall inst.Runner.i_prof)
   in
   let entry_arg =
     Arg.(
@@ -791,7 +939,9 @@ let profile_cmd =
          "Run one experiment under the engine self-profiler and packet \
           lineage, and render the component self-time table, scheduler \
           introspection and the containment critical path.")
-    Term.(const run $ entry_arg $ sched_arg $ quick_arg $ out $ folded $ json)
+    Term.(
+      const run $ entry_arg $ sched_arg $ quick_arg $ out $ folded $ json
+      $ no_ledger_arg)
 
 let report_cmd =
   let read_lines path =
@@ -911,6 +1061,171 @@ let report_cmd =
           rerunning anything.")
     Term.(const run $ series $ trace $ profile $ only_arg $ width)
 
+(* --- cross-run commands (ledger history + diffing) ---------------------- *)
+
+let load_ledger ~cmd =
+  let dir = Ledger.default_dir () in
+  match Ledger.load ~dir with
+  | Ok entries -> (dir, entries)
+  | Error msg ->
+      Printf.eprintf "mcc %s: %s\n" cmd msg;
+      exit 2
+
+let history_cmd =
+  let run kind label metric last width =
+    let dir, entries = load_ledger ~cmd:"history" in
+    let entries =
+      List.filter
+        (fun (e : Ledger.entry) ->
+          (match kind with None -> true | Some k -> String.equal e.Ledger.kind k)
+          && match label with
+             | None -> true
+             | Some l -> String.equal e.Ledger.label l)
+        entries
+    in
+    let entries =
+      match last with
+      | None -> entries
+      | Some n ->
+          let len = List.length entries in
+          List.filteri (fun i _ -> i >= len - n) entries
+    in
+    if entries = [] then
+      Printf.eprintf "mcc history: no matching entries in %s\n"
+        (Ledger.file ~dir)
+    else print_string (Crossrun.history_table ?metric ~width entries)
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Keep only entries of this kind: $(b,run), $(b,matrix), \
+             $(b,profile) or $(b,bench).")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"LABEL"
+          ~doc:
+            "Keep only entries with this exact label (the recorded \
+             selection, e.g. $(b,fig1)).")
+  in
+  let metric =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metric" ] ~docv:"NAME"
+          ~doc:
+            "Series for the value column and trend sparkline: a recorded \
+             figure name, a wall field, or any summary/metrics key (e.g. \
+             $(b,link.drops)).  Default $(b,events_per_sec).")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"Keep only the N most recent entries.")
+  in
+  let width =
+    Arg.(
+      value & opt int 40
+      & info [ "width" ] ~docv:"COLS"
+          ~doc:"Trend sparkline width in characters (default 40).")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "List run-ledger entries and render the trend of any figure or \
+          metric across them.")
+    Term.(const run $ kind $ label $ metric $ last $ width)
+
+let diff_cmd =
+  let resolve ~entries sel =
+    if Sys.file_exists sel && not (Sys.is_directory sel) then begin
+      let content =
+        In_channel.with_open_bin sel In_channel.input_all
+      in
+      match Json.of_string (String.trim content) with
+      | Error msg ->
+          Printf.eprintf "mcc diff: %s: invalid JSON: %s\n" sel msg;
+          exit 2
+      | Ok json -> (
+          match Crossrun.entry_of_document json with
+          | Ok e -> e
+          | Error msg ->
+              Printf.eprintf "mcc diff: %s: %s\n" sel msg;
+              exit 2)
+    end
+    else
+      let pick n =
+        match
+          List.find_opt (fun (e : Ledger.entry) -> e.Ledger.seq = n) entries
+        with
+        | Some e -> e
+        | None ->
+            Printf.eprintf "mcc diff: no ledger entry #%d\n" n;
+            exit 2
+      in
+      let nth_last n =
+        let len = List.length entries in
+        if len < n then begin
+          Printf.eprintf "mcc diff: ledger has only %d entries\n" len;
+          exit 2
+        end
+        else List.nth entries (len - n)
+      in
+      match int_of_string_opt sel with
+      | Some n -> pick n
+      | None -> (
+          match sel with
+          | "last" -> nth_last 1
+          | "prev" -> nth_last 2
+          | _ ->
+              Printf.eprintf
+                "mcc diff: %S is neither a ledger seq, last/prev, nor a \
+                 JSON file\n"
+                sel;
+              exit 2)
+  in
+  let run a b threshold =
+    let _, entries = load_ledger ~cmd:"diff" in
+    let ea = resolve ~entries a and eb = resolve ~entries b in
+    let report = Crossrun.diff ~threshold ea eb in
+    print_string report.Crossrun.rendering;
+    if report.Crossrun.regressions <> [] then exit 1
+  in
+  let sel position docv older =
+    Arg.(
+      required
+      & pos position (some string) None
+      & info [] ~docv
+          ~doc:
+            (Printf.sprintf
+               "The %s entry: a ledger sequence number, $(b,last)/$(b,prev), \
+                or a JSON file (a ledger entry or a flat figure object such \
+                as the bench baseline)."
+               older))
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.05
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative figure drop flagged as a regression (default 0.05); \
+             any flagged figure makes the exit status 1.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two ledger entries (or JSON files): deterministic-field \
+          drift, figure deltas with regression highlighting, and profiler \
+          self-time drift.  Exits 1 when a figure regressed beyond the \
+          threshold.")
+    Term.(const run $ sel 0 "A" "older" $ sel 1 "B" "newer" $ threshold)
+
 let main =
   Cmd.group
     (Cmd.info "mcc" ~version:Version.version
@@ -922,6 +1237,8 @@ let main =
       trace_cmd;
       profile_cmd;
       report_cmd;
+      history_cmd;
+      diff_cmd;
       list_cmd;
       attack_cmd;
       sweep_cmd;

@@ -3,6 +3,12 @@
 # experiment registry (2 domains, abbreviated durations, JSONL sink).
 set -eux
 
+# Every mcc run/matrix/profile below records a run-ledger entry; point
+# the ledger at a scratch directory so CI never touches .mcc/ in the
+# working tree.
+MCC_LEDGER="$(mktemp -d)/ledger"
+export MCC_LEDGER
+
 dune build
 dune runtest
 
@@ -132,3 +138,57 @@ dune exec bench/main.exe -- --quick fig9b profile-overhead churn-heap \
   churn-wheel --baseline /tmp/bench-baseline.json --threshold 0.5
 dune exec bench/main.exe -- --quick profile-overhead churn-heap churn-wheel \
   --baseline --threshold 0.9
+
+# Run-ledger smoke: two identical runs into a fresh ledger list as two
+# entries sharing one config digest, and diffing them reports zero
+# deterministic-field drift.  The loose threshold keeps host noise on
+# the wall-derived events/s figures from tripping the regression flag,
+# exactly as the committed bench gate above does.
+LEDGER_SCRATCH="$(mktemp -d)/ledger"
+MCC_LEDGER="$LEDGER_SCRATCH" dune exec bin/mcc.exe -- run --only fig1 \
+  --quick --quiet
+MCC_LEDGER="$LEDGER_SCRATCH" dune exec bin/mcc.exe -- run --only fig1 \
+  --quick --quiet
+test "$(wc -l < "$LEDGER_SCRATCH/ledger.jsonl")" -eq 2
+MCC_LEDGER="$LEDGER_SCRATCH" dune exec bin/mcc.exe -- history \
+  > /tmp/history.txt
+test "$(grep -c "fig1" /tmp/history.txt)" -ge 2
+grep -q "trend events_per_sec over 2 entries" /tmp/history.txt
+MCC_LEDGER="$LEDGER_SCRATCH" dune exec bin/mcc.exe -- diff 1 2 \
+  --threshold 0.9 > /tmp/diff.txt
+grep -q "digests match" /tmp/diff.txt
+grep -q "payload: 0 deterministic fields drifted" /tmp/diff.txt
+
+# ... and an injected bench-figure regression must flip diff to exit 1
+# and name the dropped figure.
+printf '{"fig1": 1000.0}\n' > /tmp/base-a.json
+printf '{"fig1": 400.0}\n' > /tmp/base-b.json
+if dune exec bin/mcc.exe -- diff /tmp/base-a.json /tmp/base-b.json \
+  > /tmp/diff-reg.txt; then
+  echo "diff failed to flag an injected regression" >&2
+  exit 1
+fi
+grep -q "REGRESSION" /tmp/diff-reg.txt
+
+# OpenMetrics exposition smoke: well-formed families (TYPE + HELP, the
+# counter _total suffix, per-run labels) and the single EOF marker.
+dune exec bin/mcc.exe -- run --only fig1 --quick --no-ledger \
+  --metrics /tmp/metrics.om --metrics-format openmetrics --quiet
+grep -q "^# TYPE mcc_engine_events counter$" /tmp/metrics.om
+grep -q "^# HELP mcc_engine_events " /tmp/metrics.om
+grep -q '^mcc_engine_events_total{run="fig1"} [1-9]' /tmp/metrics.om
+test "$(tail -n 1 /tmp/metrics.om)" = "# EOF"
+test "$(grep -c '^# EOF$' /tmp/metrics.om)" -eq 1
+
+# Live telemetry is stderr-only observation: forcing the meter on must
+# not change a single sink byte (cmp against the meter-off matrix
+# output above).
+dune exec bin/mcc.exe -- matrix --attacks inflate --protocols flid \
+  --defences plain,delta+sigma --jobs 2 --progress \
+  --json /tmp/matrix4.jsonl --quiet
+cmp /tmp/matrix1.jsonl /tmp/matrix4.jsonl
+
+# Machine-readable registry listing.
+dune exec bin/mcc.exe -- list --json > /tmp/list.json
+grep -q '"experiments":' /tmp/list.json
+grep -q '"groups":' /tmp/list.json

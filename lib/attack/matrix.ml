@@ -303,7 +303,8 @@ let entries ?(seed = Spec.default_adversary.Spec.seed)
         protocols)
     attacks
 
-let run ?jobs ?sched ?sample_dt ?(sinks = []) cells =
+let run ?jobs ?sched ?sample_dt ?(sinks = []) ?on_progress ?progress_interval
+    cells =
   (* Matrix output doubles as a regression artefact (ci.sh compares job
      counts — and scheduler backends — byte for byte), so drop the
      profile: its wall-clock fields are nondeterministic and its sched
@@ -311,4 +312,5 @@ let run ?jobs ?sched ?sample_dt ?(sinks = []) cells =
   let sinks =
     List.map (Sink.map (fun r -> { r with Sink.profile = None })) sinks
   in
-  Runner.run_batch ?jobs ?sched ?sample_dt ~sinks cells
+  Runner.run_batch ?jobs ?sched ?sample_dt ~sinks ?on_progress
+    ?progress_interval cells

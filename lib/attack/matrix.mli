@@ -46,9 +46,13 @@ val run :
   ?sched:Mcc_engine.Scheduler.backend ->
   ?sample_dt:float ->
   ?sinks:Mcc_core.Sink.t list ->
+  ?on_progress:(Mcc_obs.Progress.sample -> unit) ->
+  ?progress_interval:float ->
   Mcc_core.Runner.entry list ->
   Mcc_core.Runner.row list
 (** [Runner.run_batch] with the (run-varying) profile stripped from
     every record — sinks are fed in entry order whatever [jobs] or
     [sched] is, so matrix files are byte-identical across job counts
-    and scheduler backends. *)
+    and scheduler backends.  [on_progress]/[progress_interval] pass
+    through to {!Mcc_core.Runner.run_batch}'s live-telemetry monitor and
+    never touch sink bytes. *)

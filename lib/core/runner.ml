@@ -387,10 +387,35 @@ type row = {
   profile : Profile.t;
 }
 
-let run_batch ?(jobs = 1) ?sched ?sample_dt ?(sinks = []) entries =
+let run_batch ?(jobs = 1) ?sched ?sample_dt ?(sinks = []) ?on_progress
+    ?progress_interval entries =
+  let specs = List.map (fun e -> e.spec) entries in
   let outs =
-    run_specs_profiled ~jobs ?sched ?sample_dt
-      (List.map (fun e -> e.spec) entries)
+    match on_progress with
+    | None -> run_specs_profiled ~jobs ?sched ?sample_dt specs
+    | Some callback ->
+        (* The monitor only ever drives the callback (the CLI's stderr
+           meter): workers report each cell as it completes, but results
+           still land in input-order slots and sinks are fed after the
+           batch below — telemetry on/off cannot change sink bytes. *)
+        let monitor =
+          Mcc_obs.Progress.start ?interval:progress_interval
+            ~total:(List.length specs) ~on_progress:callback ()
+        in
+        Fun.protect
+          ~finally:(fun () -> ignore (Mcc_obs.Progress.stop monitor))
+          (fun () ->
+            parallel_map ~jobs
+              (fun spec ->
+                let minor0 = Gc.minor_words () in
+                let (_, _, _, profile) as out =
+                  run_spec_profiled ?sched ?sample_dt spec
+                in
+                Mcc_obs.Progress.cell_done monitor
+                  ~events:profile.Profile.events
+                  ~minor_words:(Gc.minor_words () -. minor0);
+                out)
+              specs)
   in
   let rows =
     List.map2

@@ -121,8 +121,19 @@ val run_batch :
   ?sched:Mcc_engine.Scheduler.backend ->
   ?sample_dt:float ->
   ?sinks:Sink.t list ->
+  ?on_progress:(Mcc_obs.Progress.sample -> unit) ->
+  ?progress_interval:float ->
   entry list ->
   row list
 (** {!run_specs_profiled} over a batch of registry entries; after all
     runs complete, each row is emitted to every sink in entry order.
-    The caller retains ownership of the sinks (they are not closed). *)
+    The caller retains ownership of the sinks (they are not closed).
+
+    With [on_progress], a {!Mcc_obs.Progress} monitor watches the sweep:
+    workers report each finished cell and the callback receives periodic
+    samples (every [progress_interval] seconds, default 0.2) plus one
+    final sample when the batch drains.  The callback fires at
+    host-timing-dependent moments on the monitor domain, so it must only
+    drive ephemeral output (the CLI's stderr meter) — sink output is fed
+    after the batch in entry order and stays byte-identical whether or
+    not a monitor is attached, for any [jobs]. *)

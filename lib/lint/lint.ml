@@ -36,8 +36,9 @@ let rule_of_id s =
 
 let rule_doc = function
   | Wall_clock ->
-      "host clock read (Unix.gettimeofday/Unix.time/Sys.time); use the \
-       simulated clock, or Mcc_obs.Profile.with_wall_clock for profiling"
+      "host clock dependency (Unix.gettimeofday/Unix.time/Sys.time, or a \
+       Unix.sleep/sleepf pacing wait); use the simulated clock, or \
+       Mcc_obs.Profile.with_wall_clock for profiling"
   | Ambient_randomness ->
       "ambient Random state (self_init or the global generator); use \
        seeded, explicitly threaded state (Mcc_util.Prng, Random.State)"
@@ -197,7 +198,12 @@ let pragma_suppresses pragmas (f : finding) =
 
 (* --- the AST pass ------------------------------------------------------- *)
 
-let wall_clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+(* Sleeps are host-time dependencies just like clock reads: simulated
+   code waits on the simulated clock, and the one legitimate pacing
+   sleep (the Progress monitor's sampling loop) carries its own
+   justified pragma. *)
+let wall_clock_idents =
+  [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Unix.sleep"; "Unix.sleepf" ]
 
 let mutable_creators =
   [
@@ -324,8 +330,8 @@ let make_iterator ctx =
             if List.mem name wall_clock_idents then
               report ctx Wall_clock e.pexp_loc
                 (Printf.sprintf
-                   "%s reads the host clock; simulation code must use the \
-                    simulated clock (profiling goes through \
+                   "%s depends on the host clock; simulation code must use \
+                    the simulated clock (profiling goes through \
                     Mcc_obs.Profile.with_wall_clock)"
                    name)
             else if String.equal name "Random.self_init" then

@@ -1,0 +1,135 @@
+(* Append-only JSONL run ledger; see the interface for the determinism
+   discipline.  Everything here is plain file IO plus Json — no clock
+   reads (timestamps are the *caller's* wall suffix) and no state, so
+   the module stays as deterministic as the entries it stores. *)
+
+type entry = {
+  seq : int;
+  kind : string;
+  label : string;
+  digest : string;
+  payload : Json.t;
+  wall : (string * Json.t) list;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "MCC_LEDGER" with
+  | Some dir when String.length (String.trim dir) > 0 -> dir
+  | Some _ | None -> Filename.concat ".mcc" "ledger"
+
+let file ~dir = Filename.concat dir "ledger.jsonl"
+
+(* FNV-1a, 64-bit.  A content hash, not a cryptographic one: entries
+   are trusted local telemetry and the digest only has to make "same
+   config" checks and history grouping cheap and stable. *)
+let digest_of_string s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let digest_of_json json = digest_of_string (Json.to_string json)
+
+(* Wall fields render inside one trailing "wall" object, so truncating
+   a line at "\"wall\"" leaves exactly the deterministic bytes. *)
+let entry_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Int e.seq);
+      ("kind", Json.String e.kind);
+      ("label", Json.String e.label);
+      ("digest", Json.String e.digest);
+      ("payload", e.payload);
+      ("wall", Json.Obj e.wall);
+    ]
+
+let entry_of_json json =
+  let str field =
+    Option.bind (Json.member field json) Json.to_string_opt
+  in
+  let seq =
+    match Json.member "seq" json with Some (Json.Int n) -> Some n | _ -> None
+  in
+  match (seq, str "kind", str "label", str "digest") with
+  | Some seq, Some kind, Some label, Some digest ->
+      Ok
+        {
+          seq;
+          kind;
+          label;
+          digest;
+          payload = Option.value (Json.member "payload" json) ~default:Json.Null;
+          wall =
+            (match Json.member "wall" json with
+            | Some (Json.Obj fields) -> fields
+            | _ -> []);
+        }
+  | _ -> Error "missing seq/kind/label/digest fields"
+
+let read_lines path =
+  In_channel.with_open_bin path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some line -> go (line :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let load ~dir =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then Ok []
+  else
+    match read_lines path with
+    | exception Sys_error msg -> Error msg
+    | lines ->
+        let rec go n acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest when String.trim line = "" -> go (n + 1) acc rest
+          | line :: rest -> (
+              match Json.of_string line with
+              | Error e ->
+                  Error (Printf.sprintf "%s: line %d: invalid JSON: %s" path n e)
+              | Ok json -> (
+                  match entry_of_json json with
+                  | Error e -> Error (Printf.sprintf "%s: line %d: %s" path n e)
+                  | Ok entry -> go (n + 1) (entry :: acc) rest))
+        in
+        go 1 [] lines
+
+let rec mkdir_p dir =
+  if String.equal dir "" || String.equal dir "." || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let append ~dir ~kind ~label ?(payload = Json.Null) ?(wall = []) () =
+  let digest_source =
+    match Json.member "config" payload with
+    | Some config -> config
+    | None -> payload
+  in
+  let digest = digest_of_json digest_source in
+  match load ~dir with
+  | Error _ as e -> e
+  | Ok existing -> (
+      let entry =
+        { seq = List.length existing + 1; kind; label; digest; payload; wall }
+      in
+      match
+        mkdir_p dir;
+        Out_channel.with_open_gen
+          [ Open_append; Open_creat; Open_binary ]
+          0o644 (file ~dir)
+          (fun oc ->
+            Out_channel.output_string oc
+              (Json.to_string (entry_to_json entry) ^ "\n"))
+      with
+      | () -> Ok entry
+      | exception Sys_error msg -> Error msg)

@@ -138,3 +138,118 @@ let values_json values =
   Json.Obj (List.map (fun (name, v) -> (name, value_json v)) values)
 
 let snapshot_json () = values_json (snapshot ())
+
+(* --- OpenMetrics text rendering ----------------------------------------- *)
+
+(* OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the dotted
+   registry names map dots (and anything else foreign) to '_'. *)
+let om_name ~prefix name =
+  let b = Buffer.create (String.length prefix + String.length name) in
+  Buffer.add_string b prefix;
+  String.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || c = '_' || c = ':'
+        || (c >= '0' && c <= '9' && (i > 0 || prefix <> ""))
+      in
+      Buffer.add_char b (if ok then c else '_'))
+    name;
+  Buffer.contents b
+
+(* Label values are escaped like JSON strings minus the unicode forms:
+   backslash, quote and newline, per the OpenMetrics ABNF. *)
+let om_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let om_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (om_label_value v))
+             labels)
+      ^ "}"
+
+let om_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let openmetrics_page ?(prefix = "mcc_") sets =
+  let b = Buffer.create 4096 in
+  (* Families must be unique in an exposition, so the page is grouped
+     by metric: one TYPE/HELP block, then that metric's sample from
+     every labelled set.  First-seen order keeps the page deterministic
+     (snapshots are already name-sorted). *)
+  let families = ref [] in
+  List.iter
+    (fun (_, values) ->
+      List.iter
+        (fun (name, v) ->
+          if not (List.mem_assoc name !families) then
+            families := (name, v) :: !families)
+        values)
+    sets;
+  List.iter
+    (fun (name, sample_kind) ->
+      let fam = om_name ~prefix name in
+      let om_type =
+        match sample_kind with
+        | Counter _ -> "counter"
+        | Gauge _ -> "gauge"
+        | Histogram _ -> "histogram"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n# HELP %s mcc metric %s\n" fam om_type
+           fam name);
+      List.iter
+        (fun (labels, values) ->
+          match List.assoc_opt name values with
+          | None -> ()
+          | Some (Counter n) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s_total%s %d\n" fam (om_labels labels) n)
+          | Some (Gauge v) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" fam (om_labels labels) (om_float v))
+          | Some (Histogram { bounds; buckets; observations; sum }) ->
+              (* OpenMetrics buckets are cumulative with inclusive upper
+                 bounds; the registry's are per-bucket, so integrate. *)
+              let acc = ref 0 in
+              List.iter2
+                (fun bound count ->
+                  acc := !acc + count;
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" fam
+                       (om_labels (labels @ [ ("le", om_float bound) ]))
+                       !acc))
+                bounds
+                (List.filteri (fun i _ -> i < List.length bounds) buckets);
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" fam
+                   (om_labels (labels @ [ ("le", "+Inf") ]))
+                   observations);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" fam (om_labels labels)
+                   (om_float sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" fam (om_labels labels)
+                   observations))
+        sets)
+    (List.rev !families);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let to_openmetrics ?prefix values = openmetrics_page ?prefix [ ([], values) ]

@@ -1,6 +1,9 @@
 (* lint: allow mli-coverage — fixtures carry no interfaces *)
-(* Fixture: wall-clock.  Line 3 violates; line 5 is the suppressed twin. *)
+(* Fixture: wall-clock.  Line 3 (clock read) and 6 (pacing sleep) violate. *)
 let bad () = Unix.gettimeofday ()
 (* lint: allow wall-clock — suppressed twin *)
 let ok () = Sys.time ()
-let pair = (bad, ok)
+let bad_sleep () = Unix.sleepf 0.1
+(* lint: allow wall-clock — suppressed pacing sleep *)
+let ok_sleep () = Unix.sleep 1
+let all = (bad, ok, bad_sleep, ok_sleep)

@@ -106,7 +106,12 @@ let test_markdown () =
   Prof.with_span "run" (fun () -> Prof.with_span "engine" (fun () -> ()));
   let entries = Prof.snapshot () in
   Prof.disable ();
-  let md = Prof.to_markdown ~wall_s:(Prof.root_total entries) entries in
+  (* An empty span pair can measure exactly 0.0 wall on a coarse clock,
+     and to_markdown only renders the coverage line for positive wall
+     time — floor it so the rendering under test is always exercised. *)
+  let md =
+    Prof.to_markdown ~wall_s:(Float.max 1e-9 (Prof.root_total entries)) entries
+  in
   let has needle =
     let nl = String.length needle and ml = String.length md in
     let rec go i = i + nl <= ml && (String.sub md i nl = needle || go (i + 1)) in

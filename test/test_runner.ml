@@ -29,10 +29,10 @@ let small_batch () =
       ("ovh", Spec.Overhead { Spec.default_overhead with Spec.duration = 50. });
     ]
 
-let capture_sinks entries ~jobs =
+let capture_sinks ?sched ?on_progress ?progress_interval entries ~jobs =
   let jsonl = Buffer.create 4096 and csv = Buffer.create 4096 in
   ignore
-    (Runner.run_batch ~jobs
+    (Runner.run_batch ~jobs ?sched ?on_progress ?progress_interval
        ~sinks:[ Sink.jsonl (Buffer.add_string jsonl);
                 Sink.csv (Buffer.add_string csv) ]
        entries);
@@ -81,6 +81,48 @@ let test_parallel_determinism () =
     (List.for_all
        (fun l -> l = "" || contains ~needle:{|"profile":{|} l)
        (String.split_on_char '\n' j1))
+
+(* Live telemetry must be pure observation: the progress callback only
+   writes to its own channel (stderr in the CLI), so turning it on — at
+   any job count, under either scheduler backend — cannot perturb a
+   single sink byte beyond the wall-clock suffix.  A pathologically
+   short sampling interval maximises monitor interleaving. *)
+let test_telemetry_sink_determinism () =
+  let entries = small_batch () in
+  List.iter
+    (fun (label, sched) ->
+      (* The profile names its backend in the deterministic prefix, so
+         the telemetry-off baseline is taken per backend. *)
+      let baseline_j, baseline_c = capture_sinks entries ~jobs:1 ~sched in
+      let baseline_j = scrub_wall_clock baseline_j in
+      List.iter
+        (fun jobs ->
+          let samples = ref 0 in
+          let j, c =
+            capture_sinks entries ~jobs ~sched
+              ~on_progress:(fun (_ : Mcc_obs.Progress.sample) -> incr samples)
+              ~progress_interval:0.01
+          in
+          let tag = Printf.sprintf "%s jobs=%d" label jobs in
+          Alcotest.(check bool) (tag ^ ": monitor sampled") true (!samples > 0);
+          Alcotest.(check string)
+            (tag ^ ": jsonl byte-identical with telemetry")
+            baseline_j (scrub_wall_clock j);
+          Alcotest.(check string)
+            (tag ^ ": csv byte-identical with telemetry")
+            baseline_c c)
+        [ 1; 4 ])
+    [
+      ("heap", (module Mcc_engine.Scheduler.Heap : Mcc_engine.Scheduler.S));
+      ("wheel", (module Mcc_engine.Scheduler.Wheel : Mcc_engine.Scheduler.S));
+    ];
+  (* The final sample fires even when the monitor never ticks. *)
+  let finals = ref 0 in
+  ignore
+    (capture_sinks entries ~jobs:2 ~progress_interval:60.
+       ~on_progress:(fun s ->
+         if s.Mcc_obs.Progress.final then incr finals));
+  Alcotest.(check int) "exactly one final sample" 1 !finals
 
 (* run_batch rows carry the full per-run snapshot: an attack run drops
    packets at the bottleneck, executes events, and — Plain mode, no
@@ -260,6 +302,8 @@ let suite =
       Alcotest.test_case "jsonl sink shape" `Quick test_jsonl_sink_shape;
       Alcotest.test_case "csv sink shape" `Quick test_csv_sink_shape;
       Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+      Alcotest.test_case "telemetry leaves sinks untouched" `Slow
+        test_telemetry_sink_determinism;
       Alcotest.test_case "batch metrics" `Slow test_batch_metrics;
       Alcotest.test_case "run_specs order" `Slow test_run_specs_order;
       Alcotest.test_case "registry round-trip" `Slow test_registry_roundtrip;
