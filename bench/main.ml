@@ -567,6 +567,43 @@ let ecn () =
     [ ("drop-tail", false); ("ecn", true) ];
   Format.fprintf fmt "@."
 
+(* Extension: the oversubscribed-CC protocol — each receiver subscribes
+   one layer past its sustainable rate and backs off on the EWMA of the
+   ECN mark fraction.  Honest receivers only; the attack matrix covers
+   the adversarial cells. *)
+let oversub () =
+  let module Oversub = Mcc_mcast.Oversub in
+  Report.heading fmt
+    "Extension: oversubscribed CC (EWMA of ECN mark fraction), 3 \
+     receivers on an ECN dumbbell";
+  let t =
+    Mcc_core.Scenario.create ~seed:77 ~ecn:true ~sigma:true
+      ~bottleneck_rate_bps:1_000_000. ()
+  in
+  let s =
+    Mcc_core.Scenario.add_oversub t ~mode:Flid.Robust
+      ~receivers:
+        [
+          Mcc_core.Scenario.receiver ();
+          Mcc_core.Scenario.receiver ();
+          Mcc_core.Scenario.receiver ();
+        ]
+      ()
+  in
+  let horizon = duration 120. in
+  Mcc_core.Scenario.run t ~seconds:horizon;
+  Format.fprintf fmt "# receiver  level     kbps  mark_ewma  decreases@.";
+  List.iteri
+    (fun i r ->
+      Format.fprintf fmt "%-9d %6d %8.1f %10.3f %10d@." i
+        (Oversub.receiver_level r)
+        (Mcc_util.Meter.mean_kbps (Oversub.receiver_meter r)
+           ~lo:(horizon /. 4.) ~hi:horizon)
+        (Oversub.mark_ewma r)
+        (Oversub.decrease_events r))
+    s.Mcc_core.Scenario.ovs_receivers;
+  Format.fprintf fmt "@."
+
 (* Attack-evaluation matrix (reduced grid): two strategies against
    FLID, undefended vs DELTA+SIGMA, through the same batch runner as
    the figures — so the events/s gate also covers the adversary
@@ -792,6 +829,7 @@ let all_figs =
     ("protocols", protocols);
     ("collusion", collusion);
     ("ecn", ecn);
+    ("oversub", oversub);
     ("matrix", matrix);
     ("ablation-fec", ablation_fec);
     ("ablation-grace", ablation_grace);

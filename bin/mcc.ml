@@ -716,7 +716,7 @@ let matrix_cmd =
   let protocols =
     list_opt [ "protocols" ]
       "Protocols to attack (default all): $(b,flid), $(b,rlm), \
-       $(b,replicated)."
+       $(b,replicated), $(b,oversub)."
   in
   let defences =
     list_opt [ "defences" ]
@@ -1226,6 +1226,207 @@ let diff_cmd =
           threshold.")
     Term.(const run $ sel 0 "A" "older" $ sel 1 "B" "newer" $ threshold)
 
+(* --- workload ----------------------------------------------------------- *)
+
+(* Referencing Build.run links the Mcc_workload library into the
+   binary, which registers the Spec.Workload implementation hook (and
+   makes workload entries runnable by every other subcommand too). *)
+let _workload_impl = Mcc_workload.Build.run
+
+let workload_dir = "workloads"
+
+let workload_files ~cmd ~all files =
+  if all then
+    match Sys.readdir workload_dir with
+    | exception Sys_error msg ->
+        Printf.eprintf "mcc workload %s: %s\n" cmd msg;
+        exit 2
+    | names ->
+        let names = Array.to_list names in
+        let jsons =
+          List.filter (fun n -> Filename.check_suffix n ".json") names
+        in
+        List.map (Filename.concat workload_dir) (List.sort String.compare jsons)
+  else
+    match files with
+    | [] ->
+        Printf.eprintf
+          "mcc workload %s: name workload files, or use --all for every file \
+           under %s/\n"
+          cmd workload_dir;
+        exit 2
+    | files -> files
+
+let load_workload ~cmd path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Printf.eprintf "mcc workload %s: %s\n" cmd msg;
+      exit 2
+  | contents -> (
+      match Json.of_string contents with
+      | Error msg ->
+          Printf.eprintf "mcc workload %s: %s: invalid JSON: %s\n" cmd path msg;
+          exit 2
+      | Ok json -> (
+          match Mcc_workload.Schema.entries_of_json ~ctx:path json with
+          | Error msg ->
+              Printf.eprintf "mcc workload %s: %s\n" cmd msg;
+              exit 2
+          | Ok entries -> (contents, entries)))
+
+let workload_all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:
+          (Printf.sprintf "Every $(b,*.json) under $(b,%s/), in name order."
+             workload_dir))
+
+let workload_file_pos =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILE")
+
+let workload_run_cmd =
+  let run file jobs sched quick json csv quiet progress no_ledger =
+    let contents, entries = load_workload ~cmd:"run" file in
+    let entries =
+      if quick then
+        List.map
+          (fun (e : Runner.entry) ->
+            { e with Runner.spec = Spec.scale_time e.Runner.spec ~factor:0.25 })
+          entries
+      else entries
+    in
+    let sinks =
+      try
+        (if quiet then [] else [ Sink.pretty fmt ])
+        @ (match json with None -> [] | Some path -> [ Sink.jsonl_file path ])
+        @ match csv with None -> [] | Some path -> [ Sink.csv_file path ]
+      with Sys_error msg ->
+        Printf.eprintf "mcc workload run: cannot open sink: %s\n" msg;
+        exit 2
+    in
+    (* Like the matrix, workload output is a regression artefact that
+       must be byte-identical for any --jobs and scheduler backend, so
+       the nondeterministic wall-clock profile is dropped from every
+       sink. *)
+    let sinks =
+      List.map (Sink.map (fun r -> { r with Sink.profile = None })) sinks
+    in
+    let rows, elapsed =
+      Profile.with_wall_clock (fun () ->
+          Runner.run_batch ~jobs ?sched ~sinks
+            ?on_progress:(progress_callback progress) entries)
+    in
+    List.iter Sink.close sinks;
+    record_ledger ~no_ledger ~kind:"workload" ~label:file
+      ~payload:
+        (Crossrun.run_payload ~command:"workload"
+           ~config:
+             [
+               ("workload", Json.String file);
+               (* Digest of the file bytes: `mcc diff` flags a ledger
+                  pair whose configs differ, so editing a workload file
+                  between runs surfaces as config drift. *)
+               ( "workload_digest",
+                 Json.String (Ledger.digest_of_json (Json.String contents)) );
+             ]
+           rows)
+      ~wall:(Crossrun.run_wall ~recorded:(Profile.now ()) rows);
+    if not quiet then
+      Format.fprintf fmt "@.[%d workload run%s in %.1fs, jobs=%d]@."
+        (List.length rows)
+        (if List.length rows = 1 then "" else "s")
+        elapsed jobs
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"The workload file to run.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write one JSON object per run (byte-identical for any \
+             $(b,--jobs)).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Write summary metrics as name,group,metric,value rows.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the human-readable report.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run every entry of a declarative workload file (one per seed) \
+          across domains.")
+    Term.(
+      const run $ file $ jobs $ sched_arg $ quick_arg $ json $ csv $ quiet
+      $ progress_arg $ no_ledger_arg)
+
+let workload_check_cmd =
+  let run all files =
+    let files = workload_files ~cmd:"check" ~all files in
+    let failures = ref 0 in
+    List.iter
+      (fun path ->
+        match Mcc_workload.Schema.load ~path with
+        | Ok entries ->
+            Printf.printf "ok %s (%d run%s)\n" path (List.length entries)
+              (if List.length entries = 1 then "" else "s")
+        | Error msg ->
+            incr failures;
+            Printf.eprintf "%s\n" msg)
+      files;
+    if !failures > 0 then begin
+      Printf.eprintf "mcc workload check: %d invalid file%s\n" !failures
+        (if !failures = 1 then "" else "s");
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate workload files against the schema; exits non-zero with \
+          file:field diagnostics on the first violation of each file.")
+    Term.(const run $ workload_all_arg $ workload_file_pos)
+
+let workload_list_cmd =
+  let run all files =
+    let files = workload_files ~cmd:"list" ~all files in
+    List.iter
+      (fun path ->
+        let _, entries = load_workload ~cmd:"list" path in
+        Printf.printf "%s\n" path;
+        List.iter
+          (fun (e : Runner.entry) ->
+            Printf.printf "  %-32s %s\n" e.Runner.name e.Runner.doc)
+          entries)
+      files
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"Show the runs each workload file expands to (one per seed).")
+    Term.(const run $ workload_all_arg $ workload_file_pos)
+
+let workload_cmd =
+  Cmd.group
+    (Cmd.info "workload"
+       ~doc:
+         "Declarative workloads: run, validate and list JSON workload files \
+          (topology generators, churn and traffic models, optional attack).")
+    [ workload_run_cmd; workload_check_cmd; workload_list_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "mcc" ~version:Version.version
@@ -1248,6 +1449,7 @@ let main =
       overhead_cmd;
       partial_cmd;
       matrix_cmd;
+      workload_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -126,18 +126,36 @@ grep -q "BREACH" /tmp/scorecard.md
 grep -q "contained" /tmp/scorecard.md
 grep -q "DELTA+SIGMA contains every attack" /tmp/scorecard.md
 
+# Workload smoke: every committed workload file must validate, and a
+# run through the declarative pipeline must stay byte-identical across
+# job counts, just like the matrix above.
+dune exec bin/mcc.exe -- workload check --all
+dune exec bin/mcc.exe -- workload run workloads/fat_tree_flash_crowd.json \
+  --quick --json /tmp/workload1.jsonl --quiet
+dune exec bin/mcc.exe -- workload run workloads/fat_tree_flash_crowd.json \
+  --quick --jobs 4 --json /tmp/workload2.jsonl --quiet
+cmp /tmp/workload1.jsonl /tmp/workload2.jsonl
+# ... and a malformed document must be rejected with a nonzero exit.
+printf '{"version": 1, "name": "bad"}\n' > /tmp/bad-workload.json
+if dune exec bin/mcc.exe -- workload check /tmp/bad-workload.json \
+  2>/tmp/bad-workload.err; then
+  echo "workload check accepted a malformed document" >&2
+  exit 1
+fi
+grep -q "duration" /tmp/bad-workload.err
+
 # Bench regression gate: a baseline saved by the same run must compare
 # clean against itself, and the scheduler-churn figures must also hold
 # up against the committed repo baseline.  The committed gate uses a
 # loose threshold — events/s moves a lot between host machines, so it
 # only catches catastrophic slowdowns; tight tracking is for a baseline
 # saved on the same machine.
-dune exec bench/main.exe -- --quick fig9b profile-overhead churn-heap \
-  churn-wheel --save-baseline /tmp/bench-baseline.json
-dune exec bench/main.exe -- --quick fig9b profile-overhead churn-heap \
-  churn-wheel --baseline /tmp/bench-baseline.json --threshold 0.5
-dune exec bench/main.exe -- --quick profile-overhead churn-heap churn-wheel \
-  --baseline --threshold 0.9
+dune exec bench/main.exe -- --quick fig9b oversub profile-overhead \
+  churn-heap churn-wheel --save-baseline /tmp/bench-baseline.json
+dune exec bench/main.exe -- --quick fig9b oversub profile-overhead \
+  churn-heap churn-wheel --baseline /tmp/bench-baseline.json --threshold 0.5
+dune exec bench/main.exe -- --quick oversub profile-overhead churn-heap \
+  churn-wheel --baseline --threshold 0.9
 
 # Run-ledger smoke: two identical runs into a fresh ledger list as two
 # entries sharing one config digest, and diffing them reports zero

@@ -8,6 +8,7 @@ module Dumbbell = Mcc_core.Dumbbell
 module Flid = Mcc_mcast.Flid
 module Rlm = Mcc_mcast.Rlm_like
 module Rep = Mcc_mcast.Replicated_proto
+module Oversub = Mcc_mcast.Oversub
 module Router_agent = Mcc_sigma.Router_agent
 module Tcp = Mcc_transport.Tcp
 module Meter = Mcc_util.Meter
@@ -61,7 +62,10 @@ let containment ~attack_at ~duration ~victim sample =
    collusion (free-riding hosts replaying an honest member's keys). *)
 
 let run_cell (p : Spec.adversary_params) : Experiments.adversary_result =
-  let { Spec.seed; duration; attack_at; attack; protocol; defence } = p in
+  let ({ seed; duration; attack_at; attack; protocol; defence }
+        : Spec.adversary_params) =
+    p
+  in
   let sigma_enforced =
     match defence with
     | Spec.Delta_sigma | Spec.Delta_sigma_ecn -> true
@@ -183,6 +187,19 @@ let run_cell (p : Spec.adversary_params) : Experiments.adversary_result =
                    Rep.group_addr a.Scenario.rep_config (g + 1)))
             ~slot_duration:a.Scenario.rep_config.Rep.slot_duration ();
         ]
+    | Spec.Oversub ->
+        let a =
+          Scenario.add_oversub t ~mode ?receiver_mode
+            ~receivers:[ Scenario.receiver () ] ()
+        in
+        [
+          launch_bare
+            ~groups:
+              (List.init Defaults.groups (fun g ->
+                   Oversub.group_addr a.Scenario.ovs_config (g + 1)))
+            ~slot_duration:
+              a.Scenario.ovs_config.Oversub.flid.Flid.slot_duration ();
+        ]
   in
   (* Session B: the honest victim whose goodput measures the damage. *)
   let victim_meter =
@@ -205,6 +222,12 @@ let run_cell (p : Spec.adversary_params) : Experiments.adversary_result =
             ~receivers:[ Scenario.receiver () ] ()
         in
         Rep.receiver_meter (List.hd b.Scenario.rep_receivers)
+    | Spec.Oversub ->
+        let b =
+          Scenario.add_oversub t ~mode ?receiver_mode
+            ~receivers:[ Scenario.receiver () ] ()
+        in
+        Oversub.receiver_meter (List.hd b.Scenario.ovs_receivers)
   in
   let tcp = Scenario.add_tcp t in
   Scenario.run t ~seconds:duration;
@@ -267,7 +290,10 @@ let default_attacks =
     Spec.Collusion { colluders = 3 };
   ]
 
-let default_protocols = [ Spec.Flid_ds; Spec.Rlm_threshold; Spec.Replicated ]
+(* Derived from the Spec registry so a protocol added there shows up as
+   a matrix column (and a scorecard heading) without touching this
+   file. *)
+let default_protocols = List.map (fun (p, _, _) -> p) Spec.protocols
 
 let default_defences =
   [ Spec.Undefended; Spec.Delta_only; Spec.Delta_sigma; Spec.Delta_sigma_ecn ]

@@ -46,10 +46,10 @@ let rank cs =
 let dedup_keep_order xs =
   List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
 
-let protocol_heading = function
-  | Spec.Flid_ds -> "FLID-DS (layered, XOR keys)"
-  | Spec.Rlm_threshold -> "RLM-like (threshold keys)"
-  | Spec.Replicated -> "Replicated streams"
+(* Headings come from the Spec protocol registry: a protocol registered
+   there renders its own scorecard section without this module naming
+   it. *)
+let protocol_heading = Spec.protocol_heading
 
 let render ppf rows =
   let cs = cells rows in

@@ -373,6 +373,42 @@ let run_adversary p =
         "Spec.Adversary requires the attack subsystem: link the mcc_attack \
          library (module Mcc_attack.Matrix) into the executable"
 
+(* --- Declarative workloads --------------------------------------------- *)
+
+type workload_result = {
+  w_nodes : int;  (** nodes in the generated topology *)
+  w_links : int;
+  w_receivers : int;  (** receiver instances started (churn included) *)
+  w_mean_goodput_kbps : float;
+      (** mean over receivers of each receiver's goodput over its own
+          active window (post-warmup) *)
+  w_min_goodput_kbps : float;
+  w_max_goodput_kbps : float;
+  w_cross_kbps : float;  (** background traffic delivered, all flows *)
+  w_attacker_kbps : float;  (** 0 without an attack *)
+  w_drops : int;  (** queue drops summed over every link *)
+  w_marks : int;  (** ECN marks summed over every link *)
+  w_keys_rejected : int;  (** edge-agent stats; 0 without SIGMA *)
+  w_lockouts : int;
+}
+
+(* Like the adversary hook: the workload builder lives in Mcc_workload
+   (it needs the topology generators and every protocol), which depends
+   on this library; dispatch reaches it through this hook, registered
+   when Mcc_workload.Build is linked. *)
+let workload_impl : (Spec.workload_params -> workload_result) option Atomic.t =
+  Atomic.make None
+
+let set_workload_impl f = Atomic.set workload_impl (Some f)
+
+let run_workload p =
+  match Atomic.get workload_impl with
+  | Some f -> f p
+  | None ->
+      failwith
+        "Spec.Workload requires the workload subsystem: link the mcc_workload \
+         library (module Mcc_workload.Build) into the executable"
+
 (* --- Spec dispatch ------------------------------------------------------ *)
 
 type result =
@@ -384,6 +420,7 @@ type result =
   | Overhead of overhead_point
   | Partial of partial_result
   | Adversary of adversary_result
+  | Workload of workload_result
 
 let run = function
   | Spec.Attack p -> Attack (run_attack p)
@@ -394,3 +431,4 @@ let run = function
   | Spec.Overhead p -> Overhead (run_overhead p)
   | Spec.Partial p -> Partial (run_partial p)
   | Spec.Adversary p -> Adversary (run_adversary p)
+  | Spec.Workload p -> Workload (run_workload p)

@@ -134,6 +134,37 @@ val set_adversary_impl : (Spec.adversary_params -> adversary_result) -> unit
 (** Registers the cell runner; called by [Mcc_attack.Matrix] at module
     initialisation.  Not for general use. *)
 
+(** {1 Declarative workloads} *)
+
+type workload_result = {
+  w_nodes : int;  (** nodes in the generated topology *)
+  w_links : int;
+  w_receivers : int;  (** receiver instances started (churn included) *)
+  w_mean_goodput_kbps : float;
+      (** mean over receivers of each receiver's goodput over its own
+          active window (post-warmup) *)
+  w_min_goodput_kbps : float;
+  w_max_goodput_kbps : float;
+  w_cross_kbps : float;  (** background traffic delivered, all flows *)
+  w_attacker_kbps : float;  (** 0 without an attack *)
+  w_drops : int;  (** queue drops summed over every link *)
+  w_marks : int;  (** ECN marks summed over every link *)
+  w_keys_rejected : int;  (** edge-agent stats; 0 without SIGMA *)
+  w_lockouts : int;
+}
+(** Aggregate outcome of one declarative workload run. *)
+
+val run_workload : Spec.workload_params -> workload_result
+(** One workload: generated topology, one session, churn, traffic, and
+    optionally an attacker.  Implemented by [Mcc_workload.Build] (which
+    depends on this library and the topology generators); raises
+    [Failure] if the [mcc_workload] library is not linked into the
+    executable. *)
+
+val set_workload_impl : (Spec.workload_params -> workload_result) -> unit
+(** Registers the workload builder; called by [Mcc_workload.Build] at
+    module initialisation.  Not for general use. *)
+
 (** {1 Spec dispatch} *)
 
 type result =
@@ -145,6 +176,7 @@ type result =
   | Overhead of overhead_point
   | Partial of partial_result
   | Adversary of adversary_result
+  | Workload of workload_result
 
 val run : Spec.t -> result
 (** Runs the experiment a spec describes.  Deterministic: the result is

@@ -96,6 +96,35 @@ let adversary fmt (r : Experiments.adversary_result) =
   | Some s -> Format.fprintf fmt "contained %.1fs after attack start@." s
   | None -> Format.fprintf fmt "never contained within the horizon@.")
 
+let workload fmt (r : Experiments.workload_result) =
+  row fmt "topology"
+    [
+      ("nodes", float_of_int r.Experiments.w_nodes);
+      ("links", float_of_int r.Experiments.w_links);
+    ];
+  row fmt "receivers"
+    [
+      ("count", float_of_int r.Experiments.w_receivers);
+      ("mean_kbps", r.Experiments.w_mean_goodput_kbps);
+      ("min_kbps", r.Experiments.w_min_goodput_kbps);
+      ("max_kbps", r.Experiments.w_max_goodput_kbps);
+    ];
+  row fmt "background"
+    [
+      ("cross_kbps", r.Experiments.w_cross_kbps);
+      ("attacker_kbps", r.Experiments.w_attacker_kbps);
+    ];
+  row fmt "network"
+    [
+      ("drops", float_of_int r.Experiments.w_drops);
+      ("marks", float_of_int r.Experiments.w_marks);
+    ];
+  row fmt "edge router"
+    [
+      ("keys_rejected", float_of_int r.Experiments.w_keys_rejected);
+      ("lockouts", float_of_int r.Experiments.w_lockouts);
+    ]
+
 let result fmt = function
   | Experiments.Attack r -> attack fmt r
   | Experiments.Sweep_point p -> sweep fmt [ p ]
@@ -105,6 +134,7 @@ let result fmt = function
   | Experiments.Overhead p -> overhead fmt ~x_label:"x" [ p ]
   | Experiments.Partial r -> partial fmt r
   | Experiments.Adversary r -> adversary fmt r
+  | Experiments.Workload r -> workload fmt r
 
 (* --- machine-readable twins -------------------------------------------- *)
 
@@ -187,6 +217,23 @@ let adversary_json (r : Experiments.adversary_result) =
       ("grace_admissions", Json.Int r.Experiments.grace_admissions);
     ]
 
+let workload_json (r : Experiments.workload_result) =
+  Json.Obj
+    [
+      ("nodes", Json.Int r.Experiments.w_nodes);
+      ("links", Json.Int r.Experiments.w_links);
+      ("receivers", Json.Int r.Experiments.w_receivers);
+      ("mean_goodput_kbps", Json.Float r.Experiments.w_mean_goodput_kbps);
+      ("min_goodput_kbps", Json.Float r.Experiments.w_min_goodput_kbps);
+      ("max_goodput_kbps", Json.Float r.Experiments.w_max_goodput_kbps);
+      ("cross_kbps", Json.Float r.Experiments.w_cross_kbps);
+      ("attacker_kbps", Json.Float r.Experiments.w_attacker_kbps);
+      ("drops", Json.Int r.Experiments.w_drops);
+      ("marks", Json.Int r.Experiments.w_marks);
+      ("keys_rejected", Json.Int r.Experiments.w_keys_rejected);
+      ("lockouts", Json.Int r.Experiments.w_lockouts);
+    ]
+
 let result_json = function
   | Experiments.Attack r -> attack_json r
   | Experiments.Sweep_point p -> sweep_point_json p
@@ -196,6 +243,7 @@ let result_json = function
   | Experiments.Overhead p -> overhead_json p
   | Experiments.Partial r -> partial_json r
   | Experiments.Adversary r -> adversary_json r
+  | Experiments.Workload r -> workload_json r
 
 let attack_to_json r = Json.to_string (attack_json r)
 let sweep_point_to_json p = Json.to_string (sweep_point_json p)
@@ -277,4 +325,19 @@ let summary = function
         ("keys_rejected", float_of_int r.Experiments.keys_rejected);
         ("lockouts", float_of_int r.Experiments.lockouts);
         ("grace_admissions", float_of_int r.Experiments.grace_admissions);
+      ]
+  | Experiments.Workload r ->
+      [
+        ("nodes", float_of_int r.Experiments.w_nodes);
+        ("links", float_of_int r.Experiments.w_links);
+        ("receivers", float_of_int r.Experiments.w_receivers);
+        ("mean_goodput_kbps", r.Experiments.w_mean_goodput_kbps);
+        ("min_goodput_kbps", r.Experiments.w_min_goodput_kbps);
+        ("max_goodput_kbps", r.Experiments.w_max_goodput_kbps);
+        ("cross_kbps", r.Experiments.w_cross_kbps);
+        ("attacker_kbps", r.Experiments.w_attacker_kbps);
+        ("drops", float_of_int r.Experiments.w_drops);
+        ("marks", float_of_int r.Experiments.w_marks);
+        ("keys_rejected", float_of_int r.Experiments.w_keys_rejected);
+        ("lockouts", float_of_int r.Experiments.w_lockouts);
       ]

@@ -26,6 +26,7 @@ val convergence : Format.formatter -> Experiments.series list -> unit
 val overhead : Format.formatter -> x_label:string -> Experiments.overhead_point list -> unit
 val partial : Format.formatter -> Experiments.partial_result -> unit
 val adversary : Format.formatter -> Experiments.adversary_result -> unit
+val workload : Format.formatter -> Experiments.workload_result -> unit
 
 val result : Format.formatter -> Experiments.result -> unit
 (** Dispatches to the matching printer above. *)
@@ -46,6 +47,9 @@ val partial_to_json : Experiments.partial_result -> string
 val adversary_json : Experiments.adversary_result -> Json.t
 (** Per-cell damage metrics of a matrix cell ([containment_s] is null
     when the adversary was never contained). *)
+
+val workload_json : Experiments.workload_result -> Json.t
+(** Aggregate outcome of a declarative workload run. *)
 
 val result_to_json : Experiments.result -> string
 (** Dispatches to the matching [*_to_json] above. *)

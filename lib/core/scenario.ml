@@ -121,6 +121,10 @@ let transform agent prng (link : Link.t) pkt =
       end
   | _ -> ()
 
+(* Exported for builders over generated topologies (Mcc_workload): the
+   same transform, one per attached agent. *)
+let delta_transform = transform
+
 (* With [sigma = false] the right-hand edge router stays a legacy IGMP
    device even for Robust sessions (the paper's incremental-deployment
    counterfactual): keys flow in band but nothing enforces them. *)
@@ -272,6 +276,46 @@ let add_rlm ?slot ?layering ?policy ?receiver_mode t ~mode ~receivers () =
       receivers
   in
   { rlm_config = config; rlm_sender = sender; rlm_receivers }
+
+type oversub_session = {
+  ovs_config : Mcc_mcast.Oversub.config;
+  ovs_sender : Mcc_mcast.Oversub.sender;
+  ovs_receivers : Mcc_mcast.Oversub.receiver list;
+}
+
+let add_oversub ?slot ?layering ?receiver_mode t ~mode ~receivers () =
+  let module Ovs = Mcc_mcast.Oversub in
+  let layering =
+    match layering with Some l -> l | None -> Defaults.layering ()
+  in
+  let slot = Option.value slot ~default:Defaults.flid_ds_slot in
+  (match mode with Flid.Robust -> ignore (ensure_agent t) | Flid.Plain -> ());
+  let id, base_group = fresh_session t ~groups:layering.Layering.groups in
+  let config =
+    Ovs.make_config ~id ~base_group ~layering ~slot_duration:slot ~mode ()
+  in
+  let sender_host = Dumbbell.add_sender t.db in
+  let sender =
+    Ovs.sender_start t.db.Dumbbell.topo ~node:sender_host
+      ~prng:(Prng.split t.prng) config
+  in
+  let receiver_config =
+    match receiver_mode with
+    | Some m -> { config with Ovs.flid = { config.Ovs.flid with Flid.mode = m } }
+    | None -> config
+  in
+  let ovs_receivers =
+    List.map
+      (fun spec ->
+        let host =
+          Dumbbell.add_receiver ?delay_s:spec.access_delay_s
+            ?rate_bps:spec.access_rate_bps t.db
+        in
+        Ovs.receiver_start ~at:spec.start_at t.db.Dumbbell.topo ~host
+          ~prng:(Prng.split t.prng) receiver_config)
+      receivers
+  in
+  { ovs_config = config; ovs_sender = sender; ovs_receivers }
 
 let add_tcp ?(at = 0.) t =
   t.tcp_flows <- t.tcp_flows + 1;

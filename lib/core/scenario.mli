@@ -50,6 +50,17 @@ val agent : t -> Mcc_sigma.Router_agent.t option
 (** The SIGMA agent on the right edge router; installed as soon as the
     first robust session is added. *)
 
+val delta_transform :
+  Mcc_sigma.Router_agent.t ->
+  Mcc_util.Prng.t ->
+  Mcc_net.Link.t ->
+  Mcc_net.Packet.t ->
+  unit
+(** The component transform installed on SIGMA agents (ECN scrub of
+    marked DELTA components, interface-key padding).  Exported so
+    builders over generated topologies ([Mcc_workload]) can install the
+    same scrubber on every edge agent; one PRNG per agent. *)
+
 val add_multicast :
   ?slot:float ->
   ?layering:Mcc_mcast.Layering.t ->
@@ -106,6 +117,26 @@ val add_rlm :
     the WEBRC-style equation receiver).  Receiver behaviours in the
     specs are ignored: only well-behaved threshold receivers are
     modelled. *)
+
+type oversub_session = {
+  ovs_config : Mcc_mcast.Oversub.config;
+  ovs_sender : Mcc_mcast.Oversub.sender;
+  ovs_receivers : Mcc_mcast.Oversub.receiver list;
+}
+
+val add_oversub :
+  ?slot:float ->
+  ?layering:Mcc_mcast.Layering.t ->
+  ?receiver_mode:Mcc_mcast.Flid.mode ->
+  t ->
+  mode:Mcc_mcast.Flid.mode ->
+  receivers:receiver_spec list ->
+  unit ->
+  oversub_session
+(** An oversubscribed-CC session (EWMA of the ECN mark fraction) on the
+    same dumbbell.  It shares FLID's wire format, so the agent's ECN
+    scrubber applies unchanged.  Receiver behaviours in the specs are
+    ignored: attacks on this protocol are mounted as bare attackers. *)
 
 val add_tcp : ?at:float -> t -> Mcc_transport.Tcp.t
 (** One TCP Reno flow left to right; returns the flow (its meter gives

@@ -64,7 +64,7 @@ type attack_kind =
   | Grace_churn of { period_slots : float }
   | Collusion of { colluders : int }
 
-type protocol = Flid_ds | Rlm_threshold | Replicated
+type protocol = Flid_ds | Rlm_threshold | Replicated | Oversub
 
 type defence = Undefended | Delta_only | Delta_sigma | Delta_sigma_ecn
 
@@ -77,6 +77,40 @@ type adversary_params = {
   defence : defence;
 }
 
+type topology_spec =
+  | Dumbbell_topo
+  | Fat_tree of { k : int; core_rate_bps : float }
+  | Star_lans of { lans : int; hosts_per_lan : int; core_rate_bps : float }
+  | Isp_random of {
+      routers : int;
+      extra_links : int;
+      hosts_per_edge : int;
+      core_rate_bps : float;
+    }
+
+type churn_spec =
+  | No_churn
+  | Flash_crowd of { at : float; arrivals : int; leave_after : float }
+  | Diurnal of { period : float; fraction : float }
+  | Regional_outage of { at : float; restore_at : float; fraction : float }
+
+type traffic_spec =
+  | Web_mix of { flows : int; rate_bps : float; mean_on : float; mean_off : float }
+  | Tcp_flows of { flows : int }
+
+type workload_params = {
+  seed : int;
+  duration : float;
+  topology : topology_spec;
+  protocol : protocol;
+  defence : defence;
+  receivers : int;
+  churn : churn_spec;
+  traffic : traffic_spec list;
+  attack : attack_kind option;
+  attack_at : float;
+}
+
 type t =
   | Attack of attack_params
   | Sweep of sweep_params
@@ -86,6 +120,7 @@ type t =
   | Overhead of overhead_params
   | Partial of partial_params
   | Adversary of adversary_params
+  | Workload of workload_params
 
 (* The defaults are the paper's Section 5.1 settings; seeds match the
    fixed seeds the pre-spec API used, so regenerated figures are
@@ -117,6 +152,12 @@ let default_adversary =
   { seed = 41; duration = 120.; attack_at = 30.;
     attack = Persistent_inflation; protocol = Flid_ds; defence = Delta_sigma }
 
+let default_workload =
+  { seed = 43; duration = 120.;
+    topology = Fat_tree { k = 4; core_rate_bps = 2_000_000. };
+    protocol = Flid_ds; defence = Delta_sigma; receivers = 6;
+    churn = No_churn; traffic = []; attack = None; attack_at = 40. }
+
 let attack_str = function
   | Persistent_inflation -> "inflate"
   | Pulse_inflation _ -> "pulse"
@@ -125,16 +166,45 @@ let attack_str = function
   | Grace_churn _ -> "churn"
   | Collusion _ -> "collude"
 
-let protocol_str = function
-  | Flid_ds -> "flid"
-  | Rlm_threshold -> "rlm"
-  | Replicated -> "replicated"
+(* The protocol registry: every scheme the matrix can run, with its CLI
+   short name and scorecard column heading.  Matrix columns, scorecard
+   headings and CLI parsing all derive from this single list, so adding
+   a protocol here is all it takes to grow the matrix. *)
+let protocols =
+  [
+    (Flid_ds, "flid", "FLID-DS (layered, XOR keys)");
+    (Rlm_threshold, "rlm", "RLM-like (threshold keys)");
+    (Replicated, "replicated", "Replicated streams");
+    (Oversub, "oversub", "Oversub (ECN-EWMA layered)");
+  ]
+
+let protocol_str p =
+  let _, s, _ = List.find (fun (q, _, _) -> q = p) protocols in
+  s
+
+let protocol_heading p =
+  let _, _, h = List.find (fun (q, _, _) -> q = p) protocols in
+  h
 
 let defence_str = function
   | Undefended -> "plain"
   | Delta_only -> "delta"
   | Delta_sigma -> "delta+sigma"
   | Delta_sigma_ecn -> "delta+sigma+ecn"
+
+let topology_str = function
+  | Dumbbell_topo -> "dumbbell"
+  | Fat_tree _ -> "fat_tree"
+  | Star_lans _ -> "star_lans"
+  | Isp_random _ -> "isp_random"
+
+let churn_str = function
+  | No_churn -> "none"
+  | Flash_crowd _ -> "flash_crowd"
+  | Diurnal _ -> "diurnal"
+  | Regional_outage _ -> "regional_outage"
+
+let traffic_str = function Web_mix _ -> "web" | Tcp_flows _ -> "tcp"
 
 let kind = function
   | Attack _ -> "attack"
@@ -145,6 +215,7 @@ let kind = function
   | Overhead _ -> "overhead"
   | Partial _ -> "partial"
   | Adversary _ -> "adversary"
+  | Workload _ -> "workload"
 
 let seed = function
   | Attack p -> p.seed
@@ -155,6 +226,7 @@ let seed = function
   | Overhead p -> p.seed
   | Partial p -> p.seed
   | Adversary p -> p.seed
+  | Workload p -> p.seed
 
 let duration = function
   | Attack p -> p.duration
@@ -165,6 +237,7 @@ let duration = function
   | Overhead p -> p.duration
   | Partial p -> p.duration
   | Adversary p -> p.duration
+  | Workload p -> p.duration
 
 let scale_time t ~factor =
   match t with
@@ -194,6 +267,25 @@ let scale_time t ~factor =
       Adversary
         { p with duration = p.duration *. factor;
           attack_at = p.attack_at *. factor }
+  | Workload p ->
+      (* Churn instants live on the horizon and scale with it; traffic
+         on/off periods track flow dynamics and stay put. *)
+      let churn =
+        match p.churn with
+        | No_churn -> No_churn
+        | Flash_crowd c ->
+            Flash_crowd
+              { c with at = c.at *. factor;
+                leave_after = c.leave_after *. factor }
+        | Diurnal c -> Diurnal { c with period = c.period *. factor }
+        | Regional_outage c ->
+            Regional_outage
+              { c with at = c.at *. factor;
+                restore_at = c.restore_at *. factor }
+      in
+      Workload
+        { p with duration = p.duration *. factor;
+          attack_at = p.attack_at *. factor; churn }
 
 let mode_str = function Flid.Plain -> "plain" | Flid.Robust -> "robust"
 
@@ -277,6 +369,87 @@ let to_json t =
           ("defence", Json.String (defence_str p.defence));
         ]
         @ attack_fields
+    | Workload p ->
+        let topology =
+          let base = [ ("kind", Json.String (topology_str p.topology)) ] in
+          match p.topology with
+          | Dumbbell_topo -> Json.Obj base
+          | Fat_tree { k; core_rate_bps } ->
+              Json.Obj
+                (base
+                @ [ ("k", Json.Int k);
+                    ("core_rate_bps", Json.Float core_rate_bps) ])
+          | Star_lans { lans; hosts_per_lan; core_rate_bps } ->
+              Json.Obj
+                (base
+                @ [ ("lans", Json.Int lans);
+                    ("hosts_per_lan", Json.Int hosts_per_lan);
+                    ("core_rate_bps", Json.Float core_rate_bps) ])
+          | Isp_random { routers; extra_links; hosts_per_edge; core_rate_bps }
+            ->
+              Json.Obj
+                (base
+                @ [ ("routers", Json.Int routers);
+                    ("extra_links", Json.Int extra_links);
+                    ("hosts_per_edge", Json.Int hosts_per_edge);
+                    ("core_rate_bps", Json.Float core_rate_bps) ])
+        in
+        let churn =
+          let base = [ ("kind", Json.String (churn_str p.churn)) ] in
+          match p.churn with
+          | No_churn -> Json.Obj base
+          | Flash_crowd { at; arrivals; leave_after } ->
+              Json.Obj
+                (base
+                @ [ ("at", Json.Float at);
+                    ("arrivals", Json.Int arrivals);
+                    ("leave_after", Json.Float leave_after) ])
+          | Diurnal { period; fraction } ->
+              Json.Obj
+                (base
+                @ [ ("period", Json.Float period);
+                    ("fraction", Json.Float fraction) ])
+          | Regional_outage { at; restore_at; fraction } ->
+              Json.Obj
+                (base
+                @ [ ("at", Json.Float at);
+                    ("restore_at", Json.Float restore_at);
+                    ("fraction", Json.Float fraction) ])
+        in
+        let traffic =
+          Json.List
+            (List.map
+               (fun t ->
+                 let base = [ ("kind", Json.String (traffic_str t)) ] in
+                 match t with
+                 | Web_mix { flows; rate_bps; mean_on; mean_off } ->
+                     Json.Obj
+                       (base
+                       @ [ ("flows", Json.Int flows);
+                           ("rate_bps", Json.Float rate_bps);
+                           ("mean_on", Json.Float mean_on);
+                           ("mean_off", Json.Float mean_off) ])
+                 | Tcp_flows { flows } ->
+                     Json.Obj (base @ [ ("flows", Json.Int flows) ]))
+               p.traffic)
+        in
+        [
+          ("seed", Json.Int p.seed);
+          ("duration", Json.Float p.duration);
+          ("topology", topology);
+          ("protocol", Json.String (protocol_str p.protocol));
+          ("defence", Json.String (defence_str p.defence));
+          ("receivers", Json.Int p.receivers);
+          ("churn", churn);
+          ("traffic", traffic);
+        ]
+        @ (match p.attack with
+          | None -> []
+          | Some a ->
+              [
+                ("attack", Json.String (attack_str a));
+                ("attack_at", Json.Float p.attack_at);
+              ])
   in
   Json.Obj (base @ fields)
 
@@ -314,3 +487,14 @@ let pp fmt t =
          defence=%s"
         p.seed p.duration p.attack_at (attack_str p.attack)
         (protocol_str p.protocol) (defence_str p.defence)
+  | Workload p ->
+      Format.fprintf fmt
+        "workload seed=%d duration=%gs topology=%s protocol=%s defence=%s \
+         receivers=%d churn=%s traffic=[%s]%s"
+        p.seed p.duration (topology_str p.topology) (protocol_str p.protocol)
+        (defence_str p.defence) p.receivers (churn_str p.churn)
+        (String.concat ";" (List.map traffic_str p.traffic))
+        (match p.attack with
+        | None -> ""
+        | Some a ->
+            Printf.sprintf " attack=%s@%gs" (attack_str a) p.attack_at)

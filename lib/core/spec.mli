@@ -106,10 +106,11 @@ type attack_kind =
     [Mcc_attack.Strategy]; the payloads here are the knobs the matrix
     sweeps. *)
 
-type protocol = Flid_ds | Rlm_threshold | Replicated
+type protocol = Flid_ds | Rlm_threshold | Replicated | Oversub
 (** Which congestion-control scheme the session under attack runs:
     FLID-DS (XOR keys), the RLM-like ladder with Shamir threshold keys,
-    or replicated streams with tier switching. *)
+    replicated streams with tier switching, or the oversubscribed-CC
+    layered scheme driven by an EWMA of the ECN mark fraction. *)
 
 type defence = Undefended | Delta_only | Delta_sigma | Delta_sigma_ecn
 (** The defence column of the matrix: plain IGMP (no keys, no agent),
@@ -128,6 +129,63 @@ type adversary_params = {
     one honest receiver and one adversary, plus a TCP flow, sharing a
     bottleneck provisioned at two fair shares. *)
 
+type topology_spec =
+  | Dumbbell_topo  (** the classic two-router dumbbell (paper setup) *)
+  | Fat_tree of { k : int; core_rate_bps : float }
+      (** k-ary fat tree: (k/2)^2 core routers, k pods of k/2 aggregation
+          and k/2 edge routers, k/2 hosts per edge.  [k] must be even. *)
+  | Star_lans of { lans : int; hosts_per_lan : int; core_rate_bps : float }
+      (** one core router fanning out to [lans] edge routers, each
+          serving a LAN segment of [hosts_per_lan] hosts *)
+  | Isp_random of {
+      routers : int;
+      extra_links : int;
+      hosts_per_edge : int;
+      core_rate_bps : float;
+    }
+      (** ISP-like random graph: a seed-grown random tree over [routers]
+          core routers plus [extra_links] random shortcut links, one
+          edge router with [hosts_per_edge] hosts per core router *)
+(** Seed-driven deterministic topology generators: the same (spec, seed)
+    pair always yields a byte-identical {!Mcc_net.Topology} dump. *)
+
+type churn_spec =
+  | No_churn
+  | Flash_crowd of { at : float; arrivals : int; leave_after : float }
+      (** [arrivals] extra receivers join in a burst at [at] and leave
+          [leave_after] seconds later *)
+  | Diurnal of { period : float; fraction : float }
+      (** [fraction] of the receivers cycle off and on with [period],
+          phase-staggered — a compressed day/night wave *)
+  | Regional_outage of { at : float; restore_at : float; fraction : float }
+      (** a correlated slice of the receiver population (one "region")
+          drops at [at] and rejoins at [restore_at] *)
+(** Receiver-churn models; instants are horizon times and scale with
+    {!scale_time}. *)
+
+type traffic_spec =
+  | Web_mix of { flows : int; rate_bps : float; mean_on : float; mean_off : float }
+      (** web-like on/off CBR background flows with exponential on/off
+          holding times drawn from the workload's seed *)
+  | Tcp_flows of { flows : int }  (** long-lived TCP cross flows *)
+
+type workload_params = {
+  seed : int;
+  duration : float;
+  topology : topology_spec;
+  protocol : protocol;
+  defence : defence;
+  receivers : int;  (** base receiver population (before churn) *)
+  churn : churn_spec;
+  traffic : traffic_spec list;
+  attack : attack_kind option;  (** an optional bare attacker host *)
+  attack_at : float;
+}
+(** One declarative workload: a generated topology carrying one
+    multicast session under a chosen defence, plus churn, background
+    traffic, and optionally an attacker.  Parsed from workload files by
+    [Mcc_workload.Schema]; executed by the [Mcc_workload] build hook. *)
+
 type t =
   | Attack of attack_params
   | Sweep of sweep_params
@@ -137,6 +195,7 @@ type t =
   | Overhead of overhead_params
   | Partial of partial_params
   | Adversary of adversary_params
+  | Workload of workload_params
 
 val default_attack : attack_params
 (** seed 7, 200 s, attack at 100 s, FLID-DS. *)
@@ -164,18 +223,41 @@ val default_adversary : adversary_params
 (** seed 41, 120 s, attack at 30 s, persistent inflation against
     FLID-DS under DELTA + SIGMA. *)
 
+val default_workload : workload_params
+(** seed 43, 120 s, fat-tree(4) with a 2 Mbps core, FLID-DS under
+    DELTA + SIGMA, 6 receivers, no churn/traffic/attack. *)
+
 val attack_str : attack_kind -> string
 (** "inflate", "pulse", "guess", "replay", "churn" or "collude". *)
 
+val protocols : (protocol * string * string) list
+(** The protocol registry: (variant, CLI short name, scorecard column
+    heading), in matrix column order.  {!protocol_str},
+    {!protocol_heading}, the matrix's default protocol set and the CLI
+    [--protocols] parser all derive from this list, so registering a
+    protocol here is the only step needed to add a matrix column. *)
+
 val protocol_str : protocol -> string
-(** "flid", "rlm" or "replicated". *)
+(** "flid", "rlm", "replicated" or "oversub". *)
+
+val protocol_heading : protocol -> string
+(** The scorecard column heading from the {!protocols} registry. *)
+
+val topology_str : topology_spec -> string
+(** "dumbbell", "fat_tree", "star_lans" or "isp_random". *)
+
+val churn_str : churn_spec -> string
+(** "none", "flash_crowd", "diurnal" or "regional_outage". *)
+
+val traffic_str : traffic_spec -> string
+(** "web" or "tcp". *)
 
 val defence_str : defence -> string
 (** "plain", "delta", "delta+sigma" or "delta+sigma+ecn". *)
 
 val kind : t -> string
 (** "attack", "sweep", "responsiveness", "rtt", "convergence",
-    "overhead", "partial" or "adversary". *)
+    "overhead", "partial", "adversary" or "workload". *)
 
 val seed : t -> int
 

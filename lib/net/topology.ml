@@ -102,3 +102,40 @@ let compute_routes t =
 let register_group t ~group ~source = Hashtbl.replace t.groups group source
 let group_source t group = Hashtbl.find_opt t.groups group
 let links t = List.rev t.links
+
+let kind_str = function
+  | Node.Host -> "host"
+  | Node.Edge_router -> "edge"
+  | Node.Core_router -> "core"
+  | Node.Lan -> "lan"
+
+(* A canonical plain-text rendering of the graph: nodes in id order,
+   simplex links in creation order, groups in address order.  Two
+   topologies built by the same deterministic steps render to the same
+   bytes, which is what the generator-determinism tests compare. *)
+let dump t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (n : Node.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %s\n" n.Node.id (kind_str n.Node.kind)))
+    (nodes t);
+  List.iter
+    (fun (l : Link.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d->%d rate=%g delay=%g buffer=%d\n"
+           l.Link.id l.Link.src l.Link.dst l.Link.rate_bps l.Link.delay_s
+           l.Link.buffer_bytes))
+    (links t);
+  let groups =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Hashtbl.fold
+         (fun g (src : Node.t) acc -> (g, src.Node.id) :: acc)
+         t.groups [])
+  in
+  List.iter
+    (fun (g, src) ->
+      Buffer.add_string buf (Printf.sprintf "group %#x source=%d\n" g src))
+    groups;
+  Buffer.contents buf

@@ -40,3 +40,10 @@ val group_source : t -> int -> Node.t option
 
 val links : t -> Link.t list
 (** All simplex links, for counters and reports. *)
+
+val dump : t -> string
+(** A canonical plain-text rendering of the graph: nodes in id order,
+    simplex links in creation order ("src->dst rate delay buffer"),
+    registered groups in address order.  Deterministic builds render to
+    identical bytes — the contract the seed-driven topology generators
+    are tested against. *)

@@ -1,0 +1,17 @@
+(** Workload instantiation: one {!Mcc_core.Spec.workload_params} in,
+    one finished simulation out.
+
+    Builds the declared topology ({!Topo_gen}), attaches a SIGMA agent
+    with the shared DELTA scrubber to every receiver-side edge router
+    when the defence enforces, starts the declared protocol's sender
+    and one receiver instance per churn interval ({!Churn}), installs
+    the background traffic ({!Traffic}) and the optional bare attacker
+    ({!Mcc_attack.Strategy}), computes routes, runs to the horizon and
+    aggregates the result.
+
+    Linking this module registers the implementation hook
+    ({!Mcc_core.Experiments.set_workload_impl}), which is what makes
+    [Spec.Workload] entries runnable by the ordinary Runner. *)
+
+val run :
+  Mcc_core.Spec.workload_params -> Mcc_core.Experiments.workload_result

@@ -1,0 +1,44 @@
+(** The declarative workload file format: versioned JSON, validated
+    strictly (unknown fields, out-of-range values and capacity
+    violations are errors), with every diagnostic carrying its
+    [file:field.path] so a broken file names the exact offender.
+
+    Document shape (version 1):
+    {v
+    { "version": 1,
+      "name": "fat-tree flash crowd",
+      "seed": 43,                    // or "seeds": [43, 44, 45]
+      "duration": 120,
+      "topology": { "kind": "fat_tree", "k": 4, "core_rate_bps": 2e6 },
+      "protocol": "flid",            // registry: flid|rlm|replicated|oversub
+      "defence": "delta+sigma+ecn",  // plain|delta|delta+sigma|delta+sigma+ecn
+      "receivers": 6,
+      "churn":   { "kind": "flash_crowd", "at": 30,
+                   "arrivals": 8, "leave_after": 40 },      // optional
+      "traffic": [ { "kind": "web", "flows": 4, "rate_bps": 2e5,
+                     "mean_on": 5, "mean_off": 5 },
+                   { "kind": "tcp", "flows": 1 } ],          // optional
+      "attack":  { "kind": "pulse", "at": 40,
+                   "period_s": 10, "duty": 0.5 } }           // optional
+    v}
+    A "seeds" list expands to one run per seed, named
+    [<name>-s<seed>]. *)
+
+val version : int
+(** The schema version this build reads (1). *)
+
+val params_of_json :
+  ctx:string ->
+  Mcc_core.Json.t ->
+  (string * (int * Mcc_core.Spec.workload_params) list, string) result
+(** Validate one document.  [ctx] prefixes every error (callers pass
+    the file path).  Returns the workload's name and one (seed, params)
+    pair per requested seed. *)
+
+val entries_of_json :
+  ctx:string -> Mcc_core.Json.t -> (Mcc_core.Runner.entry list, string) result
+(** {!params_of_json} wrapped as runnable batch entries (group
+    "workload"). *)
+
+val load : path:string -> (Mcc_core.Runner.entry list, string) result
+(** Read, parse and validate a workload file. *)

@@ -1,0 +1,24 @@
+(** Background cross-traffic for workloads.
+
+    [Web_mix] approximates web-like traffic: [flows] on-off CBR
+    sources, each with fixed on/off periods drawn once per flow from
+    exponentials with the spec's means (and a phase offset), splitting
+    [rate_bps] between them.  [Tcp_flows] starts long-lived TCP Reno
+    transfers.  Sources attach to dedicated hosts behind the multicast
+    sender's access router; destinations cycle through the receiver
+    pool, so the traffic crosses the same core the session uses. *)
+
+type installed = {
+  delivered : Mcc_util.Meter.t list;
+      (** one shared meter for all web flows (delivered bytes at the
+          destinations), plus one goodput meter per TCP flow *)
+}
+
+val install :
+  Topo_gen.built ->
+  prng:Mcc_util.Prng.t ->
+  duration:float ->
+  specs:Mcc_core.Spec.traffic_spec list ->
+  installed
+(** Installs every spec; call before routes are computed (the sources
+    get their own hosts).  With an empty spec list, installs nothing. *)
