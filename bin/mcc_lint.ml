@@ -1,159 +1,20 @@
 (* mcc-lint: the invariant linter as a CI gate.
 
+   A thin shim over Mcc_lint.Cli — the same command is mounted as
+   `mcc lint`; the standalone binary exists so `dune build @lint` can
+   run the gate without building the whole CLI.  The standalone gate
+   does not record in the run ledger unless asked (--ledger): CI loops
+   and editor integrations should not grow the ledger.
+
    Examples:
      mcc-lint lib bin bench examples
      mcc-lint --rules wall-clock,mli-coverage lib
      mcc-lint --disable mli-coverage --json=findings.json lib
-     mcc-lint --allow lint.allow lib bin
+     mcc-lint --allow lint.allow --sarif=findings.sarif lib bin
 
    Exit codes: 0 clean, 1 findings, 2 parse/IO/config errors. *)
 
-open Cmdliner
-module Lint = Mcc_lint.Lint
-module Json = Mcc_obs.Json
-
-let fmt = Format.std_formatter
-
-let run_lint paths rules disable allow json quiet list_rules =
-  if list_rules then begin
-    List.iter
-      (fun r ->
-        Format.fprintf fmt "%-24s %s@." (Lint.rule_id r) (Lint.rule_doc r))
-      Lint.all_rules;
-    0
-  end
-  else begin
-    let parse_rule id =
-      match Lint.rule_of_id id with
-      | Some r -> r
-      | None ->
-          Printf.eprintf "mcc-lint: unknown rule id %S (try --list-rules)\n" id;
-          exit 2
-    in
-    let enabled =
-      let base =
-        match rules with [] -> Lint.all_rules | ids -> List.map parse_rule ids
-      in
-      let off = List.map parse_rule disable in
-      List.filter (fun r -> not (List.mem r off)) base
-    in
-    let allowlist =
-      (* --allow names a file that must exist; with no flag the
-         repo-root lint.allow is picked up when present. *)
-      let path =
-        match allow with
-        | Some p -> Some p
-        | None -> if Sys.file_exists "lint.allow" then Some "lint.allow" else None
-      in
-      match path with
-      | None -> []
-      | Some p -> (
-          match Lint.load_allowlist p with
-          | Ok entries -> entries
-          | Error msg ->
-              Printf.eprintf "mcc-lint: %s\n" msg;
-              exit 2)
-    in
-    let config = { Lint.rules = enabled; allowlist } in
-    let report = Lint.run config paths in
-    if not quiet then begin
-      List.iter
-        (fun f -> Format.fprintf fmt "%a@." Lint.pp_finding f)
-        report.Lint.findings;
-      List.iter
-        (fun (file, msg) -> Format.fprintf fmt "%s: error: %s@." file msg)
-        report.Lint.errors;
-      Format.fprintf fmt "mcc-lint: %d finding%s, %d error%s in %d files@."
-        (List.length report.Lint.findings)
-        (if List.length report.Lint.findings = 1 then "" else "s")
-        (List.length report.Lint.errors)
-        (if List.length report.Lint.errors = 1 then "" else "s")
-        report.Lint.files_checked
-    end;
-    (match json with
-    | None -> ()
-    | Some path ->
-        let line = Json.to_string (Lint.report_to_json report) ^ "\n" in
-        if String.equal path "-" then print_string line
-        else
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc line));
-    Lint.exit_code report
-  end
-
-let paths =
-  Arg.(
-    value
-    & pos_all string [ "lib" ]
-    & info [] ~docv:"PATH"
-        ~doc:"Files or directories to lint (default: $(b,lib)).")
-
-let rules =
-  Arg.(
-    value
-    & opt (list string) []
-    & info [ "rules"; "r" ] ~docv:"RULE,..."
-        ~doc:"Run only these rules (default: all; see $(b,--list-rules)).")
-
-let disable =
-  Arg.(
-    value
-    & opt (list string) []
-    & info [ "disable" ] ~docv:"RULE,..." ~doc:"Disable these rules.")
-
-let allow =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "allow" ] ~docv:"FILE"
-        ~doc:
-          "Allowlist file: one \"rule-id path\" pair per line, # comments, \
-           trailing / for directory prefixes.  Default: $(b,lint.allow) in \
-           the current directory, when present.")
-
-let json =
-  Arg.(
-    value
-    & opt ~vopt:(Some "-") (some string) None
-    & info [ "json" ] ~docv:"PATH"
-        ~doc:
-          "Write the findings report as one JSON document to $(docv) \
-           ($(b,-) = stdout).")
-
-let quiet =
-  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress human output.")
-
-let list_rules =
-  Arg.(
-    value & flag
-    & info [ "list-rules" ] ~doc:"Print every rule id with its rationale.")
-
-let cmd =
-  let doc =
-    "static-analysis gate for the simulator's determinism and domain-safety \
-     invariants"
-  in
-  let man =
-    [
-      `S Manpage.s_description;
-      `P
-        "Parses every .ml file under the given paths with the compiler's own \
-         parser and rejects constructs that break the reproduction's \
-         guarantees: host-clock reads, ambient randomness, module-level \
-         mutable state shared across domains, polymorphic float comparison, \
-         and missing interfaces.";
-      `P
-        "Suppress an individual finding with a pragma comment on the same \
-         or preceding line: (* lint: allow rule-id — justification *), or \
-         with an allowlist entry (see $(b,--allow)).";
-      `S Manpage.s_exit_status;
-      `P "0 on a clean tree, 1 when findings remain, 2 on parse errors.";
-    ]
-  in
-  Cmd.v
-    (Cmd.info "mcc-lint" ~doc ~man)
-    Term.(
-      const run_lint $ paths $ rules $ disable $ allow $ json $ quiet
-      $ list_rules)
-
-let () = exit (Cmd.eval' cmd)
+let () =
+  exit
+    (Cmdliner.Cmd.eval'
+       (Mcc_lint.Cli.cmd ~name:"mcc-lint" ~ledger_default:false))

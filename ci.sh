@@ -15,8 +15,46 @@ dune runtest
 # Invariant lint gate: the static-analysis pass (lib/lint) must find no
 # determinism or domain-safety violations — wall-clock reads, ambient
 # randomness, shared top-level mutable state, polymorphic float
-# compares, missing .mli — anywhere in lib/bin/bench/examples.
+# compares, missing .mli, GC reads outside lib/obs, and the typed-tree
+# rules (domain-escape, hot-alloc, registry-exhaustive) — anywhere in
+# lib/bin/bench/examples.
 dune build @lint
+
+# The typed stage must have genuinely run, not silently degraded to the
+# syntactic subset: the JSON report has to show .cmts loaded.  (This is
+# what catches a build-layout drift that moves the .cmt files.)
+dune build @check
+dune exec bin/mcc.exe -- lint --json=- lib bin bench examples > /tmp/lint.json
+grep -q '"cmts_loaded":[1-9]' /tmp/lint.json
+grep -q '"findings":\[\]' /tmp/lint.json
+# ... and the lint run itself must have landed in the ledger.
+MCC_LEDGER_COUNT="$(grep -c '"kind":"lint"' "$MCC_LEDGER/ledger.jsonl")"
+test "$MCC_LEDGER_COUNT" -ge 1
+
+# Deep-lint canary: an injected Domain.spawn closure capturing a ref
+# must fail the lint with a domain-escape finding naming the file.
+cp lib/util/prng.ml /tmp/prng-orig.ml
+trap 'cp /tmp/prng-orig.ml lib/util/prng.ml' EXIT
+cat >> lib/util/prng.ml <<'EOF'
+
+let _lint_canary () =
+  let r = ref 0 in
+  let d = Domain.spawn (fun () -> incr r) in
+  Domain.join d;
+  !r
+EOF
+dune build @check
+if dune exec bin/mcc_lint.exe -- --allow lint.allow lib/util/prng.ml \
+  > /tmp/lint-canary.txt 2>&1; then
+  cp /tmp/prng-orig.ml lib/util/prng.ml
+  echo "lint failed to flag an injected domain escape" >&2
+  exit 1
+fi
+grep -q "domain-escape" /tmp/lint-canary.txt
+grep -q "prng.ml" /tmp/lint-canary.txt
+cp /tmp/prng-orig.ml lib/util/prng.ml
+trap - EXIT
+dune build @check
 dune exec bin/mcc.exe -- run --all --quick --jobs 2 --json /tmp/out.jsonl --quiet
 test -s /tmp/out.jsonl
 

@@ -185,7 +185,12 @@ let parallel_map ~jobs f inputs =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          (* input-order slots: worker i is the only writer of
+             results.(i), arr is never written, and the join below
+             happens-before the read-back *)
+          (* lint: allow domain-escape — results slot discipline above *)
           (results.(i) <-
+             (* lint: allow domain-escape — arr is read-only in workers *)
              Some (try Ok (f arr.(i)) with exn -> Error exn));
           loop ()
         end
@@ -407,12 +412,14 @@ let run_batch ?(jobs = 1) ?sched ?sample_dt ?(sinks = []) ?on_progress
           (fun () ->
             parallel_map ~jobs
               (fun spec ->
+                (* lint: allow gc-stats — live Progress meter only, never a sink *)
                 let minor0 = Gc.minor_words () in
                 let (_, _, _, profile) as out =
                   run_spec_profiled ?sched ?sample_dt spec
                 in
                 Mcc_obs.Progress.cell_done monitor
                   ~events:profile.Profile.events
+                  (* lint: allow gc-stats — same meter-only use *)
                   ~minor_words:(Gc.minor_words () -. minor0);
                 out)
               specs)

@@ -85,13 +85,13 @@ module Heap = struct
   let size t = t.len
   let capacity t = Array.length t.times
 
-  let before t i j =
+  let[@hot] before t i j =
     let ti = t.times.(i) and tj = t.times.(j) in
     if ti < tj then true
     else if tj < ti then false
     else t.seqs.(i) < t.seqs.(j)
 
-  let swap t i j =
+  let[@hot] swap t i j =
     let time = t.times.(i) and seq = t.seqs.(i) and value = t.values.(i) in
     t.times.(i) <- t.times.(j);
     t.seqs.(i) <- t.seqs.(j);
@@ -100,7 +100,7 @@ module Heap = struct
     t.seqs.(j) <- seq;
     t.values.(j) <- value
 
-  let rec sift_up t i =
+  let[@hot] rec sift_up t i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
       if before t i parent then begin
@@ -109,14 +109,16 @@ module Heap = struct
       end
     end
 
-  let rec sift_down t i =
+  (* Immutable selection, not a [ref] accumulator: a sift runs once per
+     pop, and an int ref cell per call is minor-heap traffic the
+     hot-alloc rule now rejects. *)
+  let[@hot] rec sift_down t i =
     let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let smallest = ref i in
-    if l < t.len && before t l !smallest then smallest := l;
-    if r < t.len && before t r !smallest then smallest := r;
-    if !smallest <> i then begin
-      swap t i !smallest;
-      sift_down t !smallest
+    let smallest = if l < t.len && before t l i then l else i in
+    let smallest = if r < t.len && before t r smallest then r else smallest in
+    if smallest <> i then begin
+      swap t i smallest;
+      sift_down t smallest
     end
 
   (* Grow in place: allocate the doubled arrays once and blit.  The
@@ -136,9 +138,11 @@ module Heap = struct
     t.values <- values';
     t.growth_caps <- cap' :: t.growth_caps
 
-  let push t ~time value =
+  let[@hot] push t ~time value =
     if Float.is_nan time then invalid_arg nan_message;
-    if t.len = Array.length t.times then grow t value;
+    if t.len = Array.length t.times then
+      (* lint: allow hot-alloc — amortised doubling, not steady state *)
+      grow t value;
     let i = t.len in
     t.times.(i) <- time;
     t.seqs.(i) <- t.next_seq;
@@ -165,7 +169,7 @@ module Heap = struct
       Some (time, value)
     end
 
-  let pop_into t cell default =
+  let[@hot] pop_into t cell default =
     if t.len = 0 then default
     else begin
       let time = t.times.(0) and value = t.values.(0) in
@@ -179,9 +183,9 @@ module Heap = struct
       value
     end
 
-  let next_before t bound = t.len > 0 && t.times.(0) <= bound
+  let[@hot] next_before t bound = t.len > 0 && t.times.(0) <= bound
 
-  let pop_before t cell ~bound default =
+  let[@hot] pop_before t cell ~bound default =
     if t.len = 0 || t.times.(0) > bound then default
     else pop_into t cell default
 
@@ -321,7 +325,7 @@ module Wheel = struct
   (* Fixed slot table plus the cell store's high-water mark. *)
   let capacity t = total_slots + Array.length t.times
 
-  let tick_of_time time =
+  let[@hot] tick_of_time time =
     let scaled = time *. ticks_per_sec in
     if scaled >= float_of_int max_int then max_int else int_of_float scaled
 
@@ -352,8 +356,9 @@ module Wheel = struct
     t.values <- values';
     t.growth_caps <- cap' :: t.growth_caps
 
-  let alloc_cell t ~time ~tick value =
+  let[@hot] alloc_cell t ~time ~tick value =
     if t.free = nil then begin
+      (* lint: allow hot-alloc — amortised doubling, not steady state *)
       grow t value;
       t.free_misses <- t.free_misses + 1
     end
@@ -367,7 +372,7 @@ module Wheel = struct
     t.next_seq <- t.next_seq + 1;
     i
 
-  let free_cell t i =
+  let[@hot] free_cell t i =
     t.nexts.(i) <- t.free;
     t.free <- i
 
@@ -380,14 +385,14 @@ module Wheel = struct
      Chains are unordered (a slot prepends): level-0 buckets are sorted
      as they load into the drain, and higher-level chains are re-placed
      by a cascade before they can drain. *)
-  let place t i =
+  let[@hot] rec place_level t tick k =
+    if k >= levels then -1
+    else if tick lsr top_of k = t.cur lsr top_of k then k
+    else place_level t tick (k + 1)
+
+  let[@hot] place t i =
     let tick = t.ticks.(i) in
-    let rec level k =
-      if k >= levels then -1
-      else if tick lsr top_of k = t.cur lsr top_of k then k
-      else level (k + 1)
-    in
-    match level 0 with
+    match place_level t tick 0 with
     | -1 ->
         t.nexts.(i) <- t.overflow;
         t.overflow <- i;
@@ -412,7 +417,7 @@ module Wheel = struct
     done
 
   (* Cell [a] sorts strictly before cell [b] under (time, seq). *)
-  let cell_before t a b =
+  let[@hot] cell_before t a b =
     let ta = t.times.(a) and tb = t.times.(b) in
     if ta < tb then true
     else if tb < ta then false
@@ -481,29 +486,32 @@ module Wheel = struct
 
   (* Single-cell buckets (the common case at realistic densities) skip
      the scratch/heapsort machinery entirely. *)
-  let load_drain t head =
+  let[@hot] load_drain t head =
     if head <> nil && t.nexts.(head) = nil then t.drain <- head
     else load_drain_multi t head
 
+  (* Walk to the insertion point for cell [i] and splice it in after
+     [prev].  Tail-recursive (a loop after compilation), so pathological
+     same-tick chains cost time, never stack — and no [ref] cursor. *)
+  let[@hot] rec drain_insert_after t prev i =
+    if t.nexts.(prev) <> nil && cell_before t t.nexts.(prev) i then
+      drain_insert_after t t.nexts.(prev) i
+    else begin
+      t.nexts.(i) <- t.nexts.(prev);
+      t.nexts.(prev) <- i
+    end
+
   (* Cells that land on the tick currently being drained must
      interleave with the not-yet-popped drain cells exactly as the heap
-     would order them: sorted insertion, iterative so pathological
-     same-tick chains cost time, never stack. *)
-  let drain_insert t i =
+     would order them: sorted insertion. *)
+  let[@hot] drain_insert t i =
     if t.drain = nil || cell_before t i t.drain then begin
       t.nexts.(i) <- t.drain;
       t.drain <- i
     end
-    else begin
-      let prev = ref t.drain in
-      while t.nexts.(!prev) <> nil && cell_before t t.nexts.(!prev) i do
-        prev := t.nexts.(!prev)
-      done;
-      t.nexts.(i) <- t.nexts.(!prev);
-      t.nexts.(!prev) <- i
-    end
+    else drain_insert_after t t.drain i
 
-  let push t ~time value =
+  let[@hot] push t ~time value =
     if Float.is_nan time then invalid_arg nan_message;
     if time < 0. then invalid_arg "Scheduler.push: negative time (wheel)";
     let tick = tick_of_time time in
@@ -539,69 +547,66 @@ module Wheel = struct
      own, so a linear scan visits them in tick order and cannot come up
      empty.  Finding a slot at level >= 1 cascades its chain down one
      level and rescans from the bottom. *)
-  let advance t =
-    if t.wheel_count = 0 then migrate_overflow t;
-    let rec from_level k =
-      if k >= levels then assert false
-      else if t.level_count.(k) = 0 then from_level (k + 1)
-      else if k = 0 then begin
-        (* Level-0 fast path: shift 0, offset 0, mask 8191 folded to
-           constants, and the overwhelmingly common single-cell bucket
-           loads the drain without any chain walk or sort. *)
-        let rec scan idx =
-          if idx > 8191 then assert false
-          else if t.slots.(idx) = nil then scan (idx + 1)
-          else idx
-        in
-        let idx = scan (t.cur land 8191) in
-        let chain = t.slots.(idx) in
-        t.slots.(idx) <- nil;
-        t.cur <- ((t.cur lsr 13) lsl 13) lor idx;
-        t.drain_tick <- t.cur;
-        if t.nexts.(chain) = nil then begin
-          t.level_count.(0) <- t.level_count.(0) - 1;
-          t.wheel_count <- t.wheel_count - 1;
-          t.drain <- chain
-        end
-        else begin
-          let n = ref 0 in
-          let i = ref chain in
-          while !i <> nil do
-            incr n;
-            i := t.nexts.(!i)
-          done;
-          t.level_count.(0) <- t.level_count.(0) - !n;
-          t.wheel_count <- t.wheel_count - !n;
-          load_drain t chain
-        end
+  let[@hot] rec chain_len t i acc =
+    if i = nil then acc else chain_len t t.nexts.(i) (acc + 1)
+
+  (* Level-0 slot scan: shift 0, offset 0, mask 8191 folded to
+     constants. *)
+  let[@hot] rec scan0 t idx =
+    if idx > 8191 then assert false
+    else if t.slots.(idx) = nil then scan0 t (idx + 1)
+    else idx
+
+  let[@hot] rec scan_level t base mask idx =
+    if idx > mask then assert false
+    else if t.slots.(base + idx) = nil then scan_level t base mask (idx + 1)
+    else idx
+
+  (* Lifted out of [advance] so the per-pop path defines no closures:
+     the scans, the chain count, and the level loop are all module-level
+     tail calls over [t]'s flat arrays. *)
+  let[@hot] rec advance_from t k =
+    if k >= levels then assert false
+    else if t.level_count.(k) = 0 then advance_from t (k + 1)
+    else if k = 0 then begin
+      (* Level-0 fast path: the overwhelmingly common single-cell bucket
+         loads the drain without any chain walk or sort. *)
+      let idx = scan0 t (t.cur land 8191) in
+      let chain = t.slots.(idx) in
+      t.slots.(idx) <- nil;
+      t.cur <- ((t.cur lsr 13) lsl 13) lor idx;
+      t.drain_tick <- t.cur;
+      if t.nexts.(chain) = nil then begin
+        t.level_count.(0) <- t.level_count.(0) - 1;
+        t.wheel_count <- t.wheel_count - 1;
+        t.drain <- chain
       end
       else begin
-        let shift = shift_of k in
-        let base = offset_of k in
-        let mask = mask_of k in
-        let rec scan idx =
-          if idx > mask then assert false
-          else if t.slots.(base + idx) = nil then scan (idx + 1)
-          else idx
-        in
-        let idx = scan ((t.cur lsr shift) land mask) in
-        let chain = t.slots.(base + idx) in
-        t.slots.(base + idx) <- nil;
-        let n = ref 0 in
-        let i = ref chain in
-        while !i <> nil do
-          incr n;
-          i := t.nexts.(!i)
-        done;
-        t.level_count.(k) <- t.level_count.(k) - !n;
-        t.wheel_count <- t.wheel_count - !n;
-        let span = top_of k in
-        t.cur <- ((t.cur lsr span) lsl span) lor (idx lsl shift);
-        replace_chain t chain;
-        from_level 0
+        let n = chain_len t chain 0 in
+        t.level_count.(0) <- t.level_count.(0) - n;
+        t.wheel_count <- t.wheel_count - n;
+        load_drain t chain
       end
-    in
-    from_level 0
+    end
+    else begin
+      let shift = shift_of k in
+      let base = offset_of k in
+      let mask = mask_of k in
+      let idx = scan_level t base mask ((t.cur lsr shift) land mask) in
+      let chain = t.slots.(base + idx) in
+      t.slots.(base + idx) <- nil;
+      let n = chain_len t chain 0 in
+      t.level_count.(k) <- t.level_count.(k) - n;
+      t.wheel_count <- t.wheel_count - n;
+      let span = top_of k in
+      t.cur <- ((t.cur lsr span) lsl span) lor (idx lsl shift);
+      replace_chain t chain;
+      advance_from t 0
+    end
+
+  let[@hot] advance t =
+    if t.wheel_count = 0 then migrate_overflow t;
+    advance_from t 0
 
   let pop t =
     if t.size = 0 then None
@@ -615,7 +620,7 @@ module Wheel = struct
       Some (time, value)
     end
 
-  let pop_into t cell default =
+  let[@hot] pop_into t cell default =
     if t.size = 0 then default
     else begin
       if t.drain = nil then advance t;
@@ -635,14 +640,14 @@ module Wheel = struct
       Some t.times.(t.drain)
     end
 
-  let next_before t bound =
+  let[@hot] next_before t bound =
     t.size > 0
     && begin
          if t.drain = nil then advance t;
          t.times.(t.drain) <= bound
        end
 
-  let pop_before t cell ~bound default =
+  let[@hot] pop_before t cell ~bound default =
     if t.size = 0 then default
     else begin
       if t.drain = nil then advance t;

@@ -67,9 +67,10 @@ let schedule_after t ~delay f =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) f
 
-let take_handle t f =
+let[@hot] take_handle t f =
   if t.pool_len = 0 then begin
     t.pool_misses <- t.pool_misses + 1;
+    (* lint: allow hot-alloc — pool miss builds the record being pooled *)
     { cancelled = false; fire = f; recycle = true }
   end
   else begin
@@ -82,11 +83,12 @@ let take_handle t f =
     h
   end
 
-let put_handle t h =
+let[@hot] put_handle t h =
   (* Drop the closure so a parked handle retains nothing. *)
   h.fire <- noop;
   let cap = Array.length t.pool in
   if t.pool_len = cap then begin
+    (* lint: allow hot-alloc — amortised doubling, not steady state *)
     let grown = Array.make (if cap = 0 then 64 else 2 * cap) t.sentinel in
     Array.blit t.pool 0 grown 0 cap;
     t.pool <- grown
@@ -94,12 +96,16 @@ let put_handle t h =
   t.pool.(t.pool_len) <- h;
   t.pool_len <- t.pool_len + 1
 
-let post t ~at f =
-  if at < t.clock then
-    invalid_arg (Printf.sprintf "Sim.post: at=%g is before now=%g" at t.clock);
+(* Out of line so the formatted message is built only on the error
+   path, never in [post]'s own (hot) body. *)
+let post_in_past at clock =
+  invalid_arg (Printf.sprintf "Sim.post: at=%g is before now=%g" at clock)
+
+let[@hot] post t ~at f =
+  if at < t.clock then post_in_past at t.clock;
   t.queue.Scheduler.push ~time:at (take_handle t f)
 
-let post_after t ~delay f =
+let[@hot] post_after t ~delay f =
   if delay < 0. then invalid_arg "Sim.post_after: negative delay";
   post t ~at:(t.clock +. delay) f
 
@@ -161,7 +167,7 @@ let create ?sched () =
   | None -> ());
   t
 
-let step t =
+let[@hot] step t =
   let h = t.queue.Scheduler.pop_into t.time_cell t.sentinel in
   if h == t.sentinel then false
   else begin

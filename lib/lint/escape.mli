@@ -1,0 +1,17 @@
+(** [domain-escape]: conservative escape analysis flagging mutable
+    values captured by closures passed to [Domain.spawn] or installed
+    with [Domain.DLS.new_key].
+
+    Free variables of the closure (idents used but not bound inside it)
+    whose types are structurally mutable — [ref], [array], [bytes],
+    [Hashtbl.t]/[Buffer.t]/[Queue.t]/[Stack.t], or a record declared
+    with mutable fields in the same compilation unit — produce one
+    finding each, at the variable's first use inside the closure.
+    [Atomic.t] is the sanctioned cross-domain primitive and is exempt.
+    A spawn argument that is neither a function literal nor a local
+    let-bound function is flagged as opaque. *)
+
+val check : path:string -> Typedtree.structure -> Kernel.finding list
+(** [check ~path str] — [path] is used verbatim in findings (it is the
+    path the caller asked to lint, not the one recorded in the
+    [.cmt]). *)

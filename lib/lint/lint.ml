@@ -1,61 +1,39 @@
-(* The pass is purely syntactic: each file is parsed with the
+(* The linter runs in two stages.
+
+   Stage one is purely syntactic: each file is parsed with the
    compiler's own parser and walked with an Ast_iterator, so it flags
    exactly what is written in the source, with no type information and
-   no build context.  Rules err on the side of silence — a construct
-   the simulator's invariants forbid but the parser cannot recognise
-   without types (say, [=] on two float variables) is out of scope. *)
+   no build context.
 
-type rule =
+   Stage two ({!Typed}) resolves each file's .cmt (dune's -bin-annot
+   output) and walks the Typedtree for the rules that need types:
+   domain-escape, hot-alloc and registry-exhaustive.  A file whose
+   .cmt is missing degrades to stage-one coverage only and is recorded
+   in [cmts_missing] — reported, never fatal.
+
+   Both stages share the vocabulary in {!Kernel} (re-exported here) and
+   the same suppression machinery: in-source pragmas and the allowlist
+   filter typed findings exactly as they filter syntactic ones. *)
+
+type rule = Kernel.rule =
   | Wall_clock
   | Ambient_randomness
   | Shared_mutable_toplevel
   | Float_poly_compare
   | Mli_coverage
   | Prof_span
+  | Gc_stats
+  | Domain_escape
+  | Hot_alloc
+  | Registry_exhaustive
 
-let all_rules =
-  [
-    Wall_clock;
-    Ambient_randomness;
-    Shared_mutable_toplevel;
-    Float_poly_compare;
-    Mli_coverage;
-    Prof_span;
-  ]
+let all_rules = Kernel.all_rules
+let typed_rules = Kernel.typed_rules
+let rule_id = Kernel.rule_id
+let rule_of_id = Kernel.rule_of_id
+let rule_doc = Kernel.rule_doc
 
-let rule_id = function
-  | Wall_clock -> "wall-clock"
-  | Ambient_randomness -> "ambient-randomness"
-  | Shared_mutable_toplevel -> "shared-mutable-toplevel"
-  | Float_poly_compare -> "float-poly-compare"
-  | Mli_coverage -> "mli-coverage"
-  | Prof_span -> "prof-span"
-
-let rule_of_id s =
-  List.find_opt (fun r -> String.equal (rule_id r) s) all_rules
-
-let rule_doc = function
-  | Wall_clock ->
-      "host clock dependency (Unix.gettimeofday/Unix.time/Sys.time, or a \
-       Unix.sleep/sleepf pacing wait); use the simulated clock, or \
-       Mcc_obs.Profile.with_wall_clock for profiling"
-  | Ambient_randomness ->
-      "ambient Random state (self_init or the global generator); use \
-       seeded, explicitly threaded state (Mcc_util.Prng, Random.State)"
-  | Shared_mutable_toplevel ->
-      "mutable state created at module level is shared across every \
-       domain; use Domain.DLS registries or Atomic"
-  | Float_poly_compare ->
-      "polymorphic =/compare on floats (or bare `compare`); use \
-       Float.equal/Float.compare/String.compare so comparisons stay \
-       monomorphic"
-  | Mli_coverage -> "every library .ml must have a sibling .mli"
-  | Prof_span ->
-      "self-profiler span sites (Prof.span / Prof.with_span) must stay \
-       in lib/ modules with an interface, so every instrumentation \
-       point is part of a documented surface"
-
-type finding = {
+type finding = Kernel.finding = {
   rule : rule;
   file : string;
   line : int;
@@ -63,140 +41,46 @@ type finding = {
   message : string;
 }
 
-type allow_entry = { allow_rule : rule; allow_path : string }
-type config = { rules : rule list; allowlist : allow_entry list }
+type allow_entry = Kernel.allow_entry = {
+  allow_rule : rule;
+  allow_path : string;
+}
 
-let default_config = { rules = all_rules; allowlist = [] }
+type registry_check = Kernel.registry_check = {
+  reg_def : string;
+  reg_type : string;
+  reg_accessors : string list;
+  reg_consumers : string list;
+}
 
-type report = {
+type config = Kernel.config = {
+  rules : rule list;
+  allowlist : allow_entry list;
+  build_dir : string option;
+  registry : registry_check;
+}
+
+let default_registry = Kernel.default_registry
+let default_config = Kernel.default_config
+
+type report = Kernel.report = {
   findings : finding list;
   errors : (string * string) list;
   files_checked : int;
+  cmts_loaded : int;
+  cmts_missing : (string * string) list;
 }
 
-(* --- paths and the allowlist -------------------------------------------- *)
+let normalize_path = Kernel.normalize_path
+let allow_matches = Kernel.allow_matches
+let parse_allowlist = Kernel.parse_allowlist
+let load_allowlist = Kernel.load_allowlist
+let scan_pragmas = Kernel.scan_pragmas
+let pragma_suppresses = Kernel.pragma_suppresses
+let finding_order = Kernel.finding_order
+let has_prefix = Kernel.has_prefix
 
-(* "./lib/core/runner.ml" and "../lib/core/runner.ml" (as seen from the
-   test tree in _build) must both match an allowlist entry written as
-   "lib/core/runner.ml", so matching drops "." and ".." segments. *)
-let normalize_path p =
-  String.split_on_char '/' p
-  |> List.filter (fun seg ->
-         not
-           (String.equal seg "" || String.equal seg "."
-           || String.equal seg ".."))
-  |> String.concat "/"
-
-let allow_matches entry path =
-  let path = normalize_path path in
-  let entry_path = entry.allow_path in
-  if String.length entry_path > 0 && entry_path.[String.length entry_path - 1] = '/'
-  then
-    let prefix = normalize_path entry_path ^ "/" in
-    String.length path >= String.length prefix
-    && String.equal (String.sub path 0 (String.length prefix)) prefix
-  else String.equal path (normalize_path entry_path)
-
-let parse_allowlist ?(file = "<allowlist>") text =
-  let err = ref None in
-  let entries =
-    String.split_on_char '\n' text
-    |> List.mapi (fun i line -> (i + 1, line))
-    |> List.filter_map (fun (lnum, line) ->
-           let line =
-             match String.index_opt line '#' with
-             | Some i -> String.sub line 0 i
-             | None -> line
-           in
-           let line = String.trim line in
-           if String.equal line "" then None
-           else
-             match String.index_opt line ' ' with
-             | None ->
-                 if !err = None then
-                   err :=
-                     Some
-                       (Printf.sprintf "%s:%d: expected \"<rule-id> <path>\""
-                          file lnum);
-                 None
-             | Some i -> (
-                 let id = String.sub line 0 i in
-                 let path =
-                   String.trim
-                     (String.sub line (i + 1) (String.length line - i - 1))
-                 in
-                 match rule_of_id id with
-                 | Some r -> Some { allow_rule = r; allow_path = path }
-                 | None ->
-                     if !err = None then
-                       err :=
-                         Some
-                           (Printf.sprintf "%s:%d: unknown rule id %S" file
-                              lnum id);
-                     None))
-  in
-  match !err with Some e -> Error e | None -> Ok entries
-
-let load_allowlist path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | text -> parse_allowlist ~file:path text
-  | exception Sys_error msg -> Error msg
-
-(* --- pragmas ------------------------------------------------------------ *)
-
-let pragma_marker = "(* lint: allow "
-
-(* All (line, rule) pragma positions in the raw source.  Comments are
-   invisible to the parser, so this is a plain text scan; an unknown
-   rule id in a pragma is simply inert (the finding it meant to
-   suppress still fires, which is how the typo gets noticed). *)
-let scan_pragmas source =
-  let pragmas = ref [] in
-  String.split_on_char '\n' source
-  |> List.iteri (fun i line ->
-         let lnum = i + 1 in
-         let rec scan from =
-           match
-             if from > String.length line then None
-             else
-               let found = ref None in
-               (try
-                  for j = from to String.length line - String.length pragma_marker do
-                    if
-                      !found = None
-                      && String.equal
-                           (String.sub line j (String.length pragma_marker))
-                           pragma_marker
-                    then found := Some j
-                  done
-                with Invalid_argument _ -> ());
-               !found
-           with
-           | None -> ()
-           | Some j ->
-               let start = j + String.length pragma_marker in
-               let stop = ref start in
-               while
-                 !stop < String.length line
-                 && not
-                      (List.mem line.[!stop] [ ' '; '\t'; '*'; ')' ])
-               do
-                 incr stop
-               done;
-               (match rule_of_id (String.sub line start (!stop - start)) with
-               | Some r -> pragmas := (lnum, r) :: !pragmas
-               | None -> ());
-               scan (j + String.length pragma_marker)
-         in
-         scan 0);
-  !pragmas
-
-let pragma_suppresses pragmas (f : finding) =
-  List.exists
-    (fun (lnum, r) -> r = f.rule && (lnum = f.line || lnum = f.line - 1))
-    pragmas
-
-(* --- the AST pass ------------------------------------------------------- *)
+(* --- the syntactic pass ------------------------------------------------- *)
 
 (* Sleeps are host-time dependencies just like clock reads: simulated
    code waits on the simulated clock, and the one legitimate pacing
@@ -230,6 +114,19 @@ let prof_span_idents =
     "Mcc_obs.Prof.with_span";
   ]
 
+(* GC statistics are live telemetry: only lib/obs may read them, so no
+   GC figure can leak into sinks or ledger payloads and perturb
+   byte-identical output across machines. *)
+let gc_stat_idents =
+  [
+    "Gc.quick_stat";
+    "Gc.stat";
+    "Gc.minor_words";
+    "Gc.major_words";
+    "Gc.counters";
+    "Gc.allocated_bytes";
+  ]
+
 let rec lid_to_list = function
   | Longident.Lident s -> Some [ s ]
   | Longident.Ldot (l, s) ->
@@ -238,10 +135,6 @@ let rec lid_to_list = function
 
 let lid_name lid =
   match lid_to_list lid with Some xs -> String.concat "." xs | None -> ""
-
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 let is_ambient_random name =
   has_prefix ~prefix:"Random." name
@@ -349,6 +242,16 @@ let make_iterator ctx =
                 "bare polymorphic compare; use a monomorphic comparison \
                  (Float.compare, Int.compare, String.compare, ...)"
             else if
+              List.mem name gc_stat_idents
+              && not (has_prefix ~prefix:"lib/obs/" (normalize_path ctx.path))
+            then
+              report ctx Gc_stats e.pexp_loc
+                (Printf.sprintf
+                   "%s reads GC statistics outside Mcc_obs; GC figures are \
+                    live telemetry only and must never feed sinks or ledger \
+                    payloads"
+                   name)
+            else if
               List.mem name prof_span_idents
               && not
                    (has_prefix ~prefix:"lib/" (normalize_path ctx.path)
@@ -405,16 +308,10 @@ let parse_structure ~path source =
       | Some (`Ok err) -> Error (Format.asprintf "%a" Location.print_report err)
       | Some `Already_displayed | None -> Error (Printexc.to_string exn))
 
-let finding_order a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-      match Int.compare a.line b.line with
-      | 0 -> (
-          match Int.compare a.col b.col with
-          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
-          | c -> c)
-      | c -> c)
-  | c -> c
+let allow_suppresses config (f : finding) =
+  List.exists
+    (fun entry -> entry.allow_rule = f.rule && allow_matches entry f.file)
+    config.allowlist
 
 let check_source config ~path source =
   match parse_structure ~path source with
@@ -428,11 +325,7 @@ let check_source config ~path source =
         List.filter
           (fun f ->
             (not (pragma_suppresses pragmas f))
-            && not
-                 (List.exists
-                    (fun entry ->
-                      entry.allow_rule = f.rule && allow_matches entry f.file)
-                    config.allowlist))
+            && not (allow_suppresses config f))
           ctx.found
       in
       Ok (List.sort finding_order findings)
@@ -463,11 +356,7 @@ let check_file config path =
             in
             let pragmas = scan_pragmas source in
             let suppressed =
-              pragma_suppresses pragmas f
-              || List.exists
-                   (fun entry ->
-                     entry.allow_rule = f.rule && allow_matches entry f.file)
-                   config.allowlist
+              pragma_suppresses pragmas f || allow_suppresses config f
             in
             if suppressed then Ok findings
             else Ok (List.sort finding_order (f :: findings))
@@ -501,7 +390,7 @@ let run config paths =
         end)
       paths
   in
-  let findings =
+  let syntactic =
     List.concat_map
       (fun file ->
         match check_file config file with
@@ -511,10 +400,35 @@ let run config paths =
             [])
       files
   in
+  (* Stage two.  Typed findings go through the same pragma + allowlist
+     filters; the pragma scan re-reads each flagged file's source. *)
+  let typed = Typed.run config files in
+  let pragma_cache = Hashtbl.create 16 in
+  let pragmas_of file =
+    match Hashtbl.find_opt pragma_cache file with
+    | Some ps -> ps
+    | None ->
+        let ps =
+          match In_channel.with_open_bin file In_channel.input_all with
+          | source -> scan_pragmas source
+          | exception Sys_error _ -> []
+        in
+        Hashtbl.replace pragma_cache file ps;
+        ps
+  in
+  let typed_findings =
+    List.filter
+      (fun (f : finding) ->
+        (not (pragma_suppresses (pragmas_of f.file) f))
+        && not (allow_suppresses config f))
+      typed.Typed.t_findings
+  in
   {
-    findings = List.sort finding_order findings;
+    findings = List.sort finding_order (syntactic @ typed_findings);
     errors = List.rev !errors;
     files_checked = List.length files;
+    cmts_loaded = typed.Typed.t_loaded;
+    cmts_missing = typed.Typed.t_missing;
   }
 
 let exit_code r =
@@ -531,6 +445,21 @@ let report_to_json r =
       ("tool", J.String "mcc-lint");
       ("rules", J.List (List.map (fun ru -> J.String (rule_id ru)) all_rules));
       ("files_checked", J.Int r.files_checked);
+      ( "typed",
+        J.Obj
+          [
+            ("cmts_loaded", J.Int r.cmts_loaded);
+            ( "cmts_missing",
+              J.List
+                (List.map
+                   (fun (file, reason) ->
+                     J.Obj
+                       [
+                         ("file", J.String file);
+                         ("reason", J.String reason);
+                       ])
+                   r.cmts_missing) );
+          ] );
       ( "findings",
         J.List
           (List.map

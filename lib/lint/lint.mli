@@ -3,17 +3,21 @@
     reproduction's guarantees rest on (byte-identical sink output for
     any [--jobs], attack/defence matrices on the simulated clock).
 
-    The pass parses each [.ml] file with the compiler's own parser
-    (compiler-libs) and walks the [Parsetree] with an [Ast_iterator];
-    it needs no type information, so rules are syntactic and
-    deliberately conservative.
+    The linter runs in two stages.  The {e syntactic} stage parses each
+    [.ml] with the compiler's own parser (compiler-libs) and walks the
+    [Parsetree]; its rules need no build context.  The {e typed} stage
+    resolves each file's [.cmt] (dune's [-bin-annot] output, written by
+    every build) and walks the [Typedtree] for the rules that need type
+    information.  A file whose [.cmt] cannot be found keeps its
+    syntactic coverage and is recorded in [cmts_missing] — the typed
+    stage reports degradation, it never fails the run by itself.
 
-    {2 Rules}
+    {2 Syntactic rules}
 
-    - [wall-clock]: references to [Unix.gettimeofday], [Unix.time] or
-      [Sys.time].  Simulation code must read the simulated clock only;
-      the sole sanctioned host-clock site is
-      {!Mcc_obs.Profile.with_wall_clock}.
+    - [wall-clock]: references to [Unix.gettimeofday], [Unix.time],
+      [Sys.time], or a [Unix.sleep]/[sleepf] pacing wait.  Simulation
+      code must read the simulated clock only; the sole sanctioned
+      host-clock site is {!Mcc_obs.Profile.with_wall_clock}.
     - [ambient-randomness]: [Random.self_init] and any use of the
       global [Random] state ([Random.int], [Random.float], ...).
       Only seeded, explicitly threaded state ([Mcc_util.Prng],
@@ -38,9 +42,35 @@
     - [prof-span]: a self-profiler span site ([Prof.span],
       [Prof.with_span], or the [Mcc_obs.Prof]-qualified spellings)
       outside [lib/], or in a [lib/] module without a sibling [.mli].
-      Instrumentation points are part of a module's documented surface;
-      keeping them behind interfaces is what makes the span tree a
-      stable, reviewable component taxonomy.
+    - [gc-stats]: a GC statistics read ([Gc.quick_stat], [Gc.stat],
+      [Gc.minor_words], [Gc.major_words], [Gc.counters],
+      [Gc.allocated_bytes]) outside [lib/obs].  GC figures are live
+      telemetry only; routing them through [Mcc_obs] keeps them out of
+      sinks and ledger payloads, whose bytes must not vary across
+      machines.
+
+    {2 Typed rules}
+
+    - [domain-escape]: a mutable value ([ref], [array], [bytes],
+      [Hashtbl.t]/[Buffer.t]/[Queue.t]/[Stack.t], or a record declared
+      with mutable fields in the same compilation unit) captured by a
+      closure passed to [Domain.spawn] or [Domain.DLS.new_key].
+      [Atomic.t] is exempt.  A spawn argument that is neither a
+      function literal nor a locally let-bound function is flagged as
+      opaque.
+    - [hot-alloc]: an allocating expression inside a function whose
+      binding carries the [[@hot]] attribute — closure, tuple, record,
+      array, non-constant constructor, polymorphic variant or lazy
+      construction; partial application; calls to known allocating
+      stdlib entry points.  The engine's hot loops ([Sim.step], the
+      scheduler backends, [Link], the packet pool) declare themselves
+      [[@hot]] and are allocation-free by contract.
+    - [registry-exhaustive]: a catch-all pattern in a multi-case match
+      over the {!Mcc_core.Spec.protocol} registry type, or a registered
+      consumer file that neither references a registry accessor
+      ([Spec.protocols], [Spec.protocol_str], [Spec.protocol_heading])
+      nor names every constructor.  Consumer findings attach to line 1
+      of the consumer file.
 
     {2 Suppression}
 
@@ -49,32 +79,39 @@
     {[ (* lint: allow <rule-id> — justification *) ]}
 
     placed on the same line as the finding or on the line directly
-    above it ([mli-coverage] findings attach to line 1, so a pragma on
-    the file's first line suppresses them), or by an entry in an
-    allowlist file: one [<rule-id> <path>] pair per line, [#] comments,
-    where a path ending in [/] matches as a prefix.  Paths are
-    normalised by dropping [.] and [..] segments before matching. *)
+    above it ([mli-coverage] and registry-consumer findings attach to
+    line 1, so a pragma on the file's first line suppresses them), or
+    by an entry in an allowlist file: one [<rule-id> <path>] pair per
+    line, [#] comments, where a path ending in [/] matches as a prefix.
+    Paths are normalised by dropping [.] and [..] segments before
+    matching.  Typed findings go through exactly the same filters. *)
 
-type rule =
+type rule = Kernel.rule =
   | Wall_clock
   | Ambient_randomness
   | Shared_mutable_toplevel
   | Float_poly_compare
   | Mli_coverage
   | Prof_span
+  | Gc_stats
+  | Domain_escape
+  | Hot_alloc
+  | Registry_exhaustive
 
 val all_rules : rule list
 
+val typed_rules : rule list
+(** The rules that need [.cmt] type information: [domain-escape],
+    [hot-alloc], [registry-exhaustive]. *)
+
 val rule_id : rule -> string
 (** The stable kebab-case identifier used in pragmas, allowlists, CLI
-    flags and the JSON report ([wall-clock], [ambient-randomness],
-    [shared-mutable-toplevel], [float-poly-compare], [mli-coverage],
-    [prof-span]). *)
+    flags and the JSON report. *)
 
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string
 
-type finding = {
+type finding = Kernel.finding = {
   rule : rule;
   file : string;
   line : int;  (** 1-based *)
@@ -82,47 +119,76 @@ type finding = {
   message : string;
 }
 
-type allow_entry = {
+type allow_entry = Kernel.allow_entry = {
   allow_rule : rule;
   allow_path : string;  (** exact path, or a prefix when ending in [/] *)
 }
 
-type config = {
+type registry_check = Kernel.registry_check = {
+  reg_def : string;  (** the [.ml] defining the registry, root-relative *)
+  reg_type : string;  (** the variant type name, e.g. [protocol] *)
+  reg_accessors : string list;
+      (** value names in the defining module whose use counts as
+          deriving from the registry *)
+  reg_consumers : string list;
+      (** files that must handle every registry entry *)
+}
+
+val default_registry : registry_check
+(** [Spec.protocols] and its four consumers (matrix dispatch, scorecard
+    headings, workload schema, workload [Build.run] dispatch). *)
+
+type config = Kernel.config = {
   rules : rule list;  (** enabled rules *)
   allowlist : allow_entry list;
+  build_dir : string option;
+      (** where the typed stage looks for [.cmt] files; [None]
+          autodetects ([_build/default] when present, else the current
+          directory) *)
+  registry : registry_check;
 }
 
 val default_config : config
-(** Every rule enabled, empty allowlist. *)
+(** Every rule enabled, empty allowlist, autodetected build dir,
+    {!default_registry}. *)
 
 val parse_allowlist : ?file:string -> string -> (allow_entry list, string) result
 (** Parse allowlist text; [file] names the source in error messages. *)
 
 val load_allowlist : string -> (allow_entry list, string) result
 
-type report = {
+type report = Kernel.report = {
   findings : finding list;  (** sorted by file, line, column, rule *)
   errors : (string * string) list;  (** (file, message): unparseable inputs *)
   files_checked : int;
+  cmts_loaded : int;  (** files the typed stage resolved a [.cmt] for *)
+  cmts_missing : (string * string) list;
+      (** (file, reason): typed stage degraded to syntactic-only *)
 }
 
 val check_file : config -> string -> (finding list, string) result
-(** Lint one [.ml] file ([Error] on I/O or syntax errors).  All enabled
-    rules run, including [mli-coverage] against the sibling path. *)
+(** Lint one [.ml] file with the {e syntactic} stage only ([Error] on
+    I/O or syntax errors).  All enabled syntactic rules run, including
+    [mli-coverage] against the sibling path; typed rules need the
+    [.cmt] context of {!run}. *)
 
 val run : config -> string list -> report
 (** Lint every [.ml] file under the given files and directories
     (recursing, skipping dot- and [_]-prefixed directories; traversal
-    order is sorted, so reports are deterministic).  A path that does
-    not exist or fails to parse lands in [errors]. *)
+    order is sorted, so reports are deterministic), through both
+    stages.  A path that does not exist or fails to parse lands in
+    [errors]; a file without a resolvable [.cmt] lands in
+    [cmts_missing]. *)
 
 val exit_code : report -> int
-(** 0 clean, 1 findings, 2 errors (errors win over findings). *)
+(** 0 clean, 1 findings, 2 errors (errors win over findings).
+    [cmts_missing] alone never changes the exit code. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 (** [file:line:col: [rule-id] message] — the compiler-style location
     prefix editors already know how to jump to. *)
 
 val report_to_json : report -> Mcc_obs.Json.t
-(** Machine-readable report: tool name, enabled rules, file count,
+(** Machine-readable report: tool name, enabled rules, file count, the
+    typed-stage coverage block ([cmts_loaded], [cmts_missing]),
     findings (rule/file/line/col/message) and errors. *)

@@ -123,18 +123,19 @@ let create ~sim ~id ~src ~dst ~dst_kind ~rate_bps ~delay_s ~buffer_bytes
   end;
   t
 
-let tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
+let[@hot] tx_time t pkt = float_of_int (pkt.Packet.size * 8) /. t.rate_bps
 
-let emit t event pkt =
+let[@hot] emit t event pkt =
   match t.on_event with Some f -> f event pkt | None -> ()
 
 (* Hot path: [Tracer.enabled] first, so runs without a sink pay one
    branch and allocate nothing. *)
-let trace t event pkt =
+let[@hot] trace t event pkt =
   if Tracer.enabled () then
-    Tracer.emit
+    Tracer.emit_at
       ~level:(match event with Dropped | Marked -> Tracer.Info | _ -> Tracer.Debug)
       ~sim_time:(Sim.now t.sim) ~component:"link" ~event:(event_name event)
+      (* lint: allow hot-alloc — field thunk built only with a live sink *)
       (fun () ->
         [
           ("link", Json.Int t.id);
@@ -148,14 +149,14 @@ let trace t event pkt =
 (* Lineage hop labels: constant strings, so stamping a hop allocates
    nothing.  RED/ECN marks are credited to "red" — in a latency
    breakdown they are the AQM's doing, not the FIFO's. *)
-let hop_name = function
+let[@hot] hop_name = function
   | Tx_start -> "link.tx"
   | Enqueued -> "link.enq"
   | Dropped -> "link.drop"
   | Marked -> "red.mark"
   | Delivered -> "link.rx"
 
-let note t event pkt =
+let[@hot] note t event pkt =
   Lineage.hop pkt.Packet.lineage ~time:(Sim.now t.sim) (hop_name event);
   emit t event pkt;
   trace t event pkt
@@ -165,7 +166,7 @@ let rec start_tx t pkt =
   t.tx_packets <- t.tx_packets + 1;
   t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
   Metrics.incr t.metrics.m_tx;
-  Metrics.incr t.metrics.m_tx_bytes ~by:pkt.Packet.size;
+  Metrics.incr_by t.metrics.m_tx_bytes pkt.Packet.size;
   note t Tx_start pkt;
   Sim.post_after t.sim ~delay:(tx_time t pkt) (fun () ->
          (* Serialization finished: launch propagation, then service the
@@ -184,15 +185,15 @@ let rec start_tx t pkt =
          end;
          Prof.finish sp)
 
-let mark t pkt =
+let[@hot] mark t pkt =
   pkt.Packet.ecn <- true;
   t.marks <- t.marks + 1;
   t.mark_bytes <- t.mark_bytes + pkt.Packet.size;
   Metrics.incr t.metrics.m_marks;
-  Metrics.incr t.metrics.m_mark_bytes ~by:pkt.Packet.size;
+  Metrics.incr_by t.metrics.m_mark_bytes pkt.Packet.size;
   note t Marked pkt
 
-let send_body t pkt =
+let[@hot] send_body t pkt =
   let packet_room =
     match t.buffer_packets with
     | Some cap -> Pool.Fifo.length t.queue < cap
@@ -216,7 +217,7 @@ let send_body t pkt =
     t.enqueues <- t.enqueues + 1;
     t.enqueue_bytes <- t.enqueue_bytes + pkt.Packet.size;
     Metrics.incr t.metrics.m_enqueues;
-    Metrics.incr t.metrics.m_enqueue_bytes ~by:pkt.Packet.size;
+    Metrics.incr_by t.metrics.m_enqueue_bytes pkt.Packet.size;
     note t Enqueued pkt;
     true
   end
@@ -224,7 +225,7 @@ let send_body t pkt =
     t.drops <- t.drops + 1;
     t.drop_bytes <- t.drop_bytes + pkt.Packet.size;
     Metrics.incr t.metrics.m_drops;
-    Metrics.incr t.metrics.m_drop_bytes ~by:pkt.Packet.size;
+    Metrics.incr_by t.metrics.m_drop_bytes pkt.Packet.size;
     note t Dropped pkt;
     false
   end

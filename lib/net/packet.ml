@@ -48,21 +48,23 @@ let copy t = { t with lineage = Mcc_obs.Lineage.clone t.lineage }
    before. *)
 let pool = Domain.DLS.new_key (fun () -> Pool.Freelist.create ~cap:4096 ())
 
-let copy_pooled src =
-  match Pool.Freelist.take (Domain.DLS.get pool) with
-  | None -> copy src
-  | Some pkt ->
-      pkt.uid <- src.uid;
-      pkt.src <- src.src;
-      pkt.dst <- src.dst;
-      pkt.size <- src.size;
-      pkt.ecn <- src.ecn;
-      pkt.router_alert <- src.router_alert;
-      pkt.payload <- src.payload;
-      pkt.lineage <- Mcc_obs.Lineage.clone src.lineage;
-      pkt
+let[@hot] copy_pooled src =
+  let fl = Domain.DLS.get pool in
+  if Pool.Freelist.is_empty fl then copy src
+  else begin
+    let pkt = Pool.Freelist.pop fl in
+    pkt.uid <- src.uid;
+    pkt.src <- src.src;
+    pkt.dst <- src.dst;
+    pkt.size <- src.size;
+    pkt.ecn <- src.ecn;
+    pkt.router_alert <- src.router_alert;
+    pkt.payload <- src.payload;
+    pkt.lineage <- Mcc_obs.Lineage.clone src.lineage;
+    pkt
+  end
 
-let release pkt =
+let[@hot] release pkt =
   (* The lineage goes back to its own pool; the packet keeps a stale
      pointer that [copy_pooled] overwrites before the record is seen
      again. *)

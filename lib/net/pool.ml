@@ -30,12 +30,14 @@ module Fifo = struct
     t.buf <- buf';
     t.head <- 0
 
-  let push t v =
-    if t.len = Array.length t.buf then grow t v;
+  let[@hot] push t v =
+    if t.len = Array.length t.buf then
+      (* lint: allow hot-alloc — amortised doubling, not steady state *)
+      grow t v;
     t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
     t.len <- t.len + 1
 
-  let pop t =
+  let[@hot] pop t =
     if t.len = 0 then invalid_arg "Pool.Fifo.pop: empty";
     let v = t.buf.(t.head) in
     t.head <- (t.head + 1) mod Array.length t.buf;
@@ -54,10 +56,11 @@ module Freelist = struct
   let create ~cap () = { store = [||]; len = 0; cap }
   let length t = t.len
 
-  let put t v =
+  let[@hot] put t v =
     if t.len < t.cap then begin
       if t.len = Array.length t.store then begin
         let cap' = min t.cap (max 64 (2 * Array.length t.store)) in
+        (* lint: allow hot-alloc — amortised doubling, not steady state *)
         let store' = Array.make cap' v in
         Array.blit t.store 0 store' 0 t.len;
         t.store <- store'
@@ -66,10 +69,13 @@ module Freelist = struct
       t.len <- t.len + 1
     end
 
-  let take t =
-    if t.len = 0 then None
-    else begin
-      t.len <- t.len - 1;
-      Some t.store.(t.len)
-    end
+  (* The take API is is_empty + pop (not [take : 'a option]): a [Some]
+     box per recycled packet would put the pool itself on the hot
+     path's allocation budget. *)
+  let is_empty t = t.len = 0
+
+  let[@hot] pop t =
+    if t.len = 0 then invalid_arg "Pool.Freelist.pop: empty";
+    t.len <- t.len - 1;
+    t.store.(t.len)
 end

@@ -42,7 +42,12 @@ module Freelist : sig
       on the floor (the GC reclaims them as usual). *)
 
   val length : 'a t -> int
-
   val put : 'a t -> 'a -> unit
-  val take : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+
+  val pop : 'a t -> 'a
+  (** Removes the most recently {!put} element.  The emptiness check is
+      the caller's ([is_empty] + [pop] rather than an option-returning
+      take, so recycling a packet allocates no [Some] box).
+      @raise Invalid_argument when empty. *)
 end

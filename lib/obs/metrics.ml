@@ -48,7 +48,8 @@ let counter name =
       Hashtbl.replace tbl name (Counter_m c);
       c
 
-let incr ?(by = 1) c = c.count <- c.count + by
+let[@hot] incr_by c by = c.count <- c.count + by
+let incr ?(by = 1) c = incr_by c by
 let counter_value c = c.count
 let tick ?by name = incr ?by (counter name)
 

@@ -34,6 +34,11 @@ val counter : string -> counter
     @raise Invalid_argument if the name is registered with another kind. *)
 
 val incr : ?by:int -> counter -> unit
+
+val incr_by : counter -> int -> unit
+(** [incr ~by] without the optional-argument [Some] box: [\[@hot\]]
+    call sites use this so per-packet accounting allocates nothing. *)
+
 val counter_value : counter -> int
 
 val tick : ?by:int -> string -> unit

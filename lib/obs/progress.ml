@@ -72,6 +72,7 @@ let start ?(interval = 0.2) ~total ~on_progress () =
   in
   let monitor =
     Domain.spawn (fun () ->
+        (* lint: allow domain-escape — worker-atomics: the monitor reads only t's Atomic fields *)
         while not (Atomic.get t.stopped) do
           (* lint: allow wall-clock — monitor pacing sleep, meter-only *)
           Unix.sleepf interval;

@@ -73,7 +73,7 @@ let wants s ~level ~component =
      | Some filters ->
          List.exists (fun filter -> component_matches ~filter component) filters)
 
-let emit ?(level = Info) ~sim_time ~component ~event attrs =
+let emit_at ~level ~sim_time ~component ~event attrs =
   match !(Domain.DLS.get sinks) with
   | [] -> ()
   | all -> (
@@ -83,6 +83,9 @@ let emit ?(level = Info) ~sim_time ~component ~event attrs =
           let r = { sim_time; level; component; event; attrs = attrs () } in
           (* Install order = reverse list order; deliver oldest first. *)
           List.iter (fun s -> s.push r) (List.rev interested))
+
+let emit ?(level = Info) ~sim_time ~component ~event attrs =
+  emit_at ~level ~sim_time ~component ~event attrs
 
 let install ?(min_level = Debug) ?components ?(flush = fun () -> ()) push =
   let idr = Domain.DLS.get next_id in

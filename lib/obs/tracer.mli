@@ -40,6 +40,16 @@ val emit :
     The attribute thunk runs only if at least one sink wants the
     record. *)
 
+val emit_at :
+  level:level ->
+  sim_time:float ->
+  component:string ->
+  event:string ->
+  (unit -> (string * Json.t) list) ->
+  unit
+(** [emit] with the level required rather than optional: no
+    [Some level] box per call, so [\[@hot\]] emitters use this form. *)
+
 val install :
   ?min_level:level ->
   ?components:string list ->

@@ -1,0 +1,5 @@
+(* Fixture: GC statistics read outside lib/obs. *)
+let heat () = Gc.minor_words ()
+
+(* lint: allow gc-stats — twin demonstrating pragma suppression *)
+let heat_allowed () = Gc.minor_words ()

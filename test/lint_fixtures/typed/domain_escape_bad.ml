@@ -1,0 +1,6 @@
+(* Fixture: a [ref] captured by a closure passed to Domain.spawn. *)
+let bad () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d;
+  !counter

@@ -1,0 +1,9 @@
+(* Twin: atomics may cross domains, and a DLS initialiser that creates
+   (rather than captures) mutable state is the sanctioned pattern. *)
+let ok () =
+  let counter = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr counter) in
+  Domain.join d;
+  Atomic.get counter
+
+let key = Domain.DLS.new_key (fun () -> ref 0)

@@ -1,0 +1,2 @@
+(* Fixture: a [@hot] function that allocates a tuple per call. *)
+let[@hot] pair x = (x, x)

@@ -1,0 +1,4 @@
+(* Twin: arithmetic only under [@hot]; the unannotated allocator is out
+   of the rule's scope. *)
+let[@hot] add x y = x + y
+let pair x = (x, x)

@@ -1,0 +1,3 @@
+(* Fixture: a catch-all over the protocol registry hides new entries. *)
+let is_flid (p : Mcc_core.Spec.protocol) =
+  match p with Mcc_core.Spec.Flid_ds -> true | _ -> false

@@ -1,0 +1,3 @@
+(* Fixture: dispatches on the registry naming a single constructor and
+   never deriving from Spec.protocols — new entries would miss it. *)
+let label p = if p = Mcc_core.Spec.Flid_ds then "flid" else "other"

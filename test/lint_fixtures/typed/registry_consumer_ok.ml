@@ -1,0 +1,11 @@
+(* Twin: every constructor appears, so a new registry entry surfaces
+   here as a missing case. *)
+let order =
+  [
+    Mcc_core.Spec.Flid_ds;
+    Mcc_core.Spec.Rlm_threshold;
+    Mcc_core.Spec.Replicated;
+    Mcc_core.Spec.Oversub;
+  ]
+
+let count () = List.length Mcc_core.Spec.protocols

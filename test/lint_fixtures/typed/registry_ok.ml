@@ -1,0 +1,8 @@
+(* Twin: spelling every constructor keeps the match honest — adding a
+   registry entry turns this into a compile error, not silent fallout. *)
+let is_flid (p : Mcc_core.Spec.protocol) =
+  match p with
+  | Mcc_core.Spec.Flid_ds -> true
+  | Mcc_core.Spec.Rlm_threshold | Mcc_core.Spec.Replicated
+  | Mcc_core.Spec.Oversub ->
+      false

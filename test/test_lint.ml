@@ -6,7 +6,13 @@ module Lint = Mcc_lint.Lint
 
 let fixture name = Filename.concat "lint_fixtures" name
 
-let config ?(allow = []) rules = { Lint.rules; allowlist = allow }
+let config ?(allow = []) ?build_dir rules =
+  {
+    Lint.rules;
+    allowlist = allow;
+    build_dir;
+    registry = Lint.default_registry;
+  }
 
 let check ?allow rules file =
   match Lint.check_file (config ?allow rules) (fixture file) with
@@ -128,6 +134,113 @@ let test_allowlist () =
   Alcotest.(check (list int)) "../-relative finding matches root entry" []
     (lines via_dotdot)
 
+let test_gc_stats () =
+  let fs = check [ Lint.Gc_stats ] "gc_stats.ml" in
+  Alcotest.(check (list string)) "rule id" [ "gc-stats" ] (ids fs);
+  Alcotest.(check (list int)) "GC read flagged, pragma twin clean" [ 2 ]
+    (lines fs);
+  (* The same probe under lib/obs/ is the sanctioned telemetry home. *)
+  let dir = Filename.concat "lib" "obs" in
+  if not (Sys.file_exists dir) then begin
+    Sys.mkdir "lib" 0o755;
+    Sys.mkdir dir 0o755
+  end;
+  let exempt = Filename.concat dir "gc_probe.ml" in
+  let oc = open_out exempt in
+  output_string oc "let heat () = Gc.minor_words ()\n";
+  close_out oc;
+  (match Lint.check_file (config [ Lint.Gc_stats ]) exempt with
+  | Ok fs -> Alcotest.(check (list int)) "lib/obs is exempt" [] (lines fs)
+  | Error msg -> Alcotest.failf "lib/obs probe: %s" msg);
+  Sys.remove exempt
+
+(* Typed-rule fixtures live in a compiled sub-library; the .cmts land
+   under _build/default, which is ".." from the test's cwd. *)
+let typed_check rules file =
+  let report =
+    Lint.run (config ~build_dir:".." rules) [ fixture ("typed/" ^ file) ]
+  in
+  Alcotest.(check (list (pair string string)))
+    (file ^ ": no read errors") [] report.Lint.errors;
+  Alcotest.(check (list (pair string string)))
+    (file ^ ": cmt found") [] report.Lint.cmts_missing;
+  Alcotest.(check int) (file ^ ": one cmt loaded") 1 report.Lint.cmts_loaded;
+  report.Lint.findings
+
+let test_domain_escape () =
+  let fs = typed_check [ Lint.Domain_escape ] "domain_escape_bad.ml" in
+  Alcotest.(check (list string)) "rule id" [ "domain-escape" ] (ids fs);
+  Alcotest.(check (list int)) "capture flagged at its use site" [ 4 ]
+    (lines fs);
+  Alcotest.(check (list int)) "atomics and DLS initialisers clean" []
+    (lines (typed_check [ Lint.Domain_escape ] "domain_escape_ok.ml"))
+
+let test_hot_alloc () =
+  let fs = typed_check [ Lint.Hot_alloc ] "hot_alloc_bad.ml" in
+  Alcotest.(check (list string)) "rule id" [ "hot-alloc" ] (ids fs);
+  Alcotest.(check (list int)) "tuple in [@hot] body flagged" [ 2 ] (lines fs);
+  Alcotest.(check (list int)) "non-hot allocator out of scope" []
+    (lines (typed_check [ Lint.Hot_alloc ] "hot_alloc_ok.ml"))
+
+let test_registry_exhaustive () =
+  let fs = typed_check [ Lint.Registry_exhaustive ] "registry_bad.ml" in
+  Alcotest.(check (list string)) "rule id" [ "registry-exhaustive" ] (ids fs);
+  Alcotest.(check (list int)) "catch-all over the registry flagged" [ 3 ]
+    (lines fs);
+  Alcotest.(check (list int)) "all-constructor match clean" []
+    (lines (typed_check [ Lint.Registry_exhaustive ] "registry_ok.ml"))
+
+let test_registry_consumer () =
+  let consumer file =
+    {
+      Lint.rules = [ Lint.Registry_exhaustive ];
+      allowlist = [];
+      build_dir = Some "..";
+      registry =
+        {
+          Lint.default_registry with
+          Lint.reg_consumers = [ "lint_fixtures/typed/" ^ file ];
+        };
+    }
+  in
+  let run file =
+    Lint.run (consumer file) [ fixture ("typed/" ^ file) ]
+  in
+  let bad = run "registry_consumer_bad.ml" in
+  Alcotest.(check (list string)) "rule id" [ "registry-exhaustive" ]
+    (ids bad.Lint.findings);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "names the missing constructors" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         contains f.message "Rlm_threshold"
+         && contains f.message "Replicated"
+         && contains f.message "Oversub")
+       bad.Lint.findings);
+  Alcotest.(check (list int)) "complete consumer clean" []
+    (lines (run "registry_consumer_ok.ml").Lint.findings)
+
+let test_missing_cmt () =
+  let probe = "typed_probe_no_cmt.ml" in
+  let oc = open_out probe in
+  output_string oc "let x = ref 0\n";
+  close_out oc;
+  let report =
+    Lint.run (config ~build_dir:".." [ Lint.Domain_escape ]) [ probe ]
+  in
+  Sys.remove probe;
+  Alcotest.(check int) "degrades without findings" 0
+    (List.length report.Lint.findings);
+  Alcotest.(check int) "still exits clean" 0 (Lint.exit_code report);
+  Alcotest.(check bool) "reports the missing cmt" true
+    (List.mem_assoc probe report.Lint.cmts_missing)
+
 let test_json_report () =
   let report = Lint.run (config Lint.all_rules) [ fixture "no_mli.ml" ] in
   let rendered = Mcc_obs.Json.to_string (Lint.report_to_json report) in
@@ -146,7 +259,7 @@ let test_json_report () =
    must be clean with no allowlist at all (suppressions in lib/ are
    in-source pragmas with justifications). *)
 let test_self_check_lib () =
-  let report = Lint.run (config Lint.all_rules) [ "../lib" ] in
+  let report = Lint.run (config ~build_dir:".." Lint.all_rules) [ "../lib" ] in
   List.iter
     (fun f -> Format.eprintf "%a@." Lint.pp_finding f)
     report.Lint.findings;
@@ -155,7 +268,13 @@ let test_self_check_lib () =
   Alcotest.(check (list (pair string string))) "no errors" []
     report.Lint.errors;
   Alcotest.(check bool) "walked the whole library tree" true
-    (report.Lint.files_checked > 50)
+    (report.Lint.files_checked > 50);
+  (* The typed stage must have genuinely run: every lib module compiles,
+     so every file should resolve to a .cmt. *)
+  Alcotest.(check (list (pair string string))) "no cmts missing" []
+    report.Lint.cmts_missing;
+  Alcotest.(check bool) "typed stage covered the tree" true
+    (report.Lint.cmts_loaded > 50)
 
 let suite =
   ( "lint",
@@ -167,6 +286,15 @@ let suite =
       Alcotest.test_case "float-poly-compare fixture" `Quick test_float_compare;
       Alcotest.test_case "mli-coverage fixture" `Quick test_mli_coverage;
       Alcotest.test_case "prof-span fixture" `Quick test_prof_span;
+      Alcotest.test_case "gc-stats fixture" `Quick test_gc_stats;
+      Alcotest.test_case "domain-escape fixture" `Quick test_domain_escape;
+      Alcotest.test_case "hot-alloc fixture" `Quick test_hot_alloc;
+      Alcotest.test_case "registry-exhaustive fixture" `Quick
+        test_registry_exhaustive;
+      Alcotest.test_case "registry consumer completeness" `Quick
+        test_registry_consumer;
+      Alcotest.test_case "missing .cmt degrades gracefully" `Quick
+        test_missing_cmt;
       Alcotest.test_case "exit codes" `Quick test_exit_codes;
       Alcotest.test_case "allowlist" `Quick test_allowlist;
       Alcotest.test_case "json report" `Quick test_json_report;
